@@ -1,0 +1,86 @@
+package jade
+
+import "testing"
+
+func TestSessionModelPreservesManagedTrajectory(t *testing.T) {
+	// Robustness of the self-sizing result to the workload model: the
+	// Markov-session emulator keeps tier demands in the calibrated
+	// regime, so the managed run still scales the database tier and
+	// keeps latency flat.
+	cfg := DefaultScenario(1, true)
+	cfg.Sessions = true
+	cfg.Profile = RampProfile{Base: 80, Peak: 500, StepPerMinute: 105, HoldAtPeak: 60}
+	r, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Failed != 0 {
+		t.Fatalf("failed = %d", r.Stats.Failed)
+	}
+	if got := r.DB.Replicas.Max(); got < 2 {
+		t.Fatalf("db replicas peak = %v, session workload did not trigger scaling", got)
+	}
+	if mean := r.MeanLatency(); mean > 1.0 {
+		t.Fatalf("managed mean latency = %.3fs under sessions", mean)
+	}
+	// Session flows really ran: auth pages precede stores.
+	sb := r.Stats.Interaction("StoreBid").Count
+	pa := r.Stats.Interaction("PutBidAuth").Count
+	if sb == 0 || pa == 0 || sb > pa {
+		t.Fatalf("session flow counts: StoreBid=%d PutBidAuth=%d", sb, pa)
+	}
+}
+
+func TestAvailabilityUnderChurn(t *testing.T) {
+	// The self-recovery manager keeps the service available while nodes
+	// crash every ~300 s on average (each crashed node reboots into the
+	// pool after 60 s, modeling an operator power-cycle).
+	cfg := DefaultScenario(11, true)
+	cfg.Recovery = true
+	cfg.MTBFSeconds = 300
+	cfg.Profile = ConstantProfile{Clients: 120, Length: 1800}
+	r, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InjectedFailures < 2 {
+		t.Fatalf("injected failures = %d; churn too light to test anything", r.InjectedFailures)
+	}
+	if r.Repairs == 0 {
+		t.Fatal("no repairs under churn")
+	}
+	total := float64(r.Stats.Completed + r.Stats.Failed)
+	availability := float64(r.Stats.Completed) / total
+	if availability < 0.90 {
+		t.Fatalf("availability = %.3f (completed %d, failed %d)",
+			availability, r.Stats.Completed, r.Stats.Failed)
+	}
+	t.Logf("churn: %d crashes, %d repairs, availability %.4f",
+		r.InjectedFailures, r.Repairs, availability)
+}
+
+func TestChurnWithoutRecoveryDegrades(t *testing.T) {
+	// The control case: same churn, no self-recovery manager — a crashed
+	// single-replica tier stays down and failures accumulate.
+	cfg := DefaultScenario(11, true)
+	cfg.Recovery = false
+	cfg.MTBFSeconds = 300
+	cfg.Profile = ConstantProfile{Clients: 120, Length: 1800}
+	r, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InjectedFailures == 0 {
+		t.Skip("no failures injected at this seed")
+	}
+	if r.Repairs != 0 {
+		t.Fatalf("repairs = %d without a recovery manager", r.Repairs)
+	}
+	total := float64(r.Stats.Completed + r.Stats.Failed)
+	availability := float64(r.Stats.Completed) / total
+	if availability > 0.90 {
+		t.Fatalf("availability without recovery = %.3f; expected degradation "+
+			"(completed %d, failed %d, crashes %d)",
+			availability, r.Stats.Completed, r.Stats.Failed, r.InjectedFailures)
+	}
+}

@@ -1,0 +1,165 @@
+// Command jadebench regenerates the paper's evaluation: every figure and
+// table of §5, plus the ablation studies, on the simulated cluster.
+//
+// Usage:
+//
+//	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME]
+//
+// Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, ablations,
+// summary, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jade"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
+	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
+	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|ablations|summary|all")
+	flag.Parse()
+
+	if err := run(*seed, *speedup, *csvDir, strings.ToLower(*experiment)); err != nil {
+		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, speedup float64, csvDir, experiment string) error {
+	want := func(names ...string) bool {
+		if experiment == "all" {
+			return true
+		}
+		for _, n := range names {
+			if experiment == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("fig4") {
+		out, err := jade.Figure4(seed)
+		if err != nil {
+			return err
+		}
+		section("Figure 4 — qualitative reconfiguration scenario", out)
+	}
+
+	needRuns := want("fig5", "fig6", "fig7", "fig8", "fig9", "summary")
+	var pr *jade.PaperRuns
+	if needRuns {
+		fmt.Fprintf(os.Stderr, "jadebench: running the paper scenario (managed + unmanaged, speedup %.0fx)...\n", speedup)
+		var err error
+		pr, err = jade.RunPaperScenario(seed, speedup)
+		if err != nil {
+			return err
+		}
+	}
+	if pr != nil {
+		if want("fig5") {
+			section("Figure 5 — dynamically adjusted number of replicas", pr.Figure5())
+		}
+		if want("fig6") {
+			section("Figure 6 — behavior of the database tier", pr.Figure6())
+		}
+		if want("fig7") {
+			section("Figure 7 — behavior of the application tier", pr.Figure7())
+		}
+		if want("fig8") {
+			section("Figure 8 — response time without Jade", pr.Figure8())
+		}
+		if want("fig9") {
+			section("Figure 9 — response time with Jade", pr.Figure9())
+		}
+		if want("summary") {
+			section("Scenario summary", pr.Summary())
+		}
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			for name, body := range pr.CSVs() {
+				path := filepath.Join(csvDir, name)
+				if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "jadebench: wrote %s\n", path)
+			}
+		}
+	}
+
+	if want("churn") {
+		cfg := jade.DefaultScenario(seed+10, true)
+		cfg.Recovery = true
+		cfg.MTBFSeconds = 300
+		cfg.Profile = jade.ConstantProfile{Clients: 120, Length: 1800}
+		r, err := jade.RunScenario(cfg)
+		if err != nil {
+			return err
+		}
+		total := float64(r.Stats.Completed + r.Stats.Failed)
+		section("Availability under churn — self-recovery manager",
+			fmt.Sprintf("MTBF 300 s over 1800 s at 120 clients:\n"+
+				"  crashes injected:  %d\n  repairs completed: %d\n"+
+				"  requests:          %d completed, %d failed\n"+
+				"  availability:      %.4f\n",
+				r.InjectedFailures, r.Repairs, r.Stats.Completed, r.Stats.Failed,
+				float64(r.Stats.Completed)/total))
+	}
+
+	if want("table1") {
+		res, err := jade.RunTable1(seed, 600)
+		if err != nil {
+			return err
+		}
+		section("Table 1 — performance overhead (intrusivity)", res.Render())
+	}
+
+	if want("ablations") {
+		abSpeed := speedup
+		if abSpeed < 2 {
+			abSpeed = 2
+		}
+		sm, err := jade.RunAblationSmoothing(seed, abSpeed)
+		if err != nil {
+			return err
+		}
+		section("Ablation — sensor smoothing", jade.RenderAblation("Moving-average window", sm))
+		in, err := jade.RunAblationInhibition(seed, abSpeed)
+		if err != nil {
+			return err
+		}
+		section("Ablation — reconfiguration inhibition", jade.RenderAblation("Inhibition window", in))
+		th, err := jade.RunAblationThresholds(seed, abSpeed)
+		if err != nil {
+			return err
+		}
+		section("Ablation — threshold sweep", jade.RenderAblation("CPU thresholds", th))
+		bp, err := jade.RunAblationBalancerPolicy(seed)
+		if err != nil {
+			return err
+		}
+		section("Ablation — C-JDBC read policy", jade.RenderAblation("Read balancing policy", bp))
+		rp, err := jade.RunAblationRecoveryLogReplay(seed, []int{0, 250, 500, 1000, 2000})
+		if err != nil {
+			return err
+		}
+		section("Ablation — recovery-log replay", jade.RenderReplay(rp))
+	}
+	return nil
+}
+
+func section(title, body string) {
+	fmt.Printf("\n================================================================\n")
+	fmt.Printf("%s\n", title)
+	fmt.Printf("================================================================\n")
+	fmt.Println(body)
+}

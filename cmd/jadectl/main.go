@@ -1,0 +1,210 @@
+// Command jadectl is the administration front end of the Jade platform:
+// it validates and deploys architecture descriptions on a simulated
+// cluster, introspects the resulting component architecture, and shows
+// the legacy configuration files the wrappers generated.
+//
+// Usage:
+//
+//	jadectl validate [-adl FILE]
+//	jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
+//	jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]
+//
+// Without -adl, the built-in three-tier RUBiS architecture is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jade"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "validate":
+		err = cmdValidate(args)
+	case "deploy":
+		err = cmdDeploy(args)
+	case "scenario":
+		err = cmdScenario(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "jadectl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jadectl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  jadectl validate [-adl FILE]
+  jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
+  jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]`)
+}
+
+func loadADL(path string) (*jade.ADLDefinition, error) {
+	text := jade.ThreeTierADL
+	if path != "" {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		text = string(raw)
+	}
+	return jade.ParseADL(text)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	adlPath := fs.String("adl", "", "architecture description file (default: built-in three-tier)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	def, err := loadADL(*adlPath)
+	if err != nil {
+		return err
+	}
+	p := jade.NewPlatform(jade.DefaultPlatformOptions())
+	if err := def.Validate(wrapperSet(p)); err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid (%d components, %d bindings)\n",
+		def.Name, len(def.AllComponents()), len(def.Bindings))
+	for _, pc := range def.AllComponents() {
+		where := pc.CompositePath
+		if where == "" {
+			where = "(top level)"
+		}
+		fmt.Printf("  %-12s wrapper=%-8s in %s\n", pc.Name, pc.Wrapper, where)
+	}
+	return nil
+}
+
+func wrapperSet(p *jade.Platform) map[string]bool {
+	out := map[string]bool{}
+	for _, k := range p.WrapperKinds() {
+		out[k] = true
+	}
+	return out
+}
+
+func cmdDeploy(args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	adlPath := fs.String("adl", "", "architecture description file (default: built-in three-tier)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	nodes := fs.Int("nodes", 9, "cluster pool size")
+	showConfig := fs.Bool("show-config", false, "print the generated legacy configuration files")
+	export := fs.Bool("export", false, "re-export the live architecture as an ADL document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	def, err := loadADL(*adlPath)
+	if err != nil {
+		return err
+	}
+	opts := jade.DefaultPlatformOptions()
+	opts.Seed = *seed
+	opts.Nodes = *nodes
+	p := jade.NewPlatform(opts)
+	db, err := jade.DefaultDataset().InitialDatabase(*seed)
+	if err != nil {
+		return err
+	}
+	p.RegisterDump("rubis", db)
+
+	var dep *jade.Deployment
+	derr := fmt.Errorf("deployment did not complete")
+	p.Deploy(def, func(d *jade.Deployment, err error) { dep, derr = d, err })
+	p.Eng.Run()
+	if derr != nil {
+		return derr
+	}
+	fmt.Printf("deployed %s in %.1f simulated seconds\n\n", def.Name, p.Eng.Now())
+	fmt.Println("management layer:")
+	fmt.Println(dep.Describe())
+	fmt.Println("node assignments:")
+	for _, name := range dep.ComponentNames() {
+		node, err := dep.NodeOf(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-12s -> %-8s (cpu %.0f%%, mem %.0f MB)\n",
+			name, node.Name(), 100*node.BusyTotal()/max1(p.Eng.Now()), node.MemoryUsed())
+	}
+	if *showConfig {
+		fmt.Println("\ngenerated legacy configuration files:")
+		for _, path := range p.FS.List() {
+			raw, err := p.FS.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("\n--- %s ---\n%s", path, raw)
+		}
+	}
+	if *export {
+		text, err := dep.ExportADL().Render()
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nre-exported architecture description:")
+		fmt.Print(text)
+	}
+	return nil
+}
+
+func max1(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+func cmdScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	clients := fs.Int("clients", 200, "constant client population")
+	duration := fs.Float64("duration", 600, "workload duration (simulated seconds)")
+	managed := fs.Bool("managed", true, "arm the self-optimization managers")
+	sessions := fs.Bool("sessions", false, "use Markov sessions instead of i.i.d. interaction sampling")
+	recovery := fs.Bool("recovery", false, "arm the self-recovery manager")
+	mtbf := fs.Float64("mtbf", 0, "inject node crashes with this mean time between failures (seconds; 0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := jade.DefaultScenario(*seed, *managed)
+	cfg.Profile = jade.ConstantProfile{Clients: *clients, Length: *duration}
+	cfg.Sessions = *sessions
+	cfg.Recovery = *recovery
+	cfg.MTBFSeconds = *mtbf
+	fmt.Fprintf(os.Stderr, "running %v clients for %.0fs (managed=%v)...\n", *clients, *duration, *managed)
+	r, err := jade.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+	s := r.Stats.LatencySummary()
+	fmt.Printf("completed: %d requests (%d failed)\n", r.Stats.Completed, r.Stats.Failed)
+	fmt.Printf("throughput: %.1f req/s\n", r.Throughput())
+	fmt.Printf("latency: mean %.0f ms, p50 %.0f ms, p99 %.0f ms, max %.0f ms\n",
+		s.Mean*1000, s.P50*1000, s.P99*1000, s.Max*1000)
+	fmt.Printf("db replicas: peak %.0f   app replicas: peak %.0f   reconfigurations: %d\n",
+		r.DB.Replicas.Max(), r.App.Replicas.Max(), r.Reconfigurations)
+	fmt.Printf("node usage: cpu %.1f%%, mem %.1f%% (averaged over component nodes)\n",
+		r.NodeCPUPercent, r.NodeMemPercent)
+	if r.InjectedFailures > 0 || r.Repairs > 0 {
+		fmt.Printf("churn: %d crashes injected, %d repairs completed\n",
+			r.InjectedFailures, r.Repairs)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Adaptive: the paper's future-work directions (§7), implemented.
+//
+//  1. "Improving the self-optimizing algorithm by setting incrementally
+//     and dynamically its parameters": an AdaptiveTuner control loop
+//     watches the client-perceived response time and nudges the
+//     application tier's Max CPU threshold — down when the latency SLO
+//     is violated (provision earlier), up when latency is comfortable
+//     (pack nodes tighter).
+//  2. "The problem of conflicting autonomic policies ... policy
+//     arbitration managers": an Arbiter gates every reconfiguration;
+//     self-recovery preempts self-optimization, never the reverse.
+//
+// The run ramps load against the three-tier deployment with both
+// mechanisms armed, then prints the tuned-threshold trace and the
+// arbitration log.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"jade"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	slo := flag.Float64("slo", 0.3, "latency objective in seconds")
+	flag.Parse()
+
+	p := jade.NewPlatform(jade.DefaultPlatformOptions())
+	dump, err := jade.DefaultDataset().InitialDatabase(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.RegisterDump("rubis", dump)
+	def, err := jade.ParseADL(jade.ThreeTierADL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dep *jade.Deployment
+	derr := errors.New("deployment did not complete")
+	p.Deploy(def, func(d *jade.Deployment, err error) { dep, derr = d, err })
+	p.Eng.Run()
+	if derr != nil {
+		log.Fatal(derr)
+	}
+
+	appTier, err := jade.NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbTier, err := jade.NewDBTier(p, dep, "cjdbc1", []string{"mysql1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One arbiter gates every manager.
+	arb := jade.NewArbiter(60)
+
+	appMgr, err := jade.NewSizingManager(p, "self-optimization-app", appTier, jade.AppSizingDefaults(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	appMgr.Reactor.Arbiter = arb
+	dbMgr, err := jade.NewSizingManager(p, "self-optimization-db", dbTier, jade.DBSizingDefaults(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbMgr.Reactor.Arbiter = arb
+	rec, err := jade.NewRecoveryManager(p, "self-recovery", 1, appTier, dbTier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.Arbiter = arb
+	for _, l := range p.Loops() {
+		if err := l.Start(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Client emulator + the adaptive tuner reading its windowed latency.
+	front, err := dep.FrontEnd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := jade.RampProfile{Base: 80, Peak: 500, StepPerMinute: 105, HoldAtPeak: 60}
+	em := jade.NewEmulator(p.Eng, front, jade.BiddingMix(), profile, jade.DefaultDataset())
+	if err := em.Start(); err != nil {
+		log.Fatal(err)
+	}
+	tuner := jade.NewAdaptiveTuner(appMgr.Reactor, func(now float64) (float64, bool) {
+		v := em.Stats().MeanLatencyBetween(now-30, now)
+		return v, v > 0
+	}, *slo)
+	loop, err := jade.NewControlLoop(p, "adaptive-tuner", 15, tuner, tuner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := loop.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Mid-run, crash the database replica's node: recovery must preempt
+	// whatever quiet window optimization holds.
+	p.Eng.After(300, "crash", func() {
+		if node, err := dep.NodeOf("mysql1"); err == nil {
+			fmt.Printf("[t=%6.1fs] injected crash of %s (hosts mysql1)\n", p.Eng.Now(), node.Name())
+			node.Fail()
+		}
+	})
+
+	end := p.Eng.Now() + profile.Duration() + 60
+	p.Eng.RunUntil(end)
+	em.Stop()
+
+	s := em.Stats().LatencySummary()
+	fmt.Printf("\nSLO %.0f ms — measured mean %.0f ms, p99 %.0f ms\n",
+		*slo*1000, s.Mean*1000, s.P99*1000)
+	fmt.Printf("repairs: %d   app replicas peak: %.0f   db replicas peak: %.0f\n",
+		rec.Repairs, appMgr.Replicas.Max(), dbMgr.Replicas.Max())
+	raises, lowers := tuner.Adjustments()
+	fmt.Printf("adaptive tuner: %d raises, %d lowers; final app Max threshold %.2f\n",
+		raises, lowers, appMgr.Reactor.Max)
+
+	fmt.Println("\narbitration log (last 12 decisions):")
+	decisions := arb.Decisions()
+	if len(decisions) > 12 {
+		decisions = decisions[len(decisions)-12:]
+	}
+	for _, d := range decisions {
+		verdict := "DENIED"
+		if d.Granted {
+			verdict = "granted"
+		}
+		fmt.Printf("  t=%7.1fs %-22s prio=%-2d %-7s %s\n", d.T, d.Requester, d.Priority, verdict, d.Reason)
+	}
+	fmt.Println("\nJade's own architecture:")
+	fmt.Println(p.DescribeManagement())
+}

@@ -1,0 +1,77 @@
+// Quickstart: deploy the paper's three-tier RUBiS architecture from an
+// ADL description on a simulated 9-node cluster, send a few client
+// requests through it, and introspect the resulting management layer —
+// the uniform component view Jade gives an administration program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jade"
+)
+
+func main() {
+	// A platform is one Jade instance managing one simulated cluster.
+	p := jade.NewPlatform(jade.DefaultPlatformOptions())
+
+	// Register the RUBiS database dump the Software Installation
+	// Service installs on MySQL replicas.
+	dump, err := jade.DefaultDataset().InitialDatabase(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.RegisterDump("rubis", dump)
+
+	// Deploy the built-in architecture: PLB -> Tomcat -> C-JDBC -> MySQL.
+	def, err := jade.ParseADL(jade.ThreeTierADL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dep *jade.Deployment
+	derr := fmt.Errorf("deployment did not complete")
+	p.Deploy(def, func(d *jade.Deployment, err error) { dep, derr = d, err })
+	p.Eng.Run() // advance virtual time until the deployment settles
+	if derr != nil {
+		log.Fatal(derr)
+	}
+	fmt.Printf("deployed %q in %.1f simulated seconds\n\n", def.Name, p.Eng.Now())
+
+	// Introspection: the whole J2EE infrastructure as one composite.
+	fmt.Println("management layer view:")
+	fmt.Println(dep.Describe())
+
+	// Drive a short constant workload through the front end.
+	front, err := dep.FrontEnd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	em := jade.NewEmulator(p.Eng, front, jade.BiddingMix(),
+		jade.ConstantProfile{Clients: 50, Length: 120}, jade.DefaultDataset())
+	if err := em.Start(); err != nil {
+		log.Fatal(err)
+	}
+	p.Eng.RunUntil(p.Eng.Now() + 130)
+	em.Stop()
+	p.Eng.Run()
+
+	s := em.Stats().LatencySummary()
+	fmt.Printf("workload: %d requests completed, %d failed\n",
+		em.Stats().Completed, em.Stats().Failed)
+	fmt.Printf("latency:  mean %.0f ms, p99 %.0f ms\n", s.Mean*1000, s.P99*1000)
+
+	// Attribute introspection through the uniform interface.
+	tomcat := dep.MustComponent("tomcat1")
+	fmt.Printf("\ntomcat1 attributes: ")
+	for _, a := range tomcat.Attributes() {
+		v, _ := tomcat.Attribute(a)
+		fmt.Printf("%s=%s ", a, v)
+	}
+	fmt.Println()
+
+	// The wrappers generated real legacy configuration files.
+	fmt.Println("\ngenerated legacy configuration files:")
+	for _, path := range p.FS.List() {
+		fmt.Printf("  %s\n", path)
+	}
+}

@@ -1,0 +1,38 @@
+// Reconfigure: the paper's qualitative scenario (§5.1, Fig. 4).
+//
+// Initially Apache1 (node1) is connected to Tomcat1 (node2). We replace
+// that connection by one to Tomcat2 (node3, AJP port 8098).
+//
+// Without Jade this takes manual, legacy-specific steps: log on node1,
+// run the Apache shutdown script, hand-edit worker.properties, run the
+// httpd script. With Jade it is four operations on the management layer:
+//
+//	Apache1.stop()
+//	Apache1.unbind("ajp-itf")
+//	Apache1.bind("ajp-itf", tomcat2-itf)
+//	Apache1.start()
+//
+// The wrapper reflects the rebind into worker.properties automatically;
+// this program prints the transcript and the regenerated file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"jade"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	out, err := jade.Figure4(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 4 reconfiguration scenario — with Jade:")
+	fmt.Println()
+	fmt.Println(out)
+}

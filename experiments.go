@@ -1,0 +1,383 @@
+package jade
+
+import (
+	"fmt"
+	"strings"
+
+	"jade/internal/core"
+	"jade/internal/metrics"
+	"jade/internal/report"
+)
+
+// PaperRuns holds the pair of evaluation runs (with and without Jade)
+// that Figures 5-9 are drawn from: both replay the §5.2 ramp workload on
+// identical clusters; only the managed run has the two self-optimization
+// control loops armed.
+type PaperRuns struct {
+	Managed   *ScenarioResult
+	Unmanaged *ScenarioResult
+	// Speedup is the time compression applied to the ramp (1 = the
+	// paper's ~50-minute run; 5 = the same client trajectory five times
+	// faster, for quick runs).
+	Speedup float64
+}
+
+// RunPaperScenario executes the managed and unmanaged runs. speedup
+// compresses the ramp's time axis (1 reproduces the paper's ~3000 s run;
+// the client trajectory, and therefore the saturation points, are
+// unchanged).
+func RunPaperScenario(seed int64, speedup float64) (*PaperRuns, error) {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	profile := RampProfile{
+		Base:          80,
+		Peak:          500,
+		StepPerMinute: int(21 * speedup),
+		HoldAtPeak:    120 / speedup,
+	}
+	managedCfg := DefaultScenario(seed, true)
+	managedCfg.Profile = profile
+	managed, err := mustScenario(managedCfg)
+	if err != nil {
+		return nil, err
+	}
+	unmanagedCfg := DefaultScenario(seed, false)
+	unmanagedCfg.Profile = profile
+	unmanaged, err := mustScenario(unmanagedCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PaperRuns{Managed: managed, Unmanaged: unmanaged, Speedup: speedup}, nil
+}
+
+// relativize shifts a series so the workload start is t=0, matching the
+// paper's figures.
+func relativize(s *Series, t0 float64) *Series {
+	out := metrics.NewSeries(s.Name)
+	for _, p := range s.Points {
+		if p.T < t0 {
+			continue
+		}
+		out.Add(p.T-t0, p.V)
+	}
+	return out
+}
+
+// Figure5 renders the dynamically adjusted number of replicas over time
+// for both tiers (paper Fig. 5).
+func (pr *PaperRuns) Figure5() string {
+	m := pr.Managed
+	c := &Chart{
+		Title:  "Figure 5. Dynamically adjusted number of replicas",
+		YLabel: "# of replicas",
+		YMax:   4,
+		Series: []ChartSeries{
+			report.FromSeries(relativize(m.DB.Replicas, m.WorkloadStart), 'D'),
+			report.FromSeries(relativize(m.App.Replicas, m.WorkloadStart), 'A'),
+		},
+	}
+	out := c.Render()
+	out += fmt.Sprintf("  peak replicas: database=%d application=%d; reconfigurations=%d\n",
+		int(m.DB.Replicas.Max()), int(m.App.Replicas.Max()), m.Reconfigurations)
+	return out
+}
+
+// tierFigure renders one tier's CPU behaviour with and without Jade,
+// with thresholds and the replica count (paper Figs. 6 and 7).
+func (pr *PaperRuns) tierFigure(title string, managed, unmanaged TierTrace, t0m, t0u float64) string {
+	c := &Chart{
+		Title:  title,
+		YLabel: "CPU usage",
+		YMax:   1.0,
+		Series: []ChartSeries{
+			report.FromSeries(relativize(unmanaged.CPUSmoothed, t0u), 'u'),
+			report.FromSeries(relativize(managed.CPUSmoothed, t0m), '*'),
+		},
+		HLines: []HLine{
+			{Name: fmt.Sprintf("max threshold (%.2f)", managed.Max), Value: managed.Max, Glyph: '='},
+			{Name: fmt.Sprintf("min threshold (%.2f)", managed.Min), Value: managed.Min, Glyph: '-'},
+		},
+	}
+	c.Series[0].Name = "CPU without Jade"
+	c.Series[1].Name = "CPU with Jade (moving average)"
+	out := c.Render()
+	rep := &Chart{
+		Title:  "replica count (with Jade)",
+		Height: 5,
+		YMax:   4,
+		Series: []ChartSeries{report.FromSeries(relativize(managed.Replicas, t0m), '#')},
+	}
+	out += rep.Render()
+	return out
+}
+
+// Figure6 renders the database tier behaviour (paper Fig. 6).
+func (pr *PaperRuns) Figure6() string {
+	return pr.tierFigure("Figure 6. Behavior of the database tier",
+		pr.Managed.DB, pr.Unmanaged.DB,
+		pr.Managed.WorkloadStart, pr.Unmanaged.WorkloadStart)
+}
+
+// Figure7 renders the application tier behaviour (paper Fig. 7).
+func (pr *PaperRuns) Figure7() string {
+	return pr.tierFigure("Figure 7. Behavior of the application tier",
+		pr.Managed.App, pr.Unmanaged.App,
+		pr.Managed.WorkloadStart, pr.Unmanaged.WorkloadStart)
+}
+
+// latencyFigure renders client latency and the workload profile.
+func latencyFigure(title string, r *ScenarioResult) string {
+	lat := metrics.NewSeries("latency (ms)")
+	for _, p := range r.Stats.Latency.Points {
+		if p.T < r.WorkloadStart {
+			continue
+		}
+		lat.Add(p.T-r.WorkloadStart, p.V*1000)
+	}
+	wl := metrics.NewSeries("workload (# clients x100 ms)")
+	for _, p := range r.Stats.Workload.Points {
+		if p.T < r.WorkloadStart {
+			continue
+		}
+		wl.Add(p.T-r.WorkloadStart, p.V*100)
+	}
+	c := &Chart{
+		Title:  title,
+		YLabel: "latency ms",
+		Series: []ChartSeries{
+			report.FromSeries(wl, 'w'),
+			report.FromSeries(lat, '*'),
+		},
+	}
+	s := r.Stats.LatencySummary()
+	out := c.Render()
+	out += fmt.Sprintf("  latency: mean=%.0f ms  p50=%.0f ms  p99=%.0f ms  max=%.0f ms  (%d requests)\n",
+		s.Mean*1000, s.P50*1000, s.P99*1000, s.Max*1000, s.Count)
+	return out
+}
+
+// Figure8 renders response time without Jade (paper Fig. 8).
+func (pr *PaperRuns) Figure8() string {
+	return latencyFigure("Figure 8. Response time without Jade", pr.Unmanaged)
+}
+
+// Figure9 renders response time with Jade (paper Fig. 9).
+func (pr *PaperRuns) Figure9() string {
+	return latencyFigure("Figure 9. Response time with Jade", pr.Managed)
+}
+
+// Summary compares the headline numbers of the two runs — the paper's
+// claim is a stable managed latency (~590 ms) versus a diverging
+// unmanaged latency (~10.42 s average).
+func (pr *PaperRuns) Summary() string {
+	m, u := pr.Managed.Stats.LatencySummary(), pr.Unmanaged.Stats.LatencySummary()
+	t := &TextTable{
+		Title:   "Paper scenario summary (ramp 80 -> 500 -> 80 clients)",
+		Headers: []string{"", "with Jade", "without Jade"},
+	}
+	t.AddRow("Mean latency (ms)", fmt.Sprintf("%.0f", m.Mean*1000), fmt.Sprintf("%.0f", u.Mean*1000))
+	t.AddRow("Max latency (ms)", fmt.Sprintf("%.0f", m.Max*1000), fmt.Sprintf("%.0f", u.Max*1000))
+	t.AddRow("Completed requests", fmt.Sprintf("%d", pr.Managed.Stats.Completed),
+		fmt.Sprintf("%d", pr.Unmanaged.Stats.Completed))
+	t.AddRow("Failed requests", fmt.Sprintf("%d", pr.Managed.Stats.Failed),
+		fmt.Sprintf("%d", pr.Unmanaged.Stats.Failed))
+	t.AddRow("Peak db replicas", fmt.Sprintf("%.0f", pr.Managed.DB.Replicas.Max()), "1")
+	t.AddRow("Peak app replicas", fmt.Sprintf("%.0f", pr.Managed.App.Replicas.Max()), "1")
+	t.AddRow("Reconfigurations", fmt.Sprintf("%d", pr.Managed.Reconfigurations), "0")
+	t.AddRow("Peak nodes used", fmt.Sprintf("%d", pr.Managed.PeakNodesUsed),
+		fmt.Sprintf("%d", pr.Unmanaged.PeakNodesUsed))
+	t.AddRow("Node-seconds", fmt.Sprintf("%.0f", pr.Managed.NodeSeconds),
+		fmt.Sprintf("%.0f", pr.Unmanaged.NodeSeconds))
+	out := t.Render()
+	if u.Mean > 0 && m.Mean > 0 {
+		out += fmt.Sprintf("latency improvement with Jade: %.1fx\n", u.Mean/m.Mean)
+	}
+	return out
+}
+
+// CSVs returns the figure data as named CSV documents for external
+// plotting.
+func (pr *PaperRuns) CSVs() map[string]string {
+	m, u := pr.Managed, pr.Unmanaged
+	return map[string]string{
+		"figure5_replicas.csv": report.CSV(5,
+			relativize(m.DB.Replicas, m.WorkloadStart),
+			relativize(m.App.Replicas, m.WorkloadStart)),
+		"figure6_db_cpu.csv": report.CSV(5,
+			relativize(m.DB.CPUSmoothed, m.WorkloadStart),
+			relativize(u.DB.CPUSmoothed, u.WorkloadStart)),
+		"figure7_app_cpu.csv": report.CSV(5,
+			relativize(m.App.CPUSmoothed, m.WorkloadStart),
+			relativize(u.App.CPUSmoothed, u.WorkloadStart)),
+		"figure8_latency_without.csv": report.CSV(5,
+			relativize(u.Stats.Latency, u.WorkloadStart),
+			relativize(u.Stats.Workload, u.WorkloadStart)),
+		"figure9_latency_with.csv": report.CSV(5,
+			relativize(m.Stats.Latency, m.WorkloadStart),
+			relativize(m.Stats.Workload, m.WorkloadStart)),
+	}
+}
+
+// Table1Row is one column of the paper's Table 1.
+type Table1Row struct {
+	Throughput float64 // requests per second
+	RespTimeMS float64 // mean response time, milliseconds
+	CPUPercent float64 // mean CPU usage across involved nodes
+	MemPercent float64 // mean memory usage across involved nodes
+}
+
+// Table1Result reproduces the paper's intrusivity measurement (Table 1):
+// the same medium constant workload run with Jade's managers armed (no
+// reconfigurations fire at this load) and without Jade.
+type Table1Result struct {
+	With    Table1Row
+	Without Table1Row
+}
+
+// RunTable1 executes the two intrusivity runs: a constant medium
+// workload (80 clients, as in the paper's scenario base load) for the
+// given duration.
+func RunTable1(seed int64, duration float64) (*Table1Result, error) {
+	if duration <= 0 {
+		duration = 600
+	}
+	row := func(managed bool) (Table1Row, error) {
+		cfg := DefaultScenario(seed, managed)
+		cfg.Profile = ConstantProfile{Clients: 80, Length: duration}
+		r, err := mustScenario(cfg)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		if managed && r.Reconfigurations != 0 {
+			return Table1Row{}, fmt.Errorf("jade: table 1 run reconfigured %d times; the medium workload must be steady", r.Reconfigurations)
+		}
+		return Table1Row{
+			Throughput: r.Throughput(),
+			RespTimeMS: r.MeanLatency() * 1000,
+			CPUPercent: r.NodeCPUPercent,
+			MemPercent: r.NodeMemPercent,
+		}, nil
+	}
+	with, err := row(true)
+	if err != nil {
+		return nil, err
+	}
+	without, err := row(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{With: with, Without: without}, nil
+}
+
+// Render formats Table 1 as in the paper.
+func (t *Table1Result) Render() string {
+	tb := &TextTable{
+		Title:   "Table 1. Performance overhead",
+		Headers: []string{"", "with Jade", "without Jade"},
+	}
+	tb.AddRow("Throughput (req./s)",
+		fmt.Sprintf("%.0f", t.With.Throughput), fmt.Sprintf("%.0f", t.Without.Throughput))
+	tb.AddRow("Resp.time (ms)",
+		fmt.Sprintf("%.0f", t.With.RespTimeMS), fmt.Sprintf("%.0f", t.Without.RespTimeMS))
+	tb.AddRow("CPU usage (%)",
+		fmt.Sprintf("%.2f", t.With.CPUPercent), fmt.Sprintf("%.2f", t.Without.CPUPercent))
+	tb.AddRow("Memory usage (%)",
+		fmt.Sprintf("%.1f", t.With.MemPercent), fmt.Sprintf("%.1f", t.Without.MemPercent))
+	return tb.Render()
+}
+
+// Figure4 demonstrates the qualitative reconfiguration scenario (paper
+// §5.1/Fig. 4): rebinding Apache1 from Tomcat1 to Tomcat2 as four
+// operations on the management layer, returning a transcript with the
+// regenerated worker.properties. It is implemented in example form in
+// examples/reconfigure; this helper runs the same steps programmatically
+// and returns the transcript.
+func Figure4(seed int64) (string, error) {
+	transcript, err := runFigure4(seed)
+	if err != nil {
+		return "", err
+	}
+	return transcript, nil
+}
+
+const figure4ADL = `<?xml version="1.0"?>
+<definition name="fig4">
+  <component name="apache1" wrapper="apache"/>
+  <component name="tomcat1" wrapper="tomcat"/>
+  <component name="tomcat2" wrapper="tomcat">
+    <attribute name="ajp-port" value="8098"/>
+  </component>
+  <component name="cjdbc1" wrapper="cjdbc"/>
+  <component name="mysql1" wrapper="mysql">
+    <attribute name="dump" value="rubis"/>
+  </component>
+  <binding client="apache1.ajp" server="tomcat1.ajp"/>
+  <binding client="tomcat1.jdbc" server="cjdbc1.jdbc"/>
+  <binding client="tomcat2.jdbc" server="cjdbc1.jdbc"/>
+  <binding client="cjdbc1.backends" server="mysql1.sql"/>
+</definition>
+`
+
+func runFigure4(seed int64) (string, error) {
+	var b strings.Builder
+	p := NewPlatform(PlatformOptions{Seed: seed, Nodes: 9})
+	ds := Dataset{Regions: 5, Categories: 5, Users: 20, Items: 20, BidsPerItem: 1, CommentsPerUser: 1}
+	dump, err := ds.InitialDatabase(seed)
+	if err != nil {
+		return "", err
+	}
+	p.RegisterDump("rubis", dump)
+	def, err := ParseADL(figure4ADL)
+	if err != nil {
+		return "", err
+	}
+	var dep *Deployment
+	derr := fmt.Errorf("jade: deployment did not complete")
+	p.Deploy(def, func(d *Deployment, err error) { dep, derr = d, err })
+	p.Eng.Run()
+	if derr != nil {
+		return "", derr
+	}
+	apache := dep.MustComponent("apache1")
+	tomcat1 := dep.MustComponent("tomcat1")
+	tomcat2 := dep.MustComponent("tomcat2")
+	step := func(format string, args ...any) {
+		fmt.Fprintf(&b, "[t=%7.1fs] %s\n", p.Eng.Now(), fmt.Sprintf(format, args...))
+	}
+	step("deployed %s; apache1 bound to tomcat1", def.Name)
+
+	var serr error
+	step("Apache1.stop()")
+	p.StopComponent(apache, func(err error) { serr = err })
+	p.Eng.Run()
+	if serr != nil {
+		return "", serr
+	}
+	step("Apache1.unbind(\"ajp-itf\")")
+	if err := apache.Unbind("ajp", tomcat1.MustInterface("ajp")); err != nil {
+		return "", err
+	}
+	step("Apache1.bind(\"ajp-itf\", tomcat2-itf)")
+	if err := apache.Bind("ajp", tomcat2.MustInterface("ajp")); err != nil {
+		return "", err
+	}
+	step("Apache1.start()")
+	serr = fmt.Errorf("start never completed")
+	p.StartComponent(apache, func(err error) { serr = err })
+	p.Eng.Run()
+	if serr != nil {
+		return "", serr
+	}
+	step("reconfiguration complete")
+
+	// Show the regenerated legacy configuration, as in the paper's text.
+	aw := apache.Content().(*core.ApacheWrapper)
+	raw, err := p.FS.ReadFile(aw.Server().WorkersPath())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\nregenerated worker.properties:\n")
+	b.Write(raw)
+	return b.String(), nil
+}

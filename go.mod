@@ -1,0 +1,3 @@
+module jade
+
+go 1.22

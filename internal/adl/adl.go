@@ -1,0 +1,189 @@
+// Package adl implements Jade's Architecture Description Language (§3.3):
+// an XML document describing the architecture to deploy on the cluster —
+// which software resources compose the multi-tier application, how many
+// replicas each tier starts with, which node hosts each component, how
+// the tiers are bound together — plus validation against the set of
+// wrapper types the deployer knows.
+package adl
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by validation.
+var (
+	ErrDuplicateName  = errors.New("adl: duplicate component name")
+	ErrUnknownWrapper = errors.New("adl: unknown wrapper type")
+	ErrBadBinding     = errors.New("adl: malformed binding reference")
+	ErrDanglingRef    = errors.New("adl: binding references unknown component")
+	ErrEmptyName      = errors.New("adl: component with empty name")
+)
+
+// Definition is the root of an ADL document.
+type Definition struct {
+	XMLName    xml.Name        `xml:"definition"`
+	Name       string          `xml:"name,attr"`
+	Components []ComponentDecl `xml:"component"`
+	Composites []CompositeDecl `xml:"composite"`
+	Bindings   []BindingDecl   `xml:"binding"`
+}
+
+// ComponentDecl declares one primitive component to deploy.
+type ComponentDecl struct {
+	// Name is the component's unique name in the architecture.
+	Name string `xml:"name,attr"`
+	// Wrapper selects the wrapper type (apache, tomcat, mysql, cjdbc,
+	// plb, l4, ...) the deployer instantiates.
+	Wrapper string `xml:"wrapper,attr"`
+	// Node pins the component to a named node; empty means "allocate a
+	// node from the cluster pool".
+	Node string `xml:"node,attr,omitempty"`
+	// Attributes are applied through the attribute controller after
+	// creation (and reflected into the legacy configuration files).
+	Attributes []AttrDecl `xml:"attribute"`
+}
+
+// AttrDecl is one attribute assignment.
+type AttrDecl struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// CompositeDecl groups components under a named composite (e.g. one per
+// tier), recursively.
+type CompositeDecl struct {
+	Name       string          `xml:"name,attr"`
+	Components []ComponentDecl `xml:"component"`
+	Composites []CompositeDecl `xml:"composite"`
+}
+
+// BindingDecl connects a client interface to a server interface, both
+// written "component.interface".
+type BindingDecl struct {
+	Client string `xml:"client,attr"`
+	Server string `xml:"server,attr"`
+}
+
+// Parse parses an ADL document.
+func Parse(text string) (*Definition, error) {
+	var d Definition
+	if err := xml.Unmarshal([]byte(text), &d); err != nil {
+		return nil, fmt.Errorf("adl: %w", err)
+	}
+	return &d, nil
+}
+
+// Render returns the XML text of the definition.
+func (d *Definition) Render() (string, error) {
+	out, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("adl: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// PlacedComponent is a component declaration with the composite path it
+// appears under ("" at top level, "db-tier" or "a/b" when nested).
+type PlacedComponent struct {
+	ComponentDecl
+	CompositePath string
+}
+
+// AllComponents flattens the declaration tree in document order.
+func (d *Definition) AllComponents() []PlacedComponent {
+	var out []PlacedComponent
+	for _, c := range d.Components {
+		out = append(out, PlacedComponent{ComponentDecl: c})
+	}
+	var walk func(prefix string, comps []CompositeDecl)
+	walk = func(prefix string, comps []CompositeDecl) {
+		for _, comp := range comps {
+			path := comp.Name
+			if prefix != "" {
+				path = prefix + "/" + comp.Name
+			}
+			for _, c := range comp.Components {
+				out = append(out, PlacedComponent{ComponentDecl: c, CompositePath: path})
+			}
+			walk(path, comp.Composites)
+		}
+	}
+	walk("", d.Composites)
+	return out
+}
+
+// CompositePaths returns every composite path in document order.
+func (d *Definition) CompositePaths() []string {
+	var out []string
+	var walk func(prefix string, comps []CompositeDecl)
+	walk = func(prefix string, comps []CompositeDecl) {
+		for _, comp := range comps {
+			path := comp.Name
+			if prefix != "" {
+				path = prefix + "/" + comp.Name
+			}
+			out = append(out, path)
+			walk(path, comp.Composites)
+		}
+	}
+	walk("", d.Composites)
+	return out
+}
+
+// SplitRef splits a "component.interface" reference.
+func SplitRef(ref string) (component, itf string, err error) {
+	dot := strings.LastIndexByte(ref, '.')
+	if dot <= 0 || dot == len(ref)-1 {
+		return "", "", fmt.Errorf("%w: %q (want component.interface)", ErrBadBinding, ref)
+	}
+	return ref[:dot], ref[dot+1:], nil
+}
+
+// Validate checks structural invariants: non-empty unique component
+// names, known wrapper types (when wrappers is non-nil), unique composite
+// names per level, and resolvable binding references.
+func (d *Definition) Validate(wrappers map[string]bool) error {
+	seen := map[string]bool{}
+	for _, pc := range d.AllComponents() {
+		if pc.Name == "" {
+			return ErrEmptyName
+		}
+		if seen[pc.Name] {
+			return fmt.Errorf("%w: %s", ErrDuplicateName, pc.Name)
+		}
+		seen[pc.Name] = true
+		if wrappers != nil && !wrappers[pc.Wrapper] {
+			return fmt.Errorf("%w: %q (component %s)", ErrUnknownWrapper, pc.Wrapper, pc.Name)
+		}
+		for _, a := range pc.Attributes {
+			if a.Name == "" {
+				return fmt.Errorf("adl: component %s has an attribute with empty name", pc.Name)
+			}
+		}
+	}
+	paths := map[string]bool{}
+	for _, p := range d.CompositePaths() {
+		if strings.HasSuffix(p, "/") || strings.Contains(p, "//") {
+			return fmt.Errorf("adl: composite with empty name under %q", p)
+		}
+		if paths[p] {
+			return fmt.Errorf("%w: composite %s", ErrDuplicateName, p)
+		}
+		paths[p] = true
+	}
+	for _, b := range d.Bindings {
+		for _, ref := range []string{b.Client, b.Server} {
+			comp, _, err := SplitRef(ref)
+			if err != nil {
+				return err
+			}
+			if !seen[comp] {
+				return fmt.Errorf("%w: %s", ErrDanglingRef, ref)
+			}
+		}
+	}
+	return nil
+}

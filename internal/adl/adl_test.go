@@ -1,0 +1,216 @@
+package adl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sampleADL = `<?xml version="1.0"?>
+<definition name="rubis-j2ee">
+  <component name="plb1" wrapper="plb">
+    <attribute name="port" value="8080"/>
+  </component>
+  <composite name="app-tier">
+    <component name="tomcat1" wrapper="tomcat">
+      <attribute name="ajp-port" value="8009"/>
+    </component>
+  </composite>
+  <composite name="db-tier">
+    <component name="cjdbc1" wrapper="cjdbc"/>
+    <composite name="backends">
+      <component name="mysql1" wrapper="mysql" node="node5">
+        <attribute name="port" value="3306"/>
+      </component>
+    </composite>
+  </composite>
+  <binding client="plb1.workers" server="tomcat1.ajp"/>
+  <binding client="tomcat1.jdbc" server="cjdbc1.jdbc"/>
+  <binding client="cjdbc1.backends" server="mysql1.sql"/>
+</definition>
+`
+
+var wrappers = map[string]bool{
+	"apache": true, "tomcat": true, "mysql": true,
+	"cjdbc": true, "plb": true, "l4": true,
+}
+
+func TestParseAndStructure(t *testing.T) {
+	d, err := Parse(sampleADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "rubis-j2ee" {
+		t.Fatalf("name = %q", d.Name)
+	}
+	all := d.AllComponents()
+	if len(all) != 4 {
+		t.Fatalf("AllComponents = %d", len(all))
+	}
+	// Document order, with composite paths.
+	wantOrder := []struct{ name, path string }{
+		{"plb1", ""},
+		{"tomcat1", "app-tier"},
+		{"cjdbc1", "db-tier"},
+		{"mysql1", "db-tier/backends"},
+	}
+	for i, w := range wantOrder {
+		if all[i].Name != w.name || all[i].CompositePath != w.path {
+			t.Fatalf("component %d = %s@%q, want %s@%q",
+				i, all[i].Name, all[i].CompositePath, w.name, w.path)
+		}
+	}
+	if all[3].Node != "node5" {
+		t.Fatalf("pinned node = %q", all[3].Node)
+	}
+	if len(all[0].Attributes) != 1 || all[0].Attributes[0].Value != "8080" {
+		t.Fatalf("attributes = %+v", all[0].Attributes)
+	}
+	paths := d.CompositePaths()
+	wantPaths := []string{"app-tier", "db-tier", "db-tier/backends"}
+	if strings.Join(paths, ",") != strings.Join(wantPaths, ",") {
+		t.Fatalf("paths = %v", paths)
+	}
+	if len(d.Bindings) != 3 {
+		t.Fatalf("bindings = %d", len(d.Bindings))
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	d, err := Parse(sampleADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(wrappers); err != nil {
+		t.Fatal(err)
+	}
+	// nil wrapper set skips wrapper validation.
+	if err := d.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+		want error
+	}{
+		{
+			"duplicate component",
+			`<definition name="x">
+			   <component name="a" wrapper="mysql"/>
+			   <composite name="t"><component name="a" wrapper="mysql"/></composite>
+			 </definition>`,
+			ErrDuplicateName,
+		},
+		{
+			"unknown wrapper",
+			`<definition name="x"><component name="a" wrapper="oracle"/></definition>`,
+			ErrUnknownWrapper,
+		},
+		{
+			"empty component name",
+			`<definition name="x"><component name="" wrapper="mysql"/></definition>`,
+			ErrEmptyName,
+		},
+		{
+			"bad binding ref",
+			`<definition name="x">
+			   <component name="a" wrapper="mysql"/>
+			   <binding client="a" server="a.itf"/>
+			 </definition>`,
+			ErrBadBinding,
+		},
+		{
+			"dangling binding",
+			`<definition name="x">
+			   <component name="a" wrapper="mysql"/>
+			   <binding client="a.itf" server="ghost.itf"/>
+			 </definition>`,
+			ErrDanglingRef,
+		},
+		{
+			"duplicate composite",
+			`<definition name="x">
+			   <composite name="t"><component name="a" wrapper="mysql"/></composite>
+			   <composite name="t"><component name="b" wrapper="mysql"/></composite>
+			 </definition>`,
+			ErrDuplicateName,
+		},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.xml)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if err := d.Validate(wrappers); !errors.Is(err, c.want) {
+			t.Errorf("%s: Validate = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateEmptyAttributeName(t *testing.T) {
+	d, err := Parse(`<definition name="x">
+	  <component name="a" wrapper="mysql"><attribute name="" value="1"/></component>
+	</definition>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(wrappers); err == nil {
+		t.Fatal("empty attribute name accepted")
+	}
+}
+
+func TestParseRejectsMalformedXML(t *testing.T) {
+	if _, err := Parse("<definition><unclosed></definition>"); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	cases := []struct {
+		ref       string
+		comp, itf string
+		ok        bool
+	}{
+		{"tomcat1.ajp", "tomcat1", "ajp", true},
+		{"a.b.c", "a.b", "c", true}, // last dot wins
+		{"noitf.", "", "", false},
+		{".itf", "", "", false},
+		{"nodot", "", "", false},
+	}
+	for _, c := range cases {
+		comp, itf, err := SplitRef(c.ref)
+		if c.ok && (err != nil || comp != c.comp || itf != c.itf) {
+			t.Errorf("SplitRef(%q) = %q, %q, %v", c.ref, comp, itf, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("SplitRef(%q) accepted", c.ref)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	d, err := Parse(sampleADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := d.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.AllComponents()) != len(d.AllComponents()) {
+		t.Fatal("round trip lost components")
+	}
+	if len(d2.Bindings) != len(d.Bindings) {
+		t.Fatal("round trip lost bindings")
+	}
+	if err := d2.Validate(wrappers); err != nil {
+		t.Fatal(err)
+	}
+}

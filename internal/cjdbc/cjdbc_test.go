@@ -1,0 +1,537 @@
+package cjdbc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"jade/internal/cluster"
+	"jade/internal/config"
+	"jade/internal/legacy"
+	"jade/internal/sim"
+)
+
+// rig is a test cluster: a controller plus helpers to mint MySQL replicas.
+type rig struct {
+	t    *testing.T
+	env  *legacy.Env
+	pool *cluster.Pool
+	ctl  *Controller
+}
+
+func newRig(t *testing.T, nodes int) *rig {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	env := &legacy.Env{Eng: eng, Net: legacy.NewNetwork(), FS: config.NewMemFS()}
+	pool := cluster.NewPool(eng, "node", nodes, cluster.DefaultConfig())
+	cn, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := New(eng, env.Net, cn, "cjdbc", DefaultOptions())
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{t: t, env: env, pool: pool, ctl: ctl}
+}
+
+// mysql creates and starts a MySQL replica on a fresh node.
+func (r *rig) mysql(name string) *legacy.MySQL {
+	r.t.Helper()
+	n, err := r.pool.Allocate()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	m := legacy.NewMySQL(r.env, name, n, legacy.DefaultMySQLOptions())
+	cnf := config.NewMyCnf()
+	cnf.SetInt("mysqld", "port", 3306)
+	if err := r.env.FS.WriteFile(m.ConfPath(), []byte(cnf.Render())); err != nil {
+		r.t.Fatal(err)
+	}
+	var got error = errors.New("pending")
+	m.Start(func(err error) { got = err })
+	r.env.Eng.Run()
+	if got != nil {
+		r.t.Fatal(got)
+	}
+	return m
+}
+
+// join adds a replica and waits for activation.
+func (r *rig) join(name string, m *legacy.MySQL) {
+	r.t.Helper()
+	var got error = errors.New("pending")
+	if err := r.ctl.Join(name, m, func(err error) { got = err }); err != nil {
+		r.t.Fatal(err)
+	}
+	r.env.Eng.Run()
+	if got != nil {
+		r.t.Fatal(got)
+	}
+}
+
+// exec runs one statement through the controller and waits.
+func (r *rig) exec(sql string) error {
+	r.t.Helper()
+	var got error = errors.New("pending")
+	r.ctl.ExecSQL(legacy.Query{SQL: sql, Cost: 0.001}, func(err error) { got = err })
+	r.env.Eng.Run()
+	return got
+}
+
+func (r *rig) mustExec(sql string) {
+	r.t.Helper()
+	if err := r.exec(sql); err != nil {
+		r.t.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+func TestSingleBackendReadWrite(t *testing.T) {
+	r := newRig(t, 3)
+	m1 := r.mysql("mysql1")
+	r.join("b1", m1)
+	if r.ctl.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d", r.ctl.ActiveCount())
+	}
+	r.mustExec("CREATE TABLE t (a INT)")
+	r.mustExec("INSERT INTO t (a) VALUES (1)")
+	r.mustExec("SELECT * FROM t")
+	if m1.DB().RowCount("t") != 1 {
+		t.Fatal("write did not reach backend")
+	}
+	if r.ctl.Log().Len() != 2 {
+		t.Fatalf("recovery log holds %d records, want 2 writes", r.ctl.Log().Len())
+	}
+	if r.ctl.Reads() != 1 || r.ctl.Writes() != 2 {
+		t.Fatalf("reads=%d writes=%d", r.ctl.Reads(), r.ctl.Writes())
+	}
+}
+
+func TestWriteBroadcastFullMirroring(t *testing.T) {
+	r := newRig(t, 4)
+	m1, m2 := r.mysql("mysql1"), r.mysql("mysql2")
+	r.join("b1", m1)
+	r.join("b2", m2)
+	r.mustExec("CREATE TABLE t (a INT)")
+	for i := 0; i < 10; i++ {
+		r.mustExec(fmt.Sprintf("INSERT INTO t (a) VALUES (%d)", i))
+	}
+	if m1.DB().RowCount("t") != 10 || m2.DB().RowCount("t") != 10 {
+		t.Fatalf("rows: %d / %d, want full mirroring", m1.DB().RowCount("t"), m2.DB().RowCount("t"))
+	}
+	rep := r.ctl.CheckConsistency()
+	if !rep.Consistent {
+		t.Fatalf("replicas diverged: %+v", rep)
+	}
+}
+
+func TestReadsBalancedAcrossBackends(t *testing.T) {
+	r := newRig(t, 4)
+	m1, m2 := r.mysql("mysql1"), r.mysql("mysql2")
+	r.join("b1", m1)
+	r.join("b2", m2)
+	r.mustExec("CREATE TABLE t (a INT)")
+	before1, before2 := m1.Served(), m2.Served()
+	for i := 0; i < 20; i++ {
+		r.ctl.ExecSQL(legacy.Query{SQL: "SELECT * FROM t", Cost: 0.002}, func(error) {})
+	}
+	r.env.Eng.Run()
+	got1, got2 := m1.Served()-before1, m2.Served()-before2
+	if got1+got2 != 20 {
+		t.Fatalf("reads lost: %d + %d", got1, got2)
+	}
+	if got1 == 0 || got2 == 0 {
+		t.Fatalf("reads not balanced: %d / %d", got1, got2)
+	}
+}
+
+func TestRecoveryLogSyncFreshReplica(t *testing.T) {
+	// The §4.1 protocol: snapshot an active backend, install on a fresh
+	// replica, replay the delta, activate — then verify full consistency.
+	r := newRig(t, 5)
+	m1 := r.mysql("mysql1")
+	r.join("b1", m1)
+	r.mustExec("CREATE TABLE t (a INT)")
+	for i := 0; i < 5; i++ {
+		r.mustExec(fmt.Sprintf("INSERT INTO t (a) VALUES (%d)", i))
+	}
+
+	snap, idx, err := r.ctl.SnapshotFrom("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 6 {
+		t.Fatalf("snapshot index = %d, want 6", idx)
+	}
+
+	// More writes land after the snapshot — the delta the log must replay.
+	for i := 5; i < 12; i++ {
+		r.mustExec(fmt.Sprintf("INSERT INTO t (a) VALUES (%d)", i))
+	}
+
+	m2 := r.mysql("mysql2")
+	var stopErr error
+	m2.Stop(func(err error) { stopErr = err })
+	r.env.Eng.Run()
+	if stopErr != nil {
+		t.Fatal(stopErr)
+	}
+	if err := m2.LoadSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	var startErr error = errors.New("pending")
+	m2.Start(func(err error) { startErr = err })
+	r.env.Eng.Run()
+	if startErr != nil {
+		t.Fatal(startErr)
+	}
+
+	var syncErr error = errors.New("pending")
+	if err := r.ctl.JoinAt("b2", m2, idx, func(err error) { syncErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	r.env.Eng.Run()
+	if syncErr != nil {
+		t.Fatal(syncErr)
+	}
+	if m2.DB().RowCount("t") != 12 {
+		t.Fatalf("synced replica has %d rows, want 12", m2.DB().RowCount("t"))
+	}
+	rep := r.ctl.CheckConsistency()
+	if !rep.Consistent || len(rep.Fingerprints) != 2 {
+		t.Fatalf("post-sync consistency: %+v", rep)
+	}
+}
+
+func TestWritesDuringSyncAreNotLost(t *testing.T) {
+	r := newRig(t, 5)
+	m1 := r.mysql("mysql1")
+	r.join("b1", m1)
+	r.mustExec("CREATE TABLE t (a INT)")
+	// Build a long-ish log so the sync takes simulated time.
+	for i := 0; i < 50; i++ {
+		r.mustExec(fmt.Sprintf("INSERT INTO t (a) VALUES (%d)", i))
+	}
+
+	m2 := r.mysql("mysql2")
+	synced := false
+	if err := r.ctl.JoinAt("b2", m2, 0, func(err error) {
+		if err != nil {
+			t.Errorf("sync failed: %v", err)
+		}
+		synced = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave new writes while b2 is replaying.
+	for i := 50; i < 60; i++ {
+		sql := fmt.Sprintf("INSERT INTO t (a) VALUES (%d)", i)
+		r.ctl.ExecSQL(legacy.Query{SQL: sql, Cost: 0.001}, func(err error) {
+			if err != nil {
+				t.Errorf("write during sync: %v", err)
+			}
+		})
+	}
+	r.env.Eng.Run()
+	if !synced {
+		t.Fatal("backend never activated")
+	}
+	if m2.DB().RowCount("t") != 60 {
+		t.Fatalf("synced replica has %d rows, want 60", m2.DB().RowCount("t"))
+	}
+	if !r.ctl.CheckConsistency().Consistent {
+		t.Fatal("replicas diverged after sync with concurrent writes")
+	}
+}
+
+func TestLeaveRecordsCheckpointAndRejoinReplaysDelta(t *testing.T) {
+	r := newRig(t, 5)
+	m1, m2 := r.mysql("mysql1"), r.mysql("mysql2")
+	r.join("b1", m1)
+	r.join("b2", m2)
+	r.mustExec("CREATE TABLE t (a INT)")
+	r.mustExec("INSERT INTO t (a) VALUES (1)")
+
+	var checkpoint int64 = -1
+	if err := r.ctl.Leave("b2", func(idx int64) { checkpoint = idx }); err != nil {
+		t.Fatal(err)
+	}
+	r.env.Eng.Run()
+	if checkpoint != 2 {
+		t.Fatalf("checkpoint = %d, want 2", checkpoint)
+	}
+	if got, ok := r.ctl.Log().Checkpoint("b2"); !ok || got != 2 {
+		t.Fatalf("log checkpoint = %d, %v", got, ok)
+	}
+	if r.ctl.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d after leave", r.ctl.ActiveCount())
+	}
+
+	// Writes while b2 is out.
+	for i := 2; i < 8; i++ {
+		r.mustExec(fmt.Sprintf("INSERT INTO t (a) VALUES (%d)", i))
+	}
+	if m2.DB().RowCount("t") != 1 {
+		t.Fatalf("disabled backend applied writes: %d rows", m2.DB().RowCount("t"))
+	}
+
+	// Rejoin by name: Join resumes from the recorded checkpoint.
+	r.join("b2", m2)
+	if m2.DB().RowCount("t") != 7 {
+		t.Fatalf("rejoined replica has %d rows, want 7", m2.DB().RowCount("t"))
+	}
+	if !r.ctl.CheckConsistency().Consistent {
+		t.Fatal("replicas diverged after rejoin")
+	}
+	if _, ok := r.ctl.Log().Checkpoint("b2"); ok {
+		t.Fatal("checkpoint not dropped after rejoin")
+	}
+}
+
+func TestLeaveWhileWriteInFlightStillAcks(t *testing.T) {
+	r := newRig(t, 4)
+	m1, m2 := r.mysql("mysql1"), r.mysql("mysql2")
+	r.join("b1", m1)
+	r.join("b2", m2)
+	r.mustExec("CREATE TABLE t (a INT)")
+
+	// Issue a slow write, let it get logged and start applying on both
+	// backends, then disable b2 mid-apply; the write must still complete
+	// and b2 must still apply it before checkpointing.
+	var writeErr error = errors.New("pending")
+	r.ctl.ExecSQL(legacy.Query{SQL: "INSERT INTO t (a) VALUES (1)", Cost: 0.5},
+		func(err error) { writeErr = err })
+	r.env.Eng.RunUntil(r.env.Eng.Now() + 0.01) // past the proxy hop, mid-apply
+	var checkpoint int64 = -1
+	if err := r.ctl.Leave("b2", func(idx int64) { checkpoint = idx }); err != nil {
+		t.Fatal(err)
+	}
+	r.env.Eng.Run()
+	if writeErr != nil {
+		t.Fatal(writeErr)
+	}
+	if checkpoint != 2 {
+		t.Fatalf("checkpoint = %d, want 2 (both writes applied)", checkpoint)
+	}
+	if m2.DB().RowCount("t") != 1 {
+		t.Fatalf("draining backend missed the in-flight write: %d rows", m2.DB().RowCount("t"))
+	}
+}
+
+func TestBackendNodeCrashDropsBackendButServiceContinues(t *testing.T) {
+	r := newRig(t, 4)
+	m1, m2 := r.mysql("mysql1"), r.mysql("mysql2")
+	r.join("b1", m1)
+	r.join("b2", m2)
+	r.mustExec("CREATE TABLE t (a INT)")
+
+	m2.Node().Fail()
+	// Writes survive: b2 is marked dead on its first failed apply.
+	if err := r.exec("INSERT INTO t (a) VALUES (1)"); err != nil {
+		t.Fatalf("write after backend crash: %v", err)
+	}
+	if r.ctl.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d, want 1 after crash", r.ctl.ActiveCount())
+	}
+	// Reads retry onto the survivor.
+	if err := r.exec("SELECT * FROM t"); err != nil {
+		t.Fatalf("read after backend crash: %v", err)
+	}
+	if m1.DB().RowCount("t") != 1 {
+		t.Fatal("surviving backend missed the write")
+	}
+}
+
+func TestAllBackendsGoneFailsRequests(t *testing.T) {
+	r := newRig(t, 3)
+	m1 := r.mysql("mysql1")
+	r.join("b1", m1)
+	r.mustExec("CREATE TABLE t (a INT)")
+	m1.Node().Fail()
+	if err := r.exec("SELECT * FROM t"); !errors.Is(err, ErrNoBackend) {
+		// The read first tries b1, fails, marks it dead, retries, finds none.
+		if err == nil {
+			t.Fatal("read with no backends succeeded")
+		}
+	}
+	if err := r.exec("INSERT INTO t (a) VALUES (1)"); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("write with no backends: %v", err)
+	}
+	if r.ctl.Failures() == 0 {
+		t.Fatal("failures counter not incremented")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	r := newRig(t, 4)
+	m1 := r.mysql("mysql1")
+	r.join("b1", m1)
+	// Duplicate name.
+	if err := r.ctl.Join("b1", m1, nil); !errors.Is(err, ErrBackendExists) {
+		t.Fatalf("duplicate join: %v", err)
+	}
+	// Stopped server.
+	m2 := r.mysql("mysql2")
+	var stopErr error
+	m2.Stop(func(err error) { stopErr = err })
+	r.env.Eng.Run()
+	if stopErr != nil {
+		t.Fatal(stopErr)
+	}
+	if err := r.ctl.Join("b2", m2, nil); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("join stopped server: %v", err)
+	}
+	// Bad index.
+	var restart error = errors.New("pending")
+	m2.Start(func(err error) { restart = err })
+	r.env.Eng.Run()
+	if restart != nil {
+		t.Fatal(restart)
+	}
+	if err := r.ctl.JoinAt("b2", m2, 99, nil); err == nil {
+		t.Fatal("join beyond log length accepted")
+	}
+	if err := r.ctl.JoinAt("b2", m2, -1, nil); err == nil {
+		t.Fatal("negative join index accepted")
+	}
+}
+
+func TestLeaveValidation(t *testing.T) {
+	r := newRig(t, 3)
+	m1 := r.mysql("mysql1")
+	r.join("b1", m1)
+	if err := r.ctl.Leave("ghost", nil); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("leave unknown: %v", err)
+	}
+	if err := r.ctl.Leave("b1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctl.Leave("b1", nil); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("double leave: %v", err)
+	}
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	r := newRig(t, 3)
+	if err := r.ctl.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	r.ctl.Stop()
+	if r.ctl.Running() {
+		t.Fatal("still running after stop")
+	}
+	var got error
+	r.ctl.ExecSQL(legacy.Query{SQL: "SELECT 1 FROM t"}, func(err error) { got = err })
+	r.env.Eng.Run()
+	if !errors.Is(got, ErrNotRunning) {
+		t.Fatalf("request to stopped controller: %v", got)
+	}
+	r.ctl.Stop() // idempotent
+	if err := r.ctl.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+}
+
+func TestBackendsStatusReport(t *testing.T) {
+	r := newRig(t, 4)
+	m1, m2 := r.mysql("mysql1"), r.mysql("mysql2")
+	r.join("b1", m1)
+	r.join("b2", m2)
+	infos := r.ctl.Backends()
+	if len(infos) != 2 || infos[0].Name != "b1" || infos[1].Name != "b2" {
+		t.Fatalf("Backends() = %+v", infos)
+	}
+	for _, bi := range infos {
+		if bi.State != Active {
+			t.Fatalf("backend %s state = %v", bi.Name, bi.State)
+		}
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	r := newRig(t, 3)
+	if _, _, err := r.ctl.SnapshotFrom("ghost"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("snapshot unknown: %v", err)
+	}
+	if _, _, err := r.ctl.AnyActiveSnapshot(); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("snapshot with no backends: %v", err)
+	}
+	m1 := r.mysql("mysql1")
+	r.join("b1", m1)
+	if _, idx, err := r.ctl.AnyActiveSnapshot(); err != nil || idx != 0 {
+		t.Fatalf("AnyActiveSnapshot = %d, %v", idx, err)
+	}
+}
+
+func TestRoundRobinReadPolicy(t *testing.T) {
+	eng := sim.NewEngine(9)
+	env := &legacy.Env{Eng: eng, Net: legacy.NewNetwork(), FS: config.NewMemFS()}
+	pool := cluster.NewPool(eng, "node", 4, cluster.DefaultConfig())
+	cn, _ := pool.Allocate()
+	opts := DefaultOptions()
+	opts.ReadPolicy = RoundRobinReads
+	ctl := New(eng, env.Net, cn, "cjdbc", opts)
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{t: t, env: env, pool: pool, ctl: ctl}
+	m1, m2 := r.mysql("mysql1"), r.mysql("mysql2")
+	r.join("b1", m1)
+	r.join("b2", m2)
+	r.mustExec("CREATE TABLE t (a INT)")
+	b1, b2 := m1.Served(), m2.Served()
+	for i := 0; i < 10; i++ {
+		ctl.ExecSQL(legacy.Query{SQL: "SELECT * FROM t", Cost: 0.001}, func(error) {})
+	}
+	eng.Run()
+	if m1.Served()-b1 != 5 || m2.Served()-b2 != 5 {
+		t.Fatalf("round robin split = %d/%d", m1.Served()-b1, m2.Served()-b2)
+	}
+}
+
+func TestRecoveryLogAccessors(t *testing.T) {
+	l := NewRecoveryLog()
+	if l.Len() != 0 || len(l.From(0)) != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	if _, ok := l.At(0); ok {
+		t.Fatal("At(0) on empty log")
+	}
+	idx := l.Append(legacy.Query{SQL: "INSERT INTO t (a) VALUES (1)"})
+	if idx != 0 || l.Len() != 1 {
+		t.Fatalf("first append: idx=%d len=%d", idx, l.Len())
+	}
+	l.Append(legacy.Query{SQL: "INSERT INTO t (a) VALUES (2)"})
+	if got := l.From(1); len(got) != 1 || got[0].Index != 1 {
+		t.Fatalf("From(1) = %+v", got)
+	}
+	if got := l.From(-5); len(got) != 2 {
+		t.Fatalf("From(-5) = %d records", len(got))
+	}
+	if got := l.From(99); got != nil {
+		t.Fatalf("From(99) = %+v", got)
+	}
+	l.SetCheckpoint("b", 1)
+	if idx, ok := l.Checkpoint("b"); !ok || idx != 1 {
+		t.Fatalf("checkpoint = %d, %v", idx, ok)
+	}
+	l.DropCheckpoint("b")
+	if _, ok := l.Checkpoint("b"); ok {
+		t.Fatal("checkpoint survived drop")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[BackendState]string{
+		Syncing: "SYNCING", Active: "ACTIVE", Disabled: "DISABLED",
+		Dead: "DEAD", BackendState(9): "?",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if LeastPendingReads.String() != "least-pending" || RoundRobinReads.String() != "round-robin" ||
+		ReadPolicy(9).String() != "?" {
+		t.Error("ReadPolicy strings wrong")
+	}
+}

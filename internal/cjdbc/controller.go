@@ -1,0 +1,602 @@
+package cjdbc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jade/internal/cluster"
+	"jade/internal/legacy"
+	"jade/internal/sim"
+	"jade/internal/sqlengine"
+)
+
+// Errors returned by the controller.
+var (
+	ErrNoBackend      = errors.New("cjdbc: no active backend")
+	ErrBackendExists  = errors.New("cjdbc: backend already registered")
+	ErrUnknownBackend = errors.New("cjdbc: unknown backend")
+	ErrNotActive      = errors.New("cjdbc: backend not active")
+	ErrNotRunning     = errors.New("cjdbc: controller not running")
+	ErrBackendDown    = errors.New("cjdbc: backend server not running")
+)
+
+// BackendState is a backend's role in the virtual database.
+type BackendState int
+
+// Backend states.
+const (
+	// Syncing: replaying the recovery log before activation.
+	Syncing BackendState = iota
+	// Active: serving reads and applying broadcast writes.
+	Active
+	// Disabled: cleanly removed; its checkpoint is in the recovery log.
+	Disabled
+	// Dead: dropped after an execution failure (e.g. node crash).
+	Dead
+)
+
+func (s BackendState) String() string {
+	switch s {
+	case Syncing:
+		return "SYNCING"
+	case Active:
+		return "ACTIVE"
+	case Disabled:
+		return "DISABLED"
+	case Dead:
+		return "DEAD"
+	}
+	return "?"
+}
+
+// backend tracks one MySQL replica inside the controller.
+type backend struct {
+	name  string
+	srv   *legacy.MySQL
+	state BackendState
+	// applied is the next log index this backend needs: every record
+	// with Index < applied has been executed on it.
+	applied int64
+	// stopAt bounds the pump for a backend leaving cleanly: it still
+	// applies every record below stopAt (writes it owes acks for), then
+	// checkpoints and disables.
+	stopAt int64 // -1 when unbounded
+	busy   bool
+	reads  int
+	// onSynced fires when a Syncing backend catches up.
+	onSynced func(error)
+	// onLeft fires when a Disabled-pending backend finishes draining.
+	onLeft func(int64)
+}
+
+// writeWait tracks one broadcast write's outstanding acknowledgements.
+type writeWait struct {
+	waitingOn map[string]bool
+	successes int
+	done      func(error)
+	firstErr  error
+}
+
+// Options tunes the controller.
+type Options struct {
+	// Port is the controller's listening port (C-JDBC's default 25322).
+	Port int
+	// ProxyCost is CPU-seconds on the controller node per request.
+	ProxyCost float64
+	// MemoryMB is the controller JVM footprint, held while running.
+	MemoryMB float64
+	// ReadPolicy selects the read balancing policy.
+	ReadPolicy ReadPolicy
+}
+
+// ReadPolicy selects how reads are spread over active backends.
+type ReadPolicy int
+
+// Read policies.
+const (
+	LeastPendingReads ReadPolicy = iota
+	RoundRobinReads
+)
+
+func (p ReadPolicy) String() string {
+	switch p {
+	case LeastPendingReads:
+		return "least-pending"
+	case RoundRobinReads:
+		return "round-robin"
+	}
+	return "?"
+}
+
+// DefaultOptions mirrors C-JDBC 2.0.2 with RAIDb-1 (full mirroring).
+func DefaultOptions() Options {
+	return Options{Port: 25322, ProxyCost: 0.0005, ReadPolicy: LeastPendingReads, MemoryMB: 150}
+}
+
+// Controller is the C-JDBC virtual database controller.
+type Controller struct {
+	eng     *sim.Engine
+	net     *legacy.Network
+	node    *cluster.Node
+	name    string
+	opts    Options
+	addr    string
+	running bool
+
+	log      *RecoveryLog
+	backends []*backend
+	rrNext   int
+	waiters  map[int64]*writeWait
+
+	reads    uint64
+	writes   uint64
+	failures uint64
+}
+
+// New creates a stopped controller on node.
+func New(eng *sim.Engine, net *legacy.Network, node *cluster.Node, name string, opts Options) *Controller {
+	return &Controller{
+		eng:     eng,
+		net:     net,
+		node:    node,
+		name:    name,
+		opts:    opts,
+		log:     NewRecoveryLog(),
+		waiters: make(map[int64]*writeWait),
+	}
+}
+
+// Name returns the controller's name.
+func (c *Controller) Name() string { return c.name }
+
+// Node returns the controller's node.
+func (c *Controller) Node() *cluster.Node { return c.node }
+
+// Addr returns the registered address while running.
+func (c *Controller) Addr() string { return c.addr }
+
+// Running reports whether the controller is serving.
+func (c *Controller) Running() bool { return c.running }
+
+// Log exposes the recovery log (read-mostly; the experiment harness and
+// the ablation benches inspect it).
+func (c *Controller) Log() *RecoveryLog { return c.log }
+
+// Reads returns the number of read requests served.
+func (c *Controller) Reads() uint64 { return c.reads }
+
+// Writes returns the number of write requests accepted.
+func (c *Controller) Writes() uint64 { return c.writes }
+
+// Failures returns the number of requests that ultimately failed.
+func (c *Controller) Failures() uint64 { return c.failures }
+
+// Start registers the controller's listener.
+func (c *Controller) Start() error {
+	if c.running {
+		return fmt.Errorf("cjdbc %s: already running", c.name)
+	}
+	if err := c.node.AllocMemory(c.opts.MemoryMB); err != nil {
+		return err
+	}
+	addr := fmt.Sprintf("%s:%d", c.node.Name(), c.opts.Port)
+	if err := c.net.Register(addr, c); err != nil {
+		c.node.FreeMemory(c.opts.MemoryMB)
+		return err
+	}
+	c.addr = addr
+	c.running = true
+	return nil
+}
+
+// Stop unregisters the listener.
+func (c *Controller) Stop() {
+	if !c.running {
+		return
+	}
+	c.net.Unregister(c.addr)
+	c.addr = ""
+	c.running = false
+	c.node.FreeMemory(c.opts.MemoryMB)
+}
+
+func (c *Controller) lookup(name string) *backend {
+	for _, b := range c.backends {
+		if b.name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Join registers a MySQL replica under name and synchronizes it. A
+// backend with a recorded checkpoint resumes replay from it; a brand-new
+// backend replays from index 0 and must have been loaded with the virtual
+// database's initial snapshot beforehand (see SnapshotFrom / the Software
+// Installation Service in the core package). done fires when the backend
+// becomes Active.
+func (c *Controller) Join(name string, srv *legacy.MySQL, done func(error)) error {
+	start, ok := c.log.Checkpoint(name)
+	if !ok {
+		start = 0
+	}
+	return c.JoinAt(name, srv, start, done)
+}
+
+// JoinAt registers a replica whose state corresponds to the given recovery
+// log index (it has executed every write below startIndex).
+func (c *Controller) JoinAt(name string, srv *legacy.MySQL, startIndex int64, done func(error)) error {
+	// A backend still registered is either serving (Active/Syncing) or
+	// draining towards its checkpoint (Disabled but not yet dropped);
+	// both refuse a concurrent rejoin — only a Dead entry is replaced.
+	// A cleanly removed backend is no longer registered and rejoins via
+	// its recovery-log checkpoint.
+	if b := c.lookup(name); b != nil && b.state != Dead {
+		return fmt.Errorf("%w: %s", ErrBackendExists, name)
+	}
+	if srv.State() != legacy.Running {
+		return fmt.Errorf("%w: %s is %s", ErrBackendDown, name, srv.State())
+	}
+	if startIndex < 0 || startIndex > c.log.Len() {
+		return fmt.Errorf("cjdbc: join index %d outside log [0,%d]", startIndex, c.log.Len())
+	}
+	// Re-registration replaces a Dead/Disabled entry.
+	if old := c.lookup(name); old != nil {
+		c.drop(old)
+	}
+	b := &backend{name: name, srv: srv, state: Syncing, applied: startIndex, stopAt: -1, onSynced: done}
+	c.backends = append(c.backends, b)
+	c.log.DropCheckpoint(name)
+	c.pump(b)
+	return nil
+}
+
+func (c *Controller) drop(b *backend) {
+	for i, x := range c.backends {
+		if x == b {
+			c.backends = append(c.backends[:i], c.backends[i+1:]...)
+			return
+		}
+	}
+}
+
+// Leave cleanly disables an Active backend. It finishes applying every
+// write already logged, then records its checkpoint index in the recovery
+// log and stops. done (optional) receives the checkpoint index.
+func (c *Controller) Leave(name string, done func(checkpoint int64)) error {
+	b := c.lookup(name)
+	if b == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownBackend, name)
+	}
+	if b.state != Active {
+		return fmt.Errorf("%w: %s is %s", ErrNotActive, name, b.state)
+	}
+	b.stopAt = c.log.Len()
+	b.onLeft = done
+	if b.applied >= b.stopAt && !b.busy {
+		c.finishLeave(b)
+		return nil
+	}
+	// Mark as draining: no longer eligible for reads, still acking writes.
+	b.state = Disabled
+	return nil
+}
+
+func (c *Controller) finishLeave(b *backend) {
+	b.state = Disabled
+	c.log.SetCheckpoint(b.name, b.applied)
+	c.drop(b)
+	if b.onLeft != nil {
+		b.onLeft(b.applied)
+		b.onLeft = nil
+	}
+}
+
+// MarkFailed drops a backend administratively (e.g. the self-recovery
+// manager detected its node crashed before any query touched it). The
+// backend's outstanding write acknowledgements fail over to the
+// survivors.
+func (c *Controller) MarkFailed(name string, cause error) error {
+	b := c.lookup(name)
+	if b == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownBackend, name)
+	}
+	if cause == nil {
+		cause = ErrBackendDown
+	}
+	c.markDead(b, cause)
+	return nil
+}
+
+// markDead drops a backend after an execution failure and fails its
+// outstanding write acknowledgements.
+func (c *Controller) markDead(b *backend, cause error) {
+	if b.state == Dead {
+		return
+	}
+	b.state = Dead
+	c.drop(b)
+	for idx, w := range c.waiters {
+		if w.waitingOn[b.name] {
+			delete(w.waitingOn, b.name)
+			if w.firstErr == nil {
+				w.firstErr = cause
+			}
+			c.maybeFinishWrite(idx, w)
+		}
+	}
+	if b.onSynced != nil {
+		b.onSynced(fmt.Errorf("cjdbc: backend %s died during sync: %w", b.name, cause))
+		b.onSynced = nil
+	}
+	if b.onLeft != nil {
+		// A draining backend that dies still yields its last index.
+		c.log.SetCheckpoint(b.name, b.applied)
+		b.onLeft(b.applied)
+		b.onLeft = nil
+	}
+}
+
+// pump drives a backend's apply loop: execute the next owed log record,
+// then reconsider state transitions.
+func (c *Controller) pump(b *backend) {
+	if b.busy || b.state == Dead {
+		return
+	}
+	limit := c.log.Len()
+	if b.stopAt >= 0 && b.stopAt < limit {
+		limit = b.stopAt
+	}
+	if b.applied >= limit {
+		// Caught up.
+		switch {
+		case b.state == Syncing:
+			b.state = Active
+			if b.onSynced != nil {
+				fn := b.onSynced
+				b.onSynced = nil
+				fn(nil)
+			}
+		case b.stopAt >= 0 && b.applied >= b.stopAt:
+			c.finishLeave(b)
+		}
+		return
+	}
+	rec, ok := c.log.At(b.applied)
+	if !ok {
+		return
+	}
+	b.busy = true
+	b.srv.ExecSQL(rec.Query, func(err error) {
+		b.busy = false
+		if err != nil {
+			c.markDead(b, err)
+			return
+		}
+		b.applied = rec.Index + 1
+		c.ack(rec.Index, b)
+		c.pump(b)
+	})
+}
+
+// ack records that a backend applied the write at idx.
+func (c *Controller) ack(idx int64, b *backend) {
+	w, ok := c.waiters[idx]
+	if !ok || !w.waitingOn[b.name] {
+		return
+	}
+	delete(w.waitingOn, b.name)
+	w.successes++
+	c.maybeFinishWrite(idx, w)
+}
+
+func (c *Controller) maybeFinishWrite(idx int64, w *writeWait) {
+	if len(w.waitingOn) > 0 {
+		return
+	}
+	delete(c.waiters, idx)
+	if w.successes == 0 {
+		c.failures++
+		err := w.firstErr
+		if err == nil {
+			err = ErrNoBackend
+		}
+		w.done(fmt.Errorf("cjdbc %s: write lost on all backends: %w", c.name, err))
+		return
+	}
+	w.done(nil)
+}
+
+// activeBackends returns backends eligible for reads.
+func (c *Controller) activeBackends() []*backend {
+	var out []*backend
+	for _, b := range c.backends {
+		if b.state == Active {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// pickReader selects an active backend per the read policy.
+func (c *Controller) pickReader() *backend {
+	actives := c.activeBackends()
+	if len(actives) == 0 {
+		return nil
+	}
+	switch c.opts.ReadPolicy {
+	case RoundRobinReads:
+		b := actives[c.rrNext%len(actives)]
+		c.rrNext++
+		return b
+	default:
+		best := actives[0]
+		for _, b := range actives[1:] {
+			if b.reads < best.reads {
+				best = b
+			}
+		}
+		return best
+	}
+}
+
+// ExecSQL implements the virtual database: writes are logged and
+// broadcast to every backend currently applying the log; reads go to one
+// active backend chosen by policy, with one retry on backend failure.
+func (c *Controller) ExecSQL(q legacy.Query, done func(error)) {
+	if !c.running {
+		c.failures++
+		done(fmt.Errorf("%w: %s", ErrNotRunning, c.name))
+		return
+	}
+	c.node.Submit(c.opts.ProxyCost, func() {
+		if sqlengine.IsWrite(q.SQL) {
+			c.execWrite(q, done)
+		} else {
+			c.execRead(q, done, len(c.backends)+1)
+		}
+	}, func() {
+		c.failures++
+		done(fmt.Errorf("cjdbc %s: controller node failed", c.name))
+	})
+}
+
+func (c *Controller) execWrite(q legacy.Query, done func(error)) {
+	// The ack set is every backend that will apply this record: actives
+	// (client completion waits on them) — syncing and draining backends
+	// apply it through their own pumps without gating the client.
+	actives := c.activeBackends()
+	if len(actives) == 0 {
+		c.failures++
+		done(fmt.Errorf("%w: cannot write through %s", ErrNoBackend, c.name))
+		return
+	}
+	idx := c.log.Append(q)
+	c.writes++
+	w := &writeWait{waitingOn: make(map[string]bool, len(actives)), done: done}
+	for _, b := range actives {
+		w.waitingOn[b.name] = true
+	}
+	c.waiters[idx] = w
+	// Wake every backend that may now have work (actives and syncers).
+	for _, b := range c.backends {
+		c.pump(b)
+	}
+}
+
+func (c *Controller) execRead(q legacy.Query, done func(error), attempts int) {
+	b := c.pickReader()
+	if b == nil {
+		c.failures++
+		done(fmt.Errorf("%w: cannot read through %s", ErrNoBackend, c.name))
+		return
+	}
+	b.reads++
+	b.srv.ExecSQL(q, func(err error) {
+		b.reads--
+		if err != nil {
+			c.markDead(b, err)
+			if attempts > 1 {
+				c.execRead(q, done, attempts-1)
+				return
+			}
+			c.failures++
+			done(fmt.Errorf("cjdbc %s: read failed: %w", c.name, err))
+			return
+		}
+		c.reads++
+		done(nil)
+	})
+}
+
+// BackendInfo is a snapshot of one backend's status.
+type BackendInfo struct {
+	Name    string
+	State   BackendState
+	Applied int64
+	Node    string
+}
+
+// Backends returns status for all registered backends, sorted by name.
+func (c *Controller) Backends() []BackendInfo {
+	out := make([]BackendInfo, 0, len(c.backends))
+	for _, b := range c.backends {
+		out = append(out, BackendInfo{
+			Name:    b.name,
+			State:   b.state,
+			Applied: b.applied,
+			Node:    b.srv.Node().Name(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ActiveCount returns the number of Active backends.
+func (c *Controller) ActiveCount() int { return len(c.activeBackends()) }
+
+// SnapshotFrom copies the database state of an Active backend together
+// with the recovery-log index it corresponds to. Installing this snapshot
+// on a fresh replica and calling JoinAt with the returned index brings it
+// into the cluster consistently.
+func (c *Controller) SnapshotFrom(name string) (*sqlengine.Engine, int64, error) {
+	b := c.lookup(name)
+	if b == nil {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownBackend, name)
+	}
+	if b.state != Active {
+		return nil, 0, fmt.Errorf("%w: %s is %s", ErrNotActive, name, b.state)
+	}
+	return b.srv.DB().Snapshot(), b.applied, nil
+}
+
+// AnyActiveSnapshot snapshots an arbitrary active backend (the lowest
+// name, for determinism).
+func (c *Controller) AnyActiveSnapshot() (*sqlengine.Engine, int64, error) {
+	actives := c.activeBackends()
+	if len(actives) == 0 {
+		return nil, 0, ErrNoBackend
+	}
+	best := actives[0]
+	for _, b := range actives[1:] {
+		if b.name < best.name {
+			best = b
+		}
+	}
+	return c.SnapshotFrom(best.name)
+}
+
+// ConsistencyReport compares the fingerprints of all active backends.
+// Backends at different applied indices are reported individually; the
+// report is Consistent when every active backend at the max applied index
+// has the same fingerprint.
+type ConsistencyReport struct {
+	Consistent   bool
+	Fingerprints map[string]uint64
+	Applied      map[string]int64
+}
+
+// CheckConsistency fingerprints every active backend. It is meaningful
+// when the simulation is quiescent (no in-flight writes).
+func (c *Controller) CheckConsistency() ConsistencyReport {
+	rep := ConsistencyReport{
+		Consistent:   true,
+		Fingerprints: map[string]uint64{},
+		Applied:      map[string]int64{},
+	}
+	var first uint64
+	seen := false
+	for _, b := range c.activeBackends() {
+		fp := b.srv.DB().Fingerprint()
+		rep.Fingerprints[b.name] = fp
+		rep.Applied[b.name] = b.applied
+		if !seen {
+			first = fp
+			seen = true
+		} else if fp != first {
+			rep.Consistent = false
+		}
+	}
+	return rep
+}

@@ -1,0 +1,356 @@
+// Package cluster simulates the hardware environment of the paper's
+// evaluation: a pool of x86 nodes connected by a LAN. Each node has a CPU
+// modeled as a processor-sharing server (all active jobs progress at
+// capacity/n), a memory budget, an optional thrashing regime that degrades
+// efficiency under extreme concurrency (reproducing the database
+// "thrashing" the paper observes without Jade), and failure injection used
+// by the self-recovery manager experiments.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"jade/internal/metrics"
+	"jade/internal/sim"
+)
+
+// Errors returned by the package.
+var (
+	ErrNodeFailed    = errors.New("cluster: node has failed")
+	ErrPoolExhausted = errors.New("cluster: no free node in the pool")
+	ErrNotAllocated  = errors.New("cluster: node not allocated from this pool")
+	ErrOutOfMemory   = errors.New("cluster: node out of memory")
+)
+
+// Job is a unit of CPU work executing on a node under processor sharing.
+type Job struct {
+	node      *Node
+	seq       uint64  // submission order, for deterministic FIFO tie-breaks
+	remaining float64 // CPU-seconds of service still owed
+	done      func()
+	failed    func()
+	canceled  bool
+}
+
+// Config describes a node's resources.
+type Config struct {
+	// CPUCapacity is the node's processing rate in CPU-seconds per
+	// second (1.0 = one core at reference speed).
+	CPUCapacity float64
+	// MemoryMB is the node's physical memory.
+	MemoryMB float64
+	// ThrashThreshold is the number of concurrent jobs beyond which the
+	// node enters a thrashing regime. Zero disables thrashing.
+	ThrashThreshold int
+	// ThrashFactor controls how quickly efficiency degrades past the
+	// threshold: effective capacity = CPUCapacity / (1 + f·(n-threshold)).
+	ThrashFactor float64
+}
+
+// DefaultConfig matches the reference node used across experiments.
+func DefaultConfig() Config {
+	return Config{CPUCapacity: 1.0, MemoryMB: 1024}
+}
+
+// Node is one simulated cluster machine.
+type Node struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+
+	jobs       map[*Job]struct{}
+	lastUpdate float64
+	completion *sim.Event
+
+	memUsed float64
+	util    metrics.UtilizationMeter
+	failed  bool
+
+	// onFail callbacks fire once when the node fails (failure detectors
+	// subscribe here).
+	onFail []func(*Node)
+
+	// bookkeeping
+	jobsStarted   uint64
+	jobsCompleted uint64
+	jobsAborted   uint64
+}
+
+// NewNode creates a node attached to the engine.
+func NewNode(eng *sim.Engine, name string, cfg Config) *Node {
+	if cfg.CPUCapacity <= 0 {
+		panic(fmt.Sprintf("cluster: node %q with non-positive CPU capacity", name))
+	}
+	if cfg.MemoryMB <= 0 {
+		panic(fmt.Sprintf("cluster: node %q with non-positive memory", name))
+	}
+	return &Node{
+		eng:  eng,
+		name: name,
+		cfg:  cfg,
+		jobs: make(map[*Job]struct{}),
+	}
+}
+
+// Name returns the node's hostname.
+func (n *Node) Name() string { return n.name }
+
+// Config returns the node's resource configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Failed reports whether the node has crashed.
+func (n *Node) Failed() bool { return n.failed }
+
+// ActiveJobs returns the number of jobs currently sharing the CPU.
+func (n *Node) ActiveJobs() int { return len(n.jobs) }
+
+// JobsCompleted returns the number of jobs that ran to completion.
+func (n *Node) JobsCompleted() uint64 { return n.jobsCompleted }
+
+// effectiveCapacity returns the current service rate, accounting for the
+// thrashing regime.
+func (n *Node) effectiveCapacity() float64 {
+	c := n.cfg.CPUCapacity
+	if n.cfg.ThrashThreshold > 0 && len(n.jobs) > n.cfg.ThrashThreshold {
+		over := float64(len(n.jobs) - n.cfg.ThrashThreshold)
+		c = c / (1 + n.cfg.ThrashFactor*over)
+	}
+	return c
+}
+
+// advance applies elapsed processor-sharing progress to all active jobs.
+func (n *Node) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastUpdate
+	if dt > 0 && len(n.jobs) > 0 {
+		rate := n.effectiveCapacity() / float64(len(n.jobs))
+		for j := range n.jobs {
+			j.remaining -= dt * rate
+		}
+	}
+	n.lastUpdate = now
+}
+
+// reschedule computes the next completion instant and (re)schedules it.
+func (n *Node) reschedule() {
+	if n.completion != nil {
+		n.eng.Cancel(n.completion)
+		n.completion = nil
+	}
+	if len(n.jobs) == 0 || n.failed {
+		n.util.SetBusy(n.eng.Now(), 0)
+		return
+	}
+	n.util.SetBusy(n.eng.Now(), 1)
+	minRem := math.Inf(1)
+	for j := range n.jobs {
+		if j.remaining < minRem {
+			minRem = j.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	dt := minRem * float64(len(n.jobs)) / n.effectiveCapacity()
+	n.completion = n.eng.After(dt, "node:"+n.name+":complete", n.onCompletion)
+}
+
+func (n *Node) onCompletion() {
+	n.completion = nil
+	n.advance()
+	const eps = 1e-9
+	var finished []*Job
+	for j := range n.jobs {
+		if j.remaining <= eps {
+			finished = append(finished, j)
+		}
+	}
+	// Deterministic completion order: jobs finishing in the same event
+	// complete in submission (FIFO) order. Without the seq tie-break the
+	// order of equal-remaining jobs would be map-iteration order —
+	// non-deterministic, and able to reorder a request pipeline (e.g.
+	// writes traversing a balancer's proxy node).
+	sort.Slice(finished, func(i, k int) bool {
+		if finished[i].remaining != finished[k].remaining {
+			return finished[i].remaining < finished[k].remaining
+		}
+		return finished[i].seq < finished[k].seq
+	})
+	for _, j := range finished {
+		delete(n.jobs, j)
+	}
+	n.reschedule()
+	for _, j := range finished {
+		n.jobsCompleted++
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// Submit adds a CPU job of the given service demand (CPU-seconds). done
+// runs when the job completes; failed (optional) runs if the node crashes
+// or the job is canceled before completion. Submitting to a failed node
+// invokes failed immediately and returns nil.
+func (n *Node) Submit(service float64, done func(), failedFn func()) *Job {
+	if service < 0 {
+		panic(fmt.Sprintf("cluster: negative service demand %v on %s", service, n.name))
+	}
+	if n.failed {
+		if failedFn != nil {
+			failedFn()
+		}
+		return nil
+	}
+	n.advance()
+	j := &Job{node: n, seq: n.jobsStarted, remaining: service, done: done, failed: failedFn}
+	n.jobs[j] = struct{}{}
+	n.jobsStarted++
+	n.reschedule()
+	return j
+}
+
+// Cancel aborts a job before completion; its failed callback runs. A nil
+// or already finished job is a no-op.
+func (n *Node) Cancel(j *Job) {
+	if j == nil || j.canceled {
+		return
+	}
+	if _, ok := n.jobs[j]; !ok {
+		return
+	}
+	j.canceled = true
+	n.advance()
+	delete(n.jobs, j)
+	n.jobsAborted++
+	n.reschedule()
+	if j.failed != nil {
+		j.failed()
+	}
+}
+
+// Utilization returns the mean CPU busy fraction since the previous call
+// (the quantity the paper's probes sample every second).
+//
+// The meter has read-reset semantics, so a node must have a single
+// Utilization caller; independent observers (multiple sensors, the
+// experiment accounting) must each use their own UtilizationReader.
+func (n *Node) Utilization() float64 {
+	n.advance() // keep the meter aligned with job state
+	return n.util.Read(n.eng.Now())
+}
+
+// UtilizationReader computes per-interval mean CPU usage for one observer
+// without disturbing other observers of the same node.
+type UtilizationReader struct {
+	node      *Node
+	lastT     float64
+	lastTotal float64
+}
+
+// NewUtilizationReader starts an observer at the current instant.
+func NewUtilizationReader(n *Node) *UtilizationReader {
+	return &UtilizationReader{node: n, lastT: n.eng.Now(), lastTotal: n.BusyTotal()}
+}
+
+// Node returns the observed node.
+func (r *UtilizationReader) Node() *Node { return r.node }
+
+// Read returns the mean busy fraction since the previous Read (or since
+// construction).
+func (r *UtilizationReader) Read() float64 {
+	now := r.node.eng.Now()
+	total := r.node.BusyTotal()
+	dt := now - r.lastT
+	if dt <= 0 {
+		return 0
+	}
+	v := (total - r.lastTotal) / dt
+	r.lastT, r.lastTotal = now, total
+	return v
+}
+
+// BusyTotal returns the integral of CPU busy time since boot.
+func (n *Node) BusyTotal() float64 {
+	n.advance()
+	return n.util.Total(n.eng.Now())
+}
+
+// AllocMemory reserves mb of memory, failing if it would exceed capacity.
+func (n *Node) AllocMemory(mb float64) error {
+	if mb < 0 {
+		panic("cluster: negative memory allocation")
+	}
+	if n.memUsed+mb > n.cfg.MemoryMB {
+		return fmt.Errorf("%w: %s needs %.0f MB, %.0f free", ErrOutOfMemory,
+			n.name, mb, n.cfg.MemoryMB-n.memUsed)
+	}
+	n.memUsed += mb
+	return nil
+}
+
+// FreeMemory releases mb of memory.
+func (n *Node) FreeMemory(mb float64) {
+	n.memUsed -= mb
+	if n.memUsed < 0 {
+		n.memUsed = 0
+	}
+}
+
+// MemoryUsed returns used memory in MB.
+func (n *Node) MemoryUsed() float64 { return n.memUsed }
+
+// MemoryFraction returns used memory as a fraction of capacity.
+func (n *Node) MemoryFraction() float64 { return n.memUsed / n.cfg.MemoryMB }
+
+// OnFail registers a callback invoked (once) when the node fails.
+func (n *Node) OnFail(fn func(*Node)) { n.onFail = append(n.onFail, fn) }
+
+// Fail crashes the node: all in-flight jobs abort (their failed callbacks
+// run), memory is wiped, and failure subscribers are notified. Failing a
+// failed node is a no-op.
+func (n *Node) Fail() {
+	if n.failed {
+		return
+	}
+	n.advance()
+	n.failed = true
+	if n.completion != nil {
+		n.eng.Cancel(n.completion)
+		n.completion = nil
+	}
+	aborted := make([]*Job, 0, len(n.jobs))
+	for j := range n.jobs {
+		aborted = append(aborted, j)
+	}
+	sort.Slice(aborted, func(i, k int) bool {
+		if aborted[i].remaining != aborted[k].remaining {
+			return aborted[i].remaining < aborted[k].remaining
+		}
+		return aborted[i].seq < aborted[k].seq
+	})
+	n.jobs = make(map[*Job]struct{})
+	n.jobsAborted += uint64(len(aborted))
+	n.memUsed = 0
+	n.util.SetBusy(n.eng.Now(), 0)
+	for _, j := range aborted {
+		if j.failed != nil {
+			j.failed()
+		}
+	}
+	for _, fn := range n.onFail {
+		fn(n)
+	}
+}
+
+// Reboot returns a failed node to service, empty of jobs and memory.
+func (n *Node) Reboot() {
+	if !n.failed {
+		return
+	}
+	n.failed = false
+	n.lastUpdate = n.eng.Now()
+}

@@ -1,0 +1,112 @@
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// ServerXML models the subset of Tomcat 3.3's server.xml that Jade's
+// Tomcat wrapper manipulates: the server's HTTP and AJP connectors and the
+// JDBC resource pointing at the database (or database load balancer).
+type ServerXML struct {
+	XMLName    xml.Name        `xml:"Server"`
+	Name       string          `xml:"name,attr"`
+	Connectors []ConnectorXML  `xml:"Connector"`
+	Resources  []JDBCResource  `xml:"Resource"`
+	Contexts   []WebContextXML `xml:"Context"`
+}
+
+// ConnectorXML is one protocol endpoint.
+type ConnectorXML struct {
+	Protocol string `xml:"protocol,attr"` // "http" or "ajp13"
+	Port     int    `xml:"port,attr"`
+	Address  string `xml:"address,attr,omitempty"`
+}
+
+// JDBCResource is a named database connection target.
+type JDBCResource struct {
+	Name   string `xml:"name,attr"`
+	Driver string `xml:"driver,attr"`
+	URL    string `xml:"url,attr"` // e.g. "jdbc:mysql://node5:3306/rubis"
+}
+
+// WebContextXML is a deployed web application.
+type WebContextXML struct {
+	Path    string `xml:"path,attr"`
+	DocBase string `xml:"docBase,attr"`
+}
+
+// NewServerXML returns a server.xml skeleton for the named instance.
+func NewServerXML(name string) *ServerXML { return &ServerXML{Name: name} }
+
+// ParseServerXML parses server.xml text.
+func ParseServerXML(text string) (*ServerXML, error) {
+	var s ServerXML
+	if err := xml.Unmarshal([]byte(text), &s); err != nil {
+		return nil, fmt.Errorf("server.xml: %w", err)
+	}
+	return &s, nil
+}
+
+// Render returns indented XML text.
+func (s *ServerXML) Render() (string, error) {
+	out, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("server.xml: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// SetConnector adds or replaces the connector for a protocol.
+func (s *ServerXML) SetConnector(protocol string, port int, address string) {
+	for i := range s.Connectors {
+		if s.Connectors[i].Protocol == protocol {
+			s.Connectors[i].Port = port
+			s.Connectors[i].Address = address
+			return
+		}
+	}
+	s.Connectors = append(s.Connectors, ConnectorXML{Protocol: protocol, Port: port, Address: address})
+}
+
+// Connector returns the connector for a protocol.
+func (s *ServerXML) Connector(protocol string) (ConnectorXML, bool) {
+	for _, c := range s.Connectors {
+		if c.Protocol == protocol {
+			return c, true
+		}
+	}
+	return ConnectorXML{}, false
+}
+
+// SetJDBC adds or replaces the named JDBC resource.
+func (s *ServerXML) SetJDBC(name, driver, url string) {
+	for i := range s.Resources {
+		if s.Resources[i].Name == name {
+			s.Resources[i].Driver = driver
+			s.Resources[i].URL = url
+			return
+		}
+	}
+	s.Resources = append(s.Resources, JDBCResource{Name: name, Driver: driver, URL: url})
+}
+
+// JDBC returns the named JDBC resource.
+func (s *ServerXML) JDBC(name string) (JDBCResource, bool) {
+	for _, r := range s.Resources {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return JDBCResource{}, false
+}
+
+// RemoveJDBC deletes the named JDBC resource.
+func (s *ServerXML) RemoveJDBC(name string) {
+	for i, r := range s.Resources {
+		if r.Name == name {
+			s.Resources = append(s.Resources[:i], s.Resources[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Properties is an ordered Java-properties document (key=value lines,
+// '#' or '!' comments), the format of mod_jk's worker.properties file the
+// paper edits in its qualitative scenario (Fig. 4).
+type Properties struct {
+	order []string
+	vals  map[string]string
+}
+
+// NewProperties returns an empty properties document.
+func NewProperties() *Properties {
+	return &Properties{vals: make(map[string]string)}
+}
+
+// ParseProperties parses a Java-properties document.
+func ParseProperties(text string) (*Properties, error) {
+	p := NewProperties()
+	for i, ln := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(ln)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") || strings.HasPrefix(trimmed, "!") {
+			continue
+		}
+		eq := strings.IndexByte(trimmed, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("properties line %d: no '=' in %q", i+1, trimmed)
+		}
+		key := strings.TrimSpace(trimmed[:eq])
+		val := strings.TrimSpace(trimmed[eq+1:])
+		if key == "" {
+			return nil, fmt.Errorf("properties line %d: empty key", i+1)
+		}
+		p.Set(key, val)
+	}
+	return p, nil
+}
+
+// Get returns the value and whether the key exists.
+func (p *Properties) Get(key string) (string, bool) {
+	v, ok := p.vals[key]
+	return v, ok
+}
+
+// Set inserts or replaces a key, preserving first-insertion order.
+func (p *Properties) Set(key, value string) {
+	if _, ok := p.vals[key]; !ok {
+		p.order = append(p.order, key)
+	}
+	p.vals[key] = value
+}
+
+// Unset removes a key.
+func (p *Properties) Unset(key string) {
+	if _, ok := p.vals[key]; !ok {
+		return
+	}
+	delete(p.vals, key)
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Keys returns keys in insertion order.
+func (p *Properties) Keys() []string { return append([]string(nil), p.order...) }
+
+// Render returns "key=value" lines in insertion order.
+func (p *Properties) Render() string {
+	var b strings.Builder
+	for _, k := range p.order {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(p.vals[k])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Worker is one mod_jk worker entry (an AJP route from Apache to one
+// Tomcat instance).
+type Worker struct {
+	Name     string
+	Host     string
+	Port     int
+	Type     string // "ajp13" for plain workers, "lb" for balancers
+	LBFactor int
+	// Balanced lists member worker names when Type == "lb".
+	Balanced []string
+}
+
+// WorkerProperties is the typed view over a worker.properties document
+// that the Apache wrapper manipulates when its AJP client interface is
+// bound or unbound.
+type WorkerProperties struct {
+	props *Properties
+}
+
+// NewWorkerProperties returns an empty worker.properties model.
+func NewWorkerProperties() *WorkerProperties {
+	return &WorkerProperties{props: NewProperties()}
+}
+
+// ParseWorkerProperties parses worker.properties text.
+func ParseWorkerProperties(text string) (*WorkerProperties, error) {
+	p, err := ParseProperties(text)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkerProperties{props: p}, nil
+}
+
+// SetWorker declares or updates an AJP worker and adds it to worker.list.
+func (w *WorkerProperties) SetWorker(wk Worker) {
+	if wk.Name == "" {
+		panic("worker.properties: worker with empty name")
+	}
+	prefix := "worker." + wk.Name + "."
+	if wk.Type == "" {
+		wk.Type = "ajp13"
+	}
+	w.props.Set(prefix+"type", wk.Type)
+	if wk.Type == "lb" {
+		w.props.Set(prefix+"balanced_workers", strings.Join(wk.Balanced, ","))
+		w.props.Unset(prefix + "host")
+		w.props.Unset(prefix + "port")
+		w.props.Unset(prefix + "lbfactor")
+	} else {
+		w.props.Set(prefix+"host", wk.Host)
+		w.props.Set(prefix+"port", strconv.Itoa(wk.Port))
+		if wk.LBFactor > 0 {
+			w.props.Set(prefix+"lbfactor", strconv.Itoa(wk.LBFactor))
+		}
+	}
+	w.addToList(wk.Name)
+}
+
+// RemoveWorker deletes a worker and its worker.list entry, and drops it
+// from any balancer's balanced_workers.
+func (w *WorkerProperties) RemoveWorker(name string) {
+	prefix := "worker." + name + "."
+	for _, suffix := range []string{"type", "host", "port", "lbfactor", "balanced_workers"} {
+		w.props.Unset(prefix + suffix)
+	}
+	w.removeFromList(name)
+	for _, other := range w.WorkerNames() {
+		key := "worker." + other + ".balanced_workers"
+		if v, ok := w.props.Get(key); ok {
+			members := splitList(v)
+			members = removeString(members, name)
+			w.props.Set(key, strings.Join(members, ","))
+		}
+	}
+}
+
+// Workers returns every declared worker, sorted by name.
+func (w *WorkerProperties) Workers() []Worker {
+	var out []Worker
+	for _, name := range w.WorkerNames() {
+		wk, _ := w.Worker(name)
+		out = append(out, wk)
+	}
+	return out
+}
+
+// Worker returns the named worker.
+func (w *WorkerProperties) Worker(name string) (Worker, bool) {
+	prefix := "worker." + name + "."
+	typ, ok := w.props.Get(prefix + "type")
+	if !ok {
+		return Worker{}, false
+	}
+	wk := Worker{Name: name, Type: typ}
+	if host, ok := w.props.Get(prefix + "host"); ok {
+		wk.Host = host
+	}
+	if port, ok := w.props.Get(prefix + "port"); ok {
+		wk.Port, _ = strconv.Atoi(port)
+	}
+	if lb, ok := w.props.Get(prefix + "lbfactor"); ok {
+		wk.LBFactor, _ = strconv.Atoi(lb)
+	}
+	if bal, ok := w.props.Get(prefix + "balanced_workers"); ok {
+		wk.Balanced = splitList(bal)
+	}
+	return wk, true
+}
+
+// WorkerNames returns declared worker names sorted.
+func (w *WorkerProperties) WorkerNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range w.props.Keys() {
+		if !strings.HasPrefix(k, "worker.") || k == "worker.list" {
+			continue
+		}
+		rest := strings.TrimPrefix(k, "worker.")
+		dot := strings.IndexByte(rest, '.')
+		if dot <= 0 {
+			continue
+		}
+		name := rest[:dot]
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List returns the worker.list entries.
+func (w *WorkerProperties) List() []string {
+	v, _ := w.props.Get("worker.list")
+	return splitList(v)
+}
+
+func (w *WorkerProperties) addToList(name string) {
+	list := w.List()
+	for _, n := range list {
+		if n == name {
+			return
+		}
+	}
+	list = append(list, name)
+	w.props.Set("worker.list", strings.Join(list, ","))
+}
+
+func (w *WorkerProperties) removeFromList(name string) {
+	list := removeString(w.List(), name)
+	if len(list) == 0 {
+		w.props.Unset("worker.list")
+		return
+	}
+	w.props.Set("worker.list", strings.Join(list, ","))
+}
+
+// Render returns the worker.properties text.
+func (w *WorkerProperties) Render() string { return w.props.Render() }
+
+func splitList(v string) []string {
+	if strings.TrimSpace(v) == "" {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if s := strings.TrimSpace(p); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func removeString(list []string, s string) []string {
+	out := list[:0]
+	for _, v := range list {
+		if v != s {
+			out = append(out, v)
+		}
+	}
+	return out
+}

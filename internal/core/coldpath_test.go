@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"jade/internal/legacy"
+)
+
+// TestDBTierColdRepairFromDump exercises the §4.1 cold path directly:
+// the only database backend dies, so the replacement replica cannot be
+// synchronized from a live snapshot — it installs the registered dump at
+// recovery-log index 0 and replays the entire log.
+func TestDBTierColdRepairFromDump(t *testing.T) {
+	p, dep := deployThreeTier(t)
+	tier, err := NewDBTier(p, dep, "cjdbc1", []string{"mysql1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := dep.MustComponent("cjdbc1").Content().(*CJDBCWrapper)
+
+	// Build up recovery-log state through the running stack.
+	for i := 0; i < 20; i++ {
+		req := &legacy.WebRequest{
+			WebCost: 0.001, AppCost: 0.001,
+			Queries: []legacy.Query{{
+				SQL:  "INSERT INTO buy_now (id, buyer_id, item_id, qty, date) VALUES (" + itoa(i) + ", 1, 1, 1, 0)",
+				Cost: 0.001,
+			}},
+		}
+		if err := run(t, p, dep, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cw.Controller().Log().Len() != 20 {
+		t.Fatalf("log = %d", cw.Controller().Log().Len())
+	}
+
+	// Kill the only backend and repair.
+	node, _ := dep.NodeOf("mysql1")
+	node.Fail()
+	var rerr error = errors.New("pending")
+	tier.Repair("mysql1", func(err error) { rerr = err })
+	p.Eng.Run()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if cw.Controller().ActiveCount() != 1 {
+		t.Fatalf("actives = %d after cold repair", cw.Controller().ActiveCount())
+	}
+	// The rebuilt replica holds the dump plus every logged write.
+	name := tier.ReplicaNames()[0]
+	mw := dep.MustComponent(name).Content().(*MySQLWrapper)
+	if got := mw.Server().DB().RowCount("buy_now"); got != 20 {
+		t.Fatalf("rebuilt replica has %d buy_now rows, want 20 (full log replay)", got)
+	}
+	if got := mw.Server().DB().RowCount("users"); got != smallDataset().Users {
+		t.Fatalf("rebuilt replica missing the dump: %d users", got)
+	}
+	// Service works again end to end.
+	if err := run(t, p, dep, &legacy.WebRequest{
+		WebCost: 0.001, AppCost: 0.001,
+		Queries: []legacy.Query{{SQL: "SELECT * FROM users WHERE id = 1", Cost: 0.001}},
+	}); err != nil {
+		t.Fatalf("request after cold repair: %v", err)
+	}
+}
+
+// TestDBTierColdRepairWithoutDumpFails pins the failure mode when no dump
+// is registered under the tier's DumpName: the repair surfaces the
+// no-backend error instead of silently rebuilding an empty database.
+func TestDBTierColdRepairWithoutDumpFails(t *testing.T) {
+	p, dep := deployThreeTier(t)
+	tier, err := NewDBTier(p, dep, "cjdbc1", []string{"mysql1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.DumpName = "" // no fallback
+	node, _ := dep.NodeOf("mysql1")
+	node.Fail()
+	var rerr error
+	tier.Repair("mysql1", func(err error) { rerr = err })
+	p.Eng.Run()
+	if rerr == nil {
+		t.Fatal("cold repair without a dump succeeded")
+	}
+}
+
+// TestGrowWithRetryGivesUpAfterAttempts pins the bounded-retry contract.
+func TestGrowWithRetryGivesUpAfterAttempts(t *testing.T) {
+	p, dep := deployThreeTier(t)
+	tier, err := NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	alwaysBusy := func(done func(error)) {
+		calls++
+		done(ErrTierBusy)
+	}
+	var final error
+	tier.growWithRetry(alwaysBusy, 3, func(err error) { final = err })
+	p.Eng.Run()
+	if calls != 3 {
+		t.Fatalf("attempts = %d, want 3", calls)
+	}
+	if !errors.Is(final, ErrTierBusy) {
+		t.Fatalf("final error = %v", final)
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"jade/internal/adl"
+	"jade/internal/cluster"
+	"jade/internal/fractal"
+	"jade/internal/legacy"
+)
+
+// Deployment is a managed application deployed from an ADL description:
+// a component architecture (one composite per ADL composite) plus the
+// node assignments behind it.
+type Deployment struct {
+	p     *Platform
+	Def   *adl.Definition
+	Root  *fractal.Component
+	comps map[string]*fractal.Component
+	nodes map[string]*cluster.Node
+}
+
+// Component finds a deployed component by name.
+func (d *Deployment) Component(name string) (*fractal.Component, error) {
+	c, ok := d.comps[name]
+	if !ok {
+		return nil, fmt.Errorf("jade: no component %q in deployment %s", name, d.Def.Name)
+	}
+	return c, nil
+}
+
+// MustComponent is Component for statically known names.
+func (d *Deployment) MustComponent(name string) *fractal.Component {
+	c, err := d.Component(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ComponentNames returns deployed component names, sorted.
+func (d *Deployment) ComponentNames() []string {
+	out := make([]string, 0, len(d.comps))
+	for n := range d.comps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeOf returns the node hosting a component.
+func (d *Deployment) NodeOf(name string) (*cluster.Node, error) {
+	n, ok := d.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("jade: no node recorded for %q", name)
+	}
+	return n, nil
+}
+
+// Describe renders the management layer's view of the deployment.
+func (d *Deployment) Describe() string { return d.Root.Describe() }
+
+// FrontEnd returns the deployment's HTTP entry point: the L4 switch if
+// one is deployed, else the PLB balancer, else the first Apache server
+// (lowest name within each kind, for determinism).
+func (d *Deployment) FrontEnd() (legacy.HTTPHandler, error) {
+	for _, kind := range []string{"l4", "plb", "apache"} {
+		for _, name := range d.ComponentNames() {
+			w, ok := d.comps[name].Content().(Wrapper)
+			if !ok || w.Kind() != kind {
+				continue
+			}
+			if ep, ok := w.(httpEndpoint); ok {
+				return ep.HTTPEndpoint(), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("jade: deployment %s has no HTTP front end", d.Def.Name)
+}
+
+// register adds a component created outside the initial ADL (by an
+// actuator growing a tier).
+func (d *Deployment) register(name string, c *fractal.Component, node *cluster.Node) {
+	d.comps[name] = c
+	d.nodes[name] = node
+}
+
+// unregister forgets a component removed by an actuator.
+func (d *Deployment) unregister(name string) {
+	delete(d.comps, name)
+	delete(d.nodes, name)
+}
+
+// abortDeployment tears down a partially completed deployment: started
+// components are stopped (front end first) and every allocated node is
+// released, so a failed Deploy leaks nothing.
+func (p *Platform) abortDeployment(d *Deployment, cause error, finish func(*Deployment, error)) {
+	names := d.ComponentNames()
+	sort.SliceStable(names, func(i, j int) bool {
+		wi := d.comps[names[i]].Content().(Wrapper)
+		wj := d.comps[names[j]].Content().(Wrapper)
+		if startRank(wi.Kind()) != startRank(wj.Kind()) {
+			return startRank(wi.Kind()) > startRank(wj.Kind())
+		}
+		return names[i] < names[j]
+	})
+	var stopNext func(i int)
+	stopNext = func(i int) {
+		if i >= len(names) {
+			for _, name := range names {
+				if node, ok := d.nodes[name]; ok {
+					p.detachManagement(node)
+					_ = p.Pool.Release(node)
+				}
+			}
+			p.logf("deploy: %s aborted: %v", d.Def.Name, cause)
+			finish(nil, cause)
+			return
+		}
+		c := d.comps[names[i]]
+		if c.State() != fractal.Started {
+			stopNext(i + 1)
+			return
+		}
+		p.StopComponent(c, func(error) { stopNext(i + 1) })
+	}
+	stopNext(0)
+}
+
+// Deploy interprets an ADL description (§3.3): it validates the
+// architecture, allocates a node per component through the Cluster
+// Manager, installs the software through the Software Installation
+// Service, instantiates and configures the wrappers, applies the
+// bindings, and starts everything in dependency order. The whole
+// interpretation runs in simulated time; done fires when the application
+// is up.
+func (p *Platform) Deploy(def *adl.Definition, done func(*Deployment, error)) {
+	finish := func(d *Deployment, err error) {
+		if done != nil {
+			done(d, err)
+		}
+	}
+	if err := def.Validate(p.wrapperSet()); err != nil {
+		finish(nil, err)
+		return
+	}
+	root, err := fractal.NewComposite(def.Name)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	d := &Deployment{
+		p:     p,
+		Def:   def,
+		Root:  root,
+		comps: make(map[string]*fractal.Component),
+		nodes: make(map[string]*cluster.Node),
+	}
+	// Pre-create the composite hierarchy.
+	composites := map[string]*fractal.Component{"": root}
+	for _, path := range def.CompositePaths() {
+		parentPath, name := splitPath(path)
+		comp, err := fractal.NewComposite(name)
+		if err != nil {
+			finish(nil, err)
+			return
+		}
+		if err := composites[parentPath].Add(comp); err != nil {
+			finish(nil, err)
+			return
+		}
+		composites[path] = comp
+	}
+
+	placed := def.AllComponents()
+	var deployNext func(i int)
+	deployNext = func(i int) {
+		if i >= len(placed) {
+			p.applyBindingsAndStart(d, finish)
+			return
+		}
+		pc := placed[i]
+		var node *cluster.Node
+		var err error
+		if pc.Node != "" {
+			node, err = p.Pool.AllocateNamed(pc.Node)
+		} else {
+			node, err = p.Pool.Allocate()
+		}
+		if err != nil {
+			p.abortDeployment(d, fmt.Errorf("jade: allocating node for %s: %w", pc.Name, err), finish)
+			return
+		}
+		p.SIS.Install(pc.Wrapper, node, func(ierr error) {
+			if ierr != nil {
+				_ = p.Pool.Release(node)
+				p.abortDeployment(d, fmt.Errorf("jade: installing %s: %w", pc.Name, ierr), finish)
+				return
+			}
+			factory := p.registry[pc.Wrapper]
+			comp, cerr := factory(p, pc.Name, node)
+			if cerr != nil {
+				_ = p.Pool.Release(node)
+				p.abortDeployment(d, fmt.Errorf("jade: creating %s: %w", pc.Name, cerr), finish)
+				return
+			}
+			for _, a := range pc.Attributes {
+				if aerr := comp.SetAttribute(a.Name, a.Value); aerr != nil {
+					_ = p.Pool.Release(node)
+					p.abortDeployment(d, fmt.Errorf("jade: configuring %s: %w", pc.Name, aerr), finish)
+					return
+				}
+			}
+			if aerr := composites[pc.CompositePath].Add(comp); aerr != nil {
+				_ = p.Pool.Release(node)
+				p.abortDeployment(d, aerr, finish)
+				return
+			}
+			d.comps[pc.Name] = comp
+			d.nodes[pc.Name] = node
+			p.logf("deploy: %s (%s) on %s", pc.Name, pc.Wrapper, node.Name())
+			deployNext(i + 1)
+		})
+	}
+	deployNext(0)
+}
+
+func splitPath(path string) (parent, name string) {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i], path[i+1:]
+		}
+	}
+	return "", path
+}
+
+// applyBindingsAndStart wires the architecture and boots it bottom-up.
+func (p *Platform) applyBindingsAndStart(d *Deployment, finish func(*Deployment, error)) {
+	for _, b := range d.Def.Bindings {
+		clientName, clientItf, err := adl.SplitRef(b.Client)
+		if err != nil {
+			p.abortDeployment(d, err, finish)
+			return
+		}
+		serverName, serverItf, err := adl.SplitRef(b.Server)
+		if err != nil {
+			p.abortDeployment(d, err, finish)
+			return
+		}
+		client, err := d.Component(clientName)
+		if err != nil {
+			p.abortDeployment(d, err, finish)
+			return
+		}
+		server, err := d.Component(serverName)
+		if err != nil {
+			p.abortDeployment(d, err, finish)
+			return
+		}
+		target, err := server.Interface(serverItf)
+		if err != nil {
+			p.abortDeployment(d, err, finish)
+			return
+		}
+		if err := client.Bind(clientItf, target); err != nil {
+			p.abortDeployment(d, fmt.Errorf("jade: binding %s to %s: %w", b.Client, b.Server, err), finish)
+			return
+		}
+	}
+
+	// Start order: db tier first, front end last.
+	names := d.ComponentNames()
+	sort.SliceStable(names, func(i, j int) bool {
+		wi := d.comps[names[i]].Content().(Wrapper)
+		wj := d.comps[names[j]].Content().(Wrapper)
+		if startRank(wi.Kind()) != startRank(wj.Kind()) {
+			return startRank(wi.Kind()) < startRank(wj.Kind())
+		}
+		return names[i] < names[j]
+	})
+	var startNext func(i int)
+	startNext = func(i int) {
+		if i >= len(names) {
+			// Mark the composite hierarchy started (children already
+			// running are left untouched).
+			if err := d.Root.Start(); err != nil {
+				finish(nil, err)
+				return
+			}
+			p.logf("deploy: %s is up (%d components)", d.Def.Name, len(names))
+			finish(d, nil)
+			return
+		}
+		c := d.comps[names[i]]
+		p.StartComponent(c, func(err error) {
+			if err != nil {
+				p.abortDeployment(d, err, finish)
+				return
+			}
+			startNext(i + 1)
+		})
+	}
+	startNext(0)
+}
+
+// Undeploy stops every component (front end first) and releases the
+// nodes.
+func (p *Platform) Undeploy(d *Deployment, done func(error)) {
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	names := d.ComponentNames()
+	sort.SliceStable(names, func(i, j int) bool {
+		wi := d.comps[names[i]].Content().(Wrapper)
+		wj := d.comps[names[j]].Content().(Wrapper)
+		if startRank(wi.Kind()) != startRank(wj.Kind()) {
+			return startRank(wi.Kind()) > startRank(wj.Kind())
+		}
+		return names[i] < names[j]
+	})
+	var stopNext func(i int)
+	stopNext = func(i int) {
+		if i >= len(names) {
+			if d.Root.State() == fractal.Started {
+				if err := d.Root.Stop(); err != nil {
+					finish(err)
+					return
+				}
+			}
+			for _, name := range names {
+				if node, ok := d.nodes[name]; ok {
+					p.detachManagement(node)
+					_ = p.Pool.Release(node)
+				}
+			}
+			finish(nil)
+			return
+		}
+		c := d.comps[names[i]]
+		if c.State() != fractal.Started {
+			stopNext(i + 1)
+			return
+		}
+		p.StopComponent(c, func(err error) {
+			if err != nil {
+				finish(err)
+				return
+			}
+			stopNext(i + 1)
+		})
+	}
+	stopNext(0)
+}

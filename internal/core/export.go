@@ -1,0 +1,93 @@
+package core
+
+import (
+	"jade/internal/adl"
+	"jade/internal/fractal"
+)
+
+// ExportADL reconstructs an architecture description from the *live*
+// component tree: the composites, the wrapped components with their
+// current attributes and node placements, and the current bindings.
+//
+// This closes the paper's introspection loop: an architecture deployed
+// from an ADL document, then reconfigured autonomically (replicas added
+// or removed, bindings changed), can be re-captured as a document that
+// redeploys the current state — e.g. to checkpoint a self-sized
+// configuration as the new baseline.
+func (d *Deployment) ExportADL() *adl.Definition {
+	def := &adl.Definition{Name: d.Def.Name}
+
+	var exportInto func(dst *compositeTarget, c *fractal.Component)
+	exportInto = func(dst *compositeTarget, c *fractal.Component) {
+		for _, child := range c.Children() {
+			if child.Composite() {
+				nested := adl.CompositeDecl{Name: child.Name()}
+				sub := &compositeTarget{decl: &nested}
+				exportInto(sub, child)
+				dst.addComposite(nested)
+				continue
+			}
+			w, ok := child.Content().(Wrapper)
+			if !ok {
+				continue
+			}
+			decl := adl.ComponentDecl{
+				Name:    child.Name(),
+				Wrapper: w.Kind(),
+				Node:    w.Node().Name(),
+			}
+			for _, a := range child.Attributes() {
+				v, err := child.Attribute(a)
+				if err != nil {
+					continue
+				}
+				decl.Attributes = append(decl.Attributes, adl.AttrDecl{Name: a, Value: v})
+			}
+			dst.addComponent(decl)
+		}
+	}
+	top := &compositeTarget{def: def}
+	exportInto(top, d.Root)
+
+	// Bindings, in a stable traversal order.
+	d.Root.Visit(func(c *fractal.Component) {
+		if c.Composite() {
+			return
+		}
+		for _, itf := range c.Interfaces() {
+			if itf.Role() != fractal.Client {
+				continue
+			}
+			for _, b := range c.Bindings(itf.Name()) {
+				def.Bindings = append(def.Bindings, adl.BindingDecl{
+					Client: c.Name() + "." + itf.Name(),
+					Server: b.ServerItf.Owner().Name() + "." + b.ServerItf.Name(),
+				})
+			}
+		}
+	})
+	return def
+}
+
+// compositeTarget abstracts "append into the definition root or into a
+// nested composite declaration".
+type compositeTarget struct {
+	def  *adl.Definition
+	decl *adl.CompositeDecl
+}
+
+func (t *compositeTarget) addComponent(c adl.ComponentDecl) {
+	if t.def != nil {
+		t.def.Components = append(t.def.Components, c)
+		return
+	}
+	t.decl.Components = append(t.decl.Components, c)
+}
+
+func (t *compositeTarget) addComposite(c adl.CompositeDecl) {
+	if t.def != nil {
+		t.def.Composites = append(t.def.Composites, c)
+		return
+	}
+	t.decl.Composites = append(t.decl.Composites, c)
+}

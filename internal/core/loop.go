@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"jade/internal/cluster"
+	"jade/internal/fractal"
+	"jade/internal/metrics"
+	"jade/internal/sim"
+)
+
+// Sensor observes one aspect of the managed system. Sample returns the
+// current observation and whether it is valid yet (moving averages need
+// their window to fill before the reactor should trust them).
+type Sensor interface {
+	Sample(now float64) (value float64, ok bool)
+}
+
+// Reactor is the analysis/decision element of a control loop: it receives
+// sensor notifications and drives actuators when reconfiguration is
+// needed.
+type Reactor interface {
+	React(now float64, value float64)
+}
+
+// ControlLoop wires a sensor to a reactor at a fixed period. It is itself
+// wrapped in a Fractal component, so autonomic managers are deployed and
+// managed with the same framework they implement ("Jade administrates
+// itself", §3.4).
+type ControlLoop struct {
+	p       *Platform
+	name    string
+	period  float64
+	sensor  Sensor
+	reactor Reactor
+	ticker  *sim.Ticker
+	comp    *fractal.Component
+
+	samples uint64
+	// LastValue is the most recent valid sensor reading.
+	LastValue float64
+}
+
+// NewControlLoop builds a loop (stopped). Period is in seconds; the paper
+// executes its loops every second.
+func NewControlLoop(p *Platform, name string, period float64, sensor Sensor, reactor Reactor) (*ControlLoop, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("jade: control loop %s with period %v", name, period)
+	}
+	l := &ControlLoop{p: p, name: name, period: period, sensor: sensor, reactor: reactor}
+	comp, err := fractal.NewPrimitive(name, l)
+	if err != nil {
+		return nil, err
+	}
+	l.comp = comp
+	p.RegisterLoop(l)
+	return l, nil
+}
+
+// Name returns the loop name.
+func (l *ControlLoop) Name() string { return l.name }
+
+// Component returns the loop's management component.
+func (l *ControlLoop) Component() *fractal.Component { return l.comp }
+
+// Samples returns the number of sensor samples taken.
+func (l *ControlLoop) Samples() uint64 { return l.samples }
+
+// Running reports whether the loop ticks.
+func (l *ControlLoop) Running() bool { return l.ticker != nil }
+
+// OnStart implements the component lifecycle: it arms the ticker.
+func (l *ControlLoop) OnStart(*fractal.Component) error {
+	if l.ticker != nil {
+		return fmt.Errorf("jade: control loop %s already running", l.name)
+	}
+	l.ticker = l.p.Eng.Every(l.period, "loop:"+l.name, l.tick)
+	return nil
+}
+
+// OnStop implements the component lifecycle: it stops the ticker.
+func (l *ControlLoop) OnStop(*fractal.Component) error {
+	if l.ticker != nil {
+		l.ticker.Stop()
+		l.ticker = nil
+	}
+	return nil
+}
+
+// Start arms the loop (through its component lifecycle).
+func (l *ControlLoop) Start() error { return l.comp.Start() }
+
+// Stop disarms the loop.
+func (l *ControlLoop) Stop() error { return l.comp.Stop() }
+
+func (l *ControlLoop) tick(now float64) {
+	l.samples++
+	v, ok := l.sensor.Sample(now)
+	if !ok {
+		return
+	}
+	l.LastValue = v
+	l.reactor.React(now, v)
+}
+
+// NodeSet provides the nodes a sensor monitors; tiers change size, so it
+// is a function.
+type NodeSet func() []*cluster.Node
+
+// CPUSensor is the paper's self-optimization probe: every sample it reads
+// each monitored node's CPU usage since the previous sample, averages
+// spatially across the tier's nodes, and feeds a temporal moving average
+// (60 s for the application tier, 90 s for the database tier). Sampling
+// consumes a small amount of CPU on each monitored node — the intrusivity
+// Table 1 measures.
+type CPUSensor struct {
+	nodes   NodeSet
+	window  *metrics.MovingAverage
+	probe   float64 // per-node CPU cost of one sample
+	readers map[*cluster.Node]*cluster.UtilizationReader
+
+	// Raw and Smoothed record the sensor's readings for the experiment
+	// figures (instantaneous spatial average and moving average).
+	Raw      *metrics.Series
+	Smoothed *metrics.Series
+
+	// WarmupSamples is the minimum number of samples before the sensor
+	// reports valid data.
+	WarmupSamples int
+	count         int
+}
+
+// NewCPUSensor builds a CPU sensor over a node set with the given moving
+// average window (seconds).
+func NewCPUSensor(nodes NodeSet, window float64, probeCost float64) *CPUSensor {
+	return &CPUSensor{
+		nodes:         nodes,
+		window:        metrics.NewMovingAverage(window),
+		probe:         probeCost,
+		readers:       make(map[*cluster.Node]*cluster.UtilizationReader),
+		Raw:           metrics.NewSeries("cpu-raw"),
+		Smoothed:      metrics.NewSeries("cpu-smoothed"),
+		WarmupSamples: 5,
+	}
+}
+
+// Sample implements Sensor.
+func (s *CPUSensor) Sample(now float64) (float64, bool) {
+	ns := s.nodes()
+	if len(ns) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, 0, len(ns))
+	for _, n := range ns {
+		if n.Failed() {
+			continue
+		}
+		r, ok := s.readers[n]
+		if !ok {
+			r = cluster.NewUtilizationReader(n)
+			s.readers[n] = r
+		}
+		vals = append(vals, r.Read())
+		if s.probe > 0 {
+			n.Submit(s.probe, nil, nil)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	raw := metrics.SpatialMean(vals)
+	s.window.Push(now, raw)
+	smoothed := s.window.Avg()
+	s.Raw.Add(now, raw)
+	s.Smoothed.Add(now, smoothed)
+	s.count++
+	return smoothed, s.count >= s.WarmupSamples
+}
+
+// ResponseTimeSensor observes client-perceived latency through a
+// user-supplied reader (e.g. the RUBiS emulator's windowed mean). The
+// paper notes such a sensor can replace the CPU probe when latency is the
+// QoS criterion.
+type ResponseTimeSensor struct {
+	Read   func(now float64) (float64, bool)
+	Series *metrics.Series
+}
+
+// NewResponseTimeSensor wraps a latency reader.
+func NewResponseTimeSensor(read func(now float64) (float64, bool)) *ResponseTimeSensor {
+	return &ResponseTimeSensor{Read: read, Series: metrics.NewSeries("response-time")}
+}
+
+// Sample implements Sensor.
+func (s *ResponseTimeSensor) Sample(now float64) (float64, bool) {
+	v, ok := s.Read(now)
+	if ok {
+		s.Series.Add(now, v)
+	}
+	return v, ok
+}
+
+// Inhibitor serializes reconfigurations across control loops: a
+// reconfiguration started by one loop inhibits any new reconfiguration
+// for a period (one minute in the paper), preventing oscillations.
+type Inhibitor struct {
+	until float64
+}
+
+// Inhibited reports whether reconfigurations are currently suppressed.
+func (i *Inhibitor) Inhibited(now float64) bool { return now < i.until }
+
+// Trigger suppresses reconfigurations for d seconds from now.
+func (i *Inhibitor) Trigger(now, d float64) {
+	if now+d > i.until {
+		i.until = now + d
+	}
+}

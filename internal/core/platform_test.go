@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"jade/internal/adl"
+	"jade/internal/cluster"
+)
+
+func TestDescribeManagementListsLoops(t *testing.T) {
+	p, dep := deployThreeTier(t)
+	tier, err := NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSizingManager(p, "self-optimization-app", tier, AppSizingDefaults(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRecoveryManager(p, "self-recovery", 1, tier); err != nil {
+		t.Fatal(err)
+	}
+	out := p.DescribeManagement()
+	for _, want := range []string{"jade [composite", "self-optimization-app", "self-recovery"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DescribeManagement missing %q:\n%s", want, out)
+		}
+	}
+	if p.ManagementRoot().Name() != "jade" {
+		t.Fatal("management root misnamed")
+	}
+	if got := len(p.ManagementRoot().Children()); got != 2 {
+		t.Fatalf("management children = %d", got)
+	}
+}
+
+func TestFrontEndSelection(t *testing.T) {
+	// PLB when no L4 is deployed.
+	_, dep := deployThreeTier(t)
+	if _, err := dep.FrontEnd(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Apache-only deployment falls back to Apache.
+	p2 := NewPlatform(DefaultOptions())
+	db, _ := smallDataset().InitialDatabase(1)
+	p2.RegisterDump("rubis", db)
+	def, err := adl.Parse(`<definition name="weblayer">
+	  <component name="apache1" wrapper="apache"/>
+	</definition>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep2 *Deployment
+	derr := errors.New("pending")
+	p2.Deploy(def, func(d *Deployment, err error) { dep2, derr = d, err })
+	p2.Eng.Run()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	front, err := dep2.FrontEnd()
+	if err != nil || front == nil {
+		t.Fatalf("FrontEnd = %v, %v", front, err)
+	}
+
+	// A database-only deployment has no front end.
+	p3 := NewPlatform(DefaultOptions())
+	p3.RegisterDump("rubis", db)
+	def3, err := adl.Parse(`<definition name="dbonly">
+	  <component name="mysql1" wrapper="mysql"><attribute name="dump" value="rubis"/></component>
+	</definition>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep3 *Deployment
+	derr = errors.New("pending")
+	p3.Deploy(def3, func(d *Deployment, err error) { dep3, derr = d, err })
+	p3.Eng.Run()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if _, err := dep3.FrontEnd(); err == nil {
+		t.Fatal("db-only deployment reported a front end")
+	}
+}
+
+func TestPlatformOptionDefaults(t *testing.T) {
+	// Zero-valued options fall back to sane defaults.
+	p := NewPlatform(Options{})
+	if p.Pool.Size() != 9 {
+		t.Fatalf("default pool = %d", p.Pool.Size())
+	}
+	n, err := p.Pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Config().CPUCapacity != 1.0 {
+		t.Fatalf("default cpu = %v", n.Config().CPUCapacity)
+	}
+	// Logf defaults to a no-op; logging must not panic.
+	p.Logf("hello %d", 42)
+}
+
+func TestDumpRegistry(t *testing.T) {
+	p := NewPlatform(DefaultOptions())
+	if _, ok := p.Dump("ghost"); ok {
+		t.Fatal("unknown dump found")
+	}
+	db, _ := smallDataset().InitialDatabase(1)
+	p.RegisterDump("rubis", db)
+	got, ok := p.Dump("rubis")
+	if !ok || got != db {
+		t.Fatal("dump registry broken")
+	}
+}
+
+func TestTierNodesTracksMembership(t *testing.T) {
+	p, dep := deployThreeTier(t)
+	tier, err := NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tier.Nodes()); got != 1 {
+		t.Fatalf("nodes = %d", got)
+	}
+	gerr := errors.New("pending")
+	tier.Grow(func(err error) { gerr = err })
+	p.Eng.Run()
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	nodes := tier.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes after grow = %d", len(nodes))
+	}
+	seen := map[*cluster.Node]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			t.Fatal("duplicate node in tier")
+		}
+		seen[n] = true
+	}
+}
+
+func TestGrowRespectsMaxReplicas(t *testing.T) {
+	p, dep := deployThreeTier(t)
+	tier, err := NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.MaxReplicas = 1
+	if tier.CanGrow() {
+		t.Fatal("CanGrow at max")
+	}
+	var gerr error
+	tier.Grow(func(err error) { gerr = err })
+	p.Eng.Run()
+	if !errors.Is(gerr, ErrTierAtMax) {
+		t.Fatalf("grow at max: %v", gerr)
+	}
+}
+
+func TestGrowFailsGracefullyOnEmptyPool(t *testing.T) {
+	p, dep := deployThreeTier(t)
+	// Drain the pool.
+	for {
+		if _, err := p.Pool.Allocate(); err != nil {
+			break
+		}
+	}
+	tier, err := NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier.CanGrow() {
+		t.Fatal("CanGrow with empty pool")
+	}
+	var gerr error
+	tier.Grow(func(err error) { gerr = err })
+	p.Eng.Run()
+	if !errors.Is(gerr, cluster.ErrPoolExhausted) {
+		t.Fatalf("grow with empty pool: %v", gerr)
+	}
+	// The tier is intact and not stuck busy.
+	if tier.ReplicaCount() != 1 {
+		t.Fatalf("tier state corrupted: %d replicas", tier.ReplicaCount())
+	}
+	if tier.busy {
+		t.Fatal("tier left busy after failed grow")
+	}
+	// A reactor facing the same situation simply does nothing.
+	r := NewThresholdReactor(p, tier, 0.3, 0.8, nil)
+	r.React(p.Eng.Now(), 0.99)
+	p.Eng.Run()
+	if r.Grows != 0 {
+		t.Fatal("reactor grew with an empty pool")
+	}
+}

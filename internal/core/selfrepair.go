@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+
+	"jade/internal/fractal"
+)
+
+// RepairableTier is the actuation surface of the self-recovery manager
+// (the paper's second autonomic manager, Fig. 3; detailed in ref [4]):
+// replace a failed replica by a fresh one on a newly allocated node.
+type RepairableTier interface {
+	TierActuator
+	// Repair replaces the named failed replica: detach it from the
+	// balancer, discard its component, then grow the tier back.
+	Repair(name string, done func(error))
+}
+
+// discardFailedReplica removes a dead replica from the architecture and
+// the bookkeeping. detach runs first to unhook balancer bindings.
+func (t *tierBase) discardFailedReplica(name string, comp *fractal.Component, detach func() error) error {
+	if err := detach(); err != nil {
+		return err
+	}
+	if comp.State() == fractal.Started {
+		if err := comp.Stop(); err != nil {
+			return err
+		}
+	}
+	if _, err := t.composite.Remove(name); err != nil {
+		return err
+	}
+	node, _ := t.d.NodeOf(name)
+	t.d.unregister(name)
+	t.dropReplica(name)
+	if node != nil {
+		t.p.detachManagement(node)
+		// The failed node returns to the pool; Allocate skips failed
+		// nodes until an operator reboots them.
+		_ = t.p.Pool.Release(node)
+	}
+	return nil
+}
+
+// growWithRetry drives grow, retrying while the tier is busy with a
+// concurrent reconfiguration (e.g. the self-optimization manager's): a
+// repair must not silently drop the lost replica just because another
+// actuation was in flight.
+func (t *tierBase) growWithRetry(grow func(func(error)), attempts int, done func(error)) {
+	grow(func(err error) {
+		if errors.Is(err, ErrTierBusy) && attempts > 1 {
+			t.p.Eng.After(5, "selfrepair:retry", func() {
+				t.growWithRetry(grow, attempts-1, done)
+			})
+			return
+		}
+		done(err)
+	})
+}
+
+// Repair implements RepairableTier for the application tier.
+func (t *AppTier) Repair(name string, done func(error)) {
+	finish := func(err error) {
+		if err != nil {
+			t.p.logf("selfrepair: %s repair of %s failed: %v", t.name, name, err)
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	comp, err := t.d.Component(name)
+	if err != nil {
+		finish(err)
+		return
+	}
+	if err := t.discardFailedReplica(name, comp, func() error {
+		return t.plbComp.Unbind("workers", comp.MustInterface("http"))
+	}); err != nil {
+		finish(err)
+		return
+	}
+	t.p.logf("selfrepair: %s discarded failed replica %s, reallocating", t.name, name)
+	t.growWithRetry(t.Grow, 12, finish)
+}
+
+// Repair implements RepairableTier for the database tier. The C-JDBC
+// controller drops the dead backend on its first failed operation; the
+// replacement replica synchronizes through the recovery log as usual.
+func (t *DBTier) Repair(name string, done func(error)) {
+	finish := func(err error) {
+		if err != nil {
+			t.p.logf("selfrepair: %s repair of %s failed: %v", t.name, name, err)
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	comp, err := t.d.Component(name)
+	if err != nil {
+		finish(err)
+		return
+	}
+	if err := t.discardFailedReplica(name, comp, func() error {
+		// Tell the controller the backend is gone (it may not have
+		// noticed yet if no query touched the dead replica), then remove
+		// the architectural binding if still present.
+		cw := t.wrapper()
+		if cw.Controller() != nil {
+			_ = cw.Controller().MarkFailed(name, nil)
+		}
+		for _, b := range t.cjdbcComp.Bindings("backends") {
+			if b.ServerItf.Owner() == comp {
+				return t.cjdbcComp.Unbind("backends", b.ServerItf)
+			}
+		}
+		return nil
+	}); err != nil {
+		finish(err)
+		return
+	}
+	t.p.logf("selfrepair: %s discarded failed replica %s, reallocating", t.name, name)
+	t.growWithRetry(t.Grow, 12, finish)
+}
+
+// RecoveryManager is the self-recovery autonomic manager: a heartbeat
+// failure detector driving repair actuators, one replica at a time. It is
+// both the loop's sensor (counting failed replica nodes) and its reactor.
+type RecoveryManager struct {
+	p     *Platform
+	Loop  *ControlLoop
+	tiers []RepairableTier
+	busy  bool
+
+	// Arbiter, when set, gates repairs through the arbitration manager
+	// with Priority (default PriorityRecovery: repairs preempt
+	// optimization's quiet windows, never the reverse).
+	Arbiter  *Arbiter
+	Priority int
+
+	// Repairs counts completed repairs.
+	Repairs uint64
+	// OnRepair (optional) observes completed repairs.
+	OnRepair func(tier, replica string)
+}
+
+// NewRecoveryManager assembles (but does not start) the self-recovery
+// manager over the given tiers.
+func NewRecoveryManager(p *Platform, name string, period float64, tiers ...RepairableTier) (*RecoveryManager, error) {
+	m := &RecoveryManager{p: p, tiers: tiers, Priority: PriorityRecovery}
+	loop, err := NewControlLoop(p, name, period, m, m)
+	if err != nil {
+		return nil, err
+	}
+	m.Loop = loop
+	return m, nil
+}
+
+// Sample implements Sensor: it counts failed replicas across tiers.
+func (m *RecoveryManager) Sample(now float64) (float64, bool) {
+	return float64(len(m.failedReplicas())), true
+}
+
+type failedReplica struct {
+	tier RepairableTier
+	name string
+}
+
+func (m *RecoveryManager) failedReplicas() []failedReplica {
+	var out []failedReplica
+	for _, t := range m.tiers {
+		names := t.ReplicaNames()
+		nodes := t.Nodes()
+		for i, name := range names {
+			if i < len(nodes) && nodes[i].Failed() {
+				out = append(out, failedReplica{tier: t, name: name})
+			}
+		}
+	}
+	return out
+}
+
+// React implements Reactor: repair the first failed replica, one repair
+// in flight at a time.
+func (m *RecoveryManager) React(now float64, v float64) {
+	if m.busy || v == 0 {
+		return
+	}
+	failed := m.failedReplicas()
+	if len(failed) == 0 {
+		return
+	}
+	f := failed[0]
+	if m.Arbiter != nil && !m.Arbiter.Request(now, "self-recovery", m.Priority) {
+		return // retried on the next loop period
+	}
+	m.busy = true
+	m.p.logf("selfrepair: detected failure of %s (%s), repairing", f.name, f.tier.TierName())
+	f.tier.Repair(f.name, func(err error) {
+		m.busy = false
+		if err == nil {
+			m.Repairs++
+			if m.OnRepair != nil {
+				m.OnRepair(f.tier.TierName(), f.name)
+			}
+		} else {
+			m.p.logf("selfrepair: repair of %s failed: %v", f.name, err)
+		}
+	})
+}

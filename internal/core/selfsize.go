@@ -1,0 +1,642 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"jade/internal/cjdbc"
+	"jade/internal/cluster"
+	"jade/internal/fractal"
+	"jade/internal/metrics"
+)
+
+// Errors returned by the tier actuators.
+var (
+	ErrTierAtMin = errors.New("jade: tier already at its minimum size")
+	ErrTierAtMax = errors.New("jade: tier already at its maximum size")
+	ErrTierBusy  = errors.New("jade: tier reconfiguration in progress")
+)
+
+// TierActuator is the uniform actuation surface the self-optimization
+// reactor drives: grow or shrink one replicated tier. Thanks to the
+// uniform component interface the actuators are generic — "increasing or
+// decreasing the number of replicas is implemented as adding or removing
+// components in the application structure" (§4.1).
+type TierActuator interface {
+	TierName() string
+	ReplicaCount() int
+	ReplicaNames() []string
+	Nodes() []*cluster.Node
+	CanGrow() bool
+	CanShrink() bool
+	Grow(done func(error))
+	Shrink(done func(error))
+}
+
+// tierBase holds bookkeeping common to both tiers.
+type tierBase struct {
+	p         *Platform
+	d         *Deployment
+	name      string
+	composite *fractal.Component
+	replicas  []string
+	counter   int
+	busy      bool
+
+	// MinReplicas and MaxReplicas bound the tier size (MaxReplicas 0
+	// means "whatever the node pool allows").
+	MinReplicas int
+	MaxReplicas int
+}
+
+func (t *tierBase) TierName() string { return t.name }
+
+func (t *tierBase) ReplicaCount() int { return len(t.replicas) }
+
+func (t *tierBase) ReplicaNames() []string { return append([]string(nil), t.replicas...) }
+
+// Nodes returns the nodes currently hosting replicas.
+func (t *tierBase) Nodes() []*cluster.Node {
+	out := make([]*cluster.Node, 0, len(t.replicas))
+	for _, name := range t.replicas {
+		if n, err := t.d.NodeOf(name); err == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (t *tierBase) CanGrow() bool {
+	if t.busy {
+		return false
+	}
+	if t.MaxReplicas > 0 && len(t.replicas) >= t.MaxReplicas {
+		return false
+	}
+	return t.p.Pool.FreeCount() > 0
+}
+
+func (t *tierBase) CanShrink() bool {
+	return !t.busy && len(t.replicas) > t.MinReplicas
+}
+
+func (t *tierBase) nextName(prefix string) string {
+	for {
+		t.counter++
+		name := fmt.Sprintf("%s%d", prefix, t.counter)
+		if _, err := t.d.Component(name); err != nil {
+			return name
+		}
+	}
+}
+
+func (t *tierBase) dropReplica(name string) {
+	for i, r := range t.replicas {
+		if r == name {
+			t.replicas = append(t.replicas[:i], t.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// AppTier is the application-server tier actuator: Tomcat replicas behind
+// the PLB load balancer, all bound to the same database endpoint.
+type AppTier struct {
+	tierBase
+	plbComp *fractal.Component
+	dbComp  *fractal.Component // the component Tomcat's jdbc itf binds to
+}
+
+// NewAppTier builds the actuator for a deployment. plbName is the PLB
+// component, dbName the component new Tomcats bind their JDBC interface
+// to (C-JDBC in the paper), replicas the initial Tomcat component names.
+func NewAppTier(p *Platform, d *Deployment, plbName, dbName string, replicas []string) (*AppTier, error) {
+	plbComp, err := d.Component(plbName)
+	if err != nil {
+		return nil, err
+	}
+	dbComp, err := d.Component(dbName)
+	if err != nil {
+		return nil, err
+	}
+	var composite *fractal.Component = d.Root
+	for _, r := range replicas {
+		c, err := d.Component(r)
+		if err != nil {
+			return nil, err
+		}
+		if c.Parent() != nil {
+			composite = c.Parent()
+		}
+	}
+	return &AppTier{
+		tierBase: tierBase{
+			p: p, d: d, name: "application-servers",
+			composite:   composite,
+			replicas:    append([]string(nil), replicas...),
+			counter:     len(replicas),
+			MinReplicas: 1,
+		},
+		plbComp: plbComp,
+		dbComp:  dbComp,
+	}, nil
+}
+
+// Grow allocates a node, installs Tomcat, configures and starts a new
+// replica and integrates it with the load balancer.
+func (t *AppTier) Grow(done func(error)) {
+	finish := func(err error) {
+		t.busy = false
+		if err != nil {
+			t.p.logf("selfsize: %s grow failed: %v", t.name, err)
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	if t.busy {
+		done(ErrTierBusy)
+		return
+	}
+	if t.MaxReplicas > 0 && len(t.replicas) >= t.MaxReplicas {
+		done(ErrTierAtMax)
+		return
+	}
+	t.busy = true
+	node, err := t.p.Pool.Allocate()
+	if err != nil {
+		finish(err)
+		return
+	}
+	t.p.SIS.Install("tomcat", node, func(ierr error) {
+		if ierr != nil {
+			_ = t.p.Pool.Release(node)
+			finish(ierr)
+			return
+		}
+		name := t.nextName("tomcat-r")
+		comp, cerr := NewTomcatComponent(t.p, name, node)
+		if cerr != nil {
+			_ = t.p.Pool.Release(node)
+			finish(cerr)
+			return
+		}
+		if err := comp.Bind("jdbc", t.dbComp.MustInterface("jdbc")); err != nil {
+			_ = t.p.Pool.Release(node)
+			finish(err)
+			return
+		}
+		if err := t.composite.Add(comp); err != nil {
+			_ = t.p.Pool.Release(node)
+			finish(err)
+			return
+		}
+		t.d.register(name, comp, node)
+		t.p.StartComponent(comp, func(serr error) {
+			if serr != nil {
+				t.d.unregister(name)
+				if _, rerr := t.composite.Remove(name); rerr != nil {
+					t.p.logf("selfsize: cleanup of %s: %v", name, rerr)
+				}
+				_ = t.p.Pool.Release(node)
+				finish(serr)
+				return
+			}
+			if berr := t.plbComp.Bind("workers", comp.MustInterface("http")); berr != nil {
+				finish(berr)
+				return
+			}
+			t.replicas = append(t.replicas, name)
+			t.p.logf("selfsize: %s grew to %d replicas (+%s on %s)",
+				t.name, len(t.replicas), name, node.Name())
+			finish(nil)
+		})
+	})
+}
+
+// Shrink unbinds the most recently added replica from the load balancer,
+// stops it and releases its node.
+func (t *AppTier) Shrink(done func(error)) {
+	finish := func(err error) {
+		t.busy = false
+		if err != nil {
+			t.p.logf("selfsize: %s shrink failed: %v", t.name, err)
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	if t.busy {
+		done(ErrTierBusy)
+		return
+	}
+	if len(t.replicas) <= t.MinReplicas {
+		done(ErrTierAtMin)
+		return
+	}
+	t.busy = true
+	name := t.replicas[len(t.replicas)-1]
+	comp, err := t.d.Component(name)
+	if err != nil {
+		finish(err)
+		return
+	}
+	if err := t.plbComp.Unbind("workers", comp.MustInterface("http")); err != nil {
+		finish(err)
+		return
+	}
+	t.p.StopComponent(comp, func(serr error) {
+		if serr != nil {
+			finish(serr)
+			return
+		}
+		if err := comp.Unbind("jdbc", nil); err != nil {
+			finish(err)
+			return
+		}
+		if _, err := t.composite.Remove(name); err != nil {
+			finish(err)
+			return
+		}
+		node, _ := t.d.NodeOf(name)
+		t.d.unregister(name)
+		t.dropReplica(name)
+		if node != nil {
+			t.p.detachManagement(node)
+			_ = t.p.Pool.Release(node)
+		}
+		t.p.logf("selfsize: %s shrank to %d replicas (-%s)", t.name, len(t.replicas), name)
+		finish(nil)
+	})
+}
+
+// DBTier is the database tier actuator: MySQL replicas behind the C-JDBC
+// controller, kept consistent through the recovery log.
+type DBTier struct {
+	tierBase
+	cjdbcComp *fractal.Component
+
+	// StateTransferSeconds models copying the database snapshot onto the
+	// new replica's node before replaying the log delta.
+	StateTransferSeconds float64
+
+	// DumpName names the registered dump used when no active backend is
+	// left to snapshot (e.g. repairing the last replica after a crash):
+	// the new replica installs the initial dump and replays the whole
+	// recovery log, exactly the §4.1 cold path. Default "rubis".
+	DumpName string
+}
+
+// NewDBTier builds the actuator. cjdbcName is the controller component,
+// replicas the initial MySQL component names.
+func NewDBTier(p *Platform, d *Deployment, cjdbcName string, replicas []string) (*DBTier, error) {
+	cjdbcComp, err := d.Component(cjdbcName)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := cjdbcComp.Content().(*CJDBCWrapper); !ok {
+		return nil, fmt.Errorf("jade: %s is not a cjdbc component", cjdbcName)
+	}
+	var composite *fractal.Component = d.Root
+	for _, r := range replicas {
+		c, err := d.Component(r)
+		if err != nil {
+			return nil, err
+		}
+		if c.Parent() != nil {
+			composite = c.Parent()
+		}
+	}
+	return &DBTier{
+		tierBase: tierBase{
+			p: p, d: d, name: "database-backends",
+			composite:   composite,
+			replicas:    append([]string(nil), replicas...),
+			counter:     len(replicas),
+			MinReplicas: 1,
+		},
+		cjdbcComp:            cjdbcComp,
+		StateTransferSeconds: 5,
+		DumpName:             "rubis",
+	}, nil
+}
+
+func (t *DBTier) wrapper() *CJDBCWrapper { return t.cjdbcComp.Content().(*CJDBCWrapper) }
+
+// Grow implements the §4.1 protocol for adding a database replica:
+// allocate a node, install MySQL, install a snapshot of an active
+// backend, start the server, replay the recovery-log delta, activate, and
+// record the binding in the management layer.
+func (t *DBTier) Grow(done func(error)) {
+	finish := func(err error) {
+		t.busy = false
+		if err != nil {
+			t.p.logf("selfsize: %s grow failed: %v", t.name, err)
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	if t.busy {
+		done(ErrTierBusy)
+		return
+	}
+	if t.MaxReplicas > 0 && len(t.replicas) >= t.MaxReplicas {
+		done(ErrTierAtMax)
+		return
+	}
+	cw := t.wrapper()
+	if cw.Controller() == nil || !cw.Controller().Running() {
+		done(fmt.Errorf("jade: cjdbc %s is not running", t.cjdbcComp.Name()))
+		return
+	}
+	t.busy = true
+	node, err := t.p.Pool.Allocate()
+	if err != nil {
+		finish(err)
+		return
+	}
+	t.p.SIS.Install("mysql", node, func(ierr error) {
+		if ierr != nil {
+			_ = t.p.Pool.Release(node)
+			finish(ierr)
+			return
+		}
+		snap, idx, serr := cw.Controller().AnyActiveSnapshot()
+		if errors.Is(serr, cjdbc.ErrNoBackend) && t.DumpName != "" {
+			// No live replica to snapshot (repairing the last backend):
+			// fall back to the initial dump at recovery-log index 0 and
+			// replay the whole log.
+			if dump, ok := t.p.Dump(t.DumpName); ok {
+				snap, idx, serr = dump, 0, nil
+				t.p.logf("selfsize: %s has no active backend; rebuilding from dump %q + full log replay",
+					t.name, t.DumpName)
+			}
+		}
+		if serr != nil {
+			_ = t.p.Pool.Release(node)
+			finish(serr)
+			return
+		}
+		name := t.nextName("mysql-r")
+		comp, cerr := NewMySQLComponent(t.p, name, node)
+		if cerr != nil {
+			_ = t.p.Pool.Release(node)
+			finish(cerr)
+			return
+		}
+		mw := comp.Content().(*MySQLWrapper)
+		// State transfer: copy the snapshot onto the new node.
+		t.p.Eng.After(t.StateTransferSeconds, "dbtier:state-transfer", func() {
+			if err := mw.Server().LoadSnapshot(snap); err != nil {
+				_ = t.p.Pool.Release(node)
+				finish(err)
+				return
+			}
+			if err := t.composite.Add(comp); err != nil {
+				_ = t.p.Pool.Release(node)
+				finish(err)
+				return
+			}
+			t.d.register(name, comp, node)
+			t.p.StartComponent(comp, func(sterr error) {
+				if sterr != nil {
+					t.d.unregister(name)
+					if _, rerr := t.composite.Remove(name); rerr != nil {
+						t.p.logf("selfsize: cleanup of %s: %v", name, rerr)
+					}
+					_ = t.p.Pool.Release(node)
+					finish(sterr)
+					return
+				}
+				jerr := cw.JoinBackend(name, mw, idx, func(syncErr error) {
+					if syncErr != nil {
+						finish(syncErr)
+						return
+					}
+					if berr := t.cjdbcComp.Bind("backends", comp.MustInterface("sql")); berr != nil {
+						finish(berr)
+						return
+					}
+					t.replicas = append(t.replicas, name)
+					t.p.logf("selfsize: %s grew to %d replicas (+%s on %s, replayed from log index %d)",
+						t.name, len(t.replicas), name, node.Name(), idx)
+					finish(nil)
+				})
+				if jerr != nil {
+					finish(jerr)
+				}
+			})
+		})
+	})
+}
+
+// Shrink disables the most recently added replica (its checkpoint index
+// is recorded in the recovery log), stops it and releases its node.
+func (t *DBTier) Shrink(done func(error)) {
+	finish := func(err error) {
+		t.busy = false
+		if err != nil {
+			t.p.logf("selfsize: %s shrink failed: %v", t.name, err)
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	if t.busy {
+		done(ErrTierBusy)
+		return
+	}
+	if len(t.replicas) <= t.MinReplicas {
+		done(ErrTierAtMin)
+		return
+	}
+	cw := t.wrapper()
+	t.busy = true
+	name := t.replicas[len(t.replicas)-1]
+	comp, err := t.d.Component(name)
+	if err != nil {
+		finish(err)
+		return
+	}
+	lerr := cw.LeaveBackend(name, func(checkpoint int64) {
+		if err := t.cjdbcComp.Unbind("backends", comp.MustInterface("sql")); err != nil {
+			finish(err)
+			return
+		}
+		t.p.StopComponent(comp, func(serr error) {
+			if serr != nil {
+				finish(serr)
+				return
+			}
+			if _, err := t.composite.Remove(name); err != nil {
+				finish(err)
+				return
+			}
+			node, _ := t.d.NodeOf(name)
+			t.d.unregister(name)
+			t.dropReplica(name)
+			if node != nil {
+				t.p.detachManagement(node)
+				_ = t.p.Pool.Release(node)
+			}
+			t.p.logf("selfsize: %s shrank to %d replicas (-%s, checkpoint %d)",
+				t.name, len(t.replicas), name, checkpoint)
+			finish(nil)
+		})
+	})
+	if lerr != nil {
+		finish(lerr)
+	}
+}
+
+// ThresholdReactor is the paper's decision logic: keep the tier's
+// smoothed CPU usage between a minimum and a maximum threshold by
+// resizing, with a shared post-reconfiguration inhibition window.
+type ThresholdReactor struct {
+	p    *Platform
+	tier TierActuator
+
+	// Min and Max are the CPU-usage thresholds.
+	Min, Max float64
+	// Inhibit is the (possibly shared) inhibition latch.
+	Inhibit *Inhibitor
+	// InhibitSeconds is the post-reconfiguration quiet period.
+	InhibitSeconds float64
+	// Arbiter, when set, replaces the Inhibitor: reconfigurations are
+	// requested from the arbitration manager with Priority (see
+	// Arbiter; this is the paper's future-work conflict arbitration).
+	Arbiter  *Arbiter
+	Priority int
+	// OnResize (optional) observes replica-count changes.
+	OnResize func(now float64, replicas int)
+
+	// Grows and Shrinks count completed reconfigurations.
+	Grows, Shrinks uint64
+}
+
+func (r *ThresholdReactor) gate() gate {
+	if r.Arbiter != nil {
+		return arbiterGate{r.Arbiter}
+	}
+	return inhibitorGate{i: r.Inhibit, seconds: r.InhibitSeconds}
+}
+
+// NewThresholdReactor builds the reactor with the paper's one-minute
+// inhibition.
+func NewThresholdReactor(p *Platform, tier TierActuator, min, max float64, shared *Inhibitor) *ThresholdReactor {
+	if shared == nil {
+		shared = &Inhibitor{}
+	}
+	return &ThresholdReactor{
+		p:              p,
+		tier:           tier,
+		Min:            min,
+		Max:            max,
+		Inhibit:        shared,
+		InhibitSeconds: 60,
+		Priority:       PriorityOptimization,
+	}
+}
+
+// React implements Reactor.
+func (r *ThresholdReactor) React(now float64, v float64) {
+	switch {
+	case v > r.Max && r.tier.CanGrow():
+		if !r.gate().tryAcquire(now, r.tier.TierName(), r.Priority) {
+			return
+		}
+		r.p.logf("selfsize: %s cpu %.2f > %.2f, growing", r.tier.TierName(), v, r.Max)
+		r.tier.Grow(func(err error) {
+			if err == nil {
+				r.Grows++
+				r.notify()
+			}
+		})
+	case v < r.Min && r.tier.CanShrink():
+		if !r.gate().tryAcquire(now, r.tier.TierName(), r.Priority) {
+			return
+		}
+		r.p.logf("selfsize: %s cpu %.2f < %.2f, shrinking", r.tier.TierName(), v, r.Min)
+		r.tier.Shrink(func(err error) {
+			if err == nil {
+				r.Shrinks++
+				r.notify()
+			}
+		})
+	}
+}
+
+func (r *ThresholdReactor) notify() {
+	if r.OnResize != nil {
+		r.OnResize(r.p.Eng.Now(), r.tier.ReplicaCount())
+	}
+}
+
+// SizingConfig parameterizes one self-optimization manager instance.
+type SizingConfig struct {
+	// Period is the control loop execution interval (1 s in the paper).
+	Period float64
+	// Window is the CPU moving-average span (60 s app tier, 90 s db
+	// tier in the paper).
+	Window float64
+	// Min and Max are the CPU thresholds.
+	Min, Max float64
+	// InhibitSeconds is the post-reconfiguration quiet period (60 s).
+	InhibitSeconds float64
+	// MaxReplicas caps the tier (0 = pool-bounded).
+	MaxReplicas int
+}
+
+// AppSizingDefaults mirrors the paper's application-tier loop.
+func AppSizingDefaults() SizingConfig {
+	return SizingConfig{Period: 1, Window: 60, Min: 0.35, Max: 0.80, InhibitSeconds: 60}
+}
+
+// DBSizingDefaults mirrors the paper's database-tier loop.
+func DBSizingDefaults() SizingConfig {
+	return SizingConfig{Period: 1, Window: 90, Min: 0.40, Max: 0.80, InhibitSeconds: 60}
+}
+
+// SizingManager is one deployed self-optimization manager: a CPU sensor,
+// a threshold reactor and the control loop binding them, plus the series
+// the experiment figures read.
+type SizingManager struct {
+	Loop    *ControlLoop
+	Sensor  *CPUSensor
+	Reactor *ThresholdReactor
+	Tier    TierActuator
+
+	// Replicas traces the tier size over time (Fig. 5).
+	Replicas *metrics.Series
+}
+
+// NewSizingManager assembles and registers (but does not start) a
+// self-optimization manager for one tier.
+func NewSizingManager(p *Platform, name string, tier TierActuator, cfg SizingConfig, shared *Inhibitor) (*SizingManager, error) {
+	sensor := NewCPUSensor(tier.Nodes, cfg.Window, p.opts.ProbeCPUCost)
+	reactor := NewThresholdReactor(p, tier, cfg.Min, cfg.Max, shared)
+	reactor.InhibitSeconds = cfg.InhibitSeconds
+	if tb, ok := tier.(interface{ setMax(int) }); ok && cfg.MaxReplicas > 0 {
+		tb.setMax(cfg.MaxReplicas)
+	}
+	loop, err := NewControlLoop(p, name, cfg.Period, sensor, reactor)
+	if err != nil {
+		return nil, err
+	}
+	m := &SizingManager{
+		Loop:     loop,
+		Sensor:   sensor,
+		Reactor:  reactor,
+		Tier:     tier,
+		Replicas: metrics.NewSeries(tier.TierName() + "-replicas"),
+	}
+	m.Replicas.Add(p.Eng.Now(), float64(tier.ReplicaCount()))
+	reactor.OnResize = func(now float64, replicas int) {
+		m.Replicas.Add(now, float64(replicas))
+	}
+	return m, nil
+}
+
+// setMax lets SizingConfig.MaxReplicas reach the embedded tierBase.
+func (t *tierBase) setMax(n int) { t.MaxReplicas = n }

@@ -1,0 +1,821 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"jade/internal/cjdbc"
+	"jade/internal/cluster"
+	"jade/internal/config"
+	"jade/internal/fractal"
+	"jade/internal/l4"
+	"jade/internal/legacy"
+	"jade/internal/plb"
+)
+
+// Errors returned by wrappers.
+var (
+	ErrBadAttribute    = errors.New("jade: invalid attribute value")
+	ErrAttributeFrozen = errors.New("jade: attribute cannot change while running")
+	ErrNotSynced       = errors.New("jade: backend must be synchronized before binding (use the db tier actuator)")
+)
+
+// Interface signatures used across the management layer.
+const (
+	SigHTTP = "http"
+	SigAJP  = "ajp13"
+	SigJDBC = "jdbc"
+)
+
+// Wrapper is the content contract of every Jade-managed component: the
+// synchronous Fractal hooks reflect attribute and binding changes into
+// legacy configuration files; StartManaged/StopManaged run the legacy
+// start/stop scripts, which take (simulated) time.
+type Wrapper interface {
+	Kind() string
+	Node() *cluster.Node
+	StartManaged(done func(error))
+	StopManaged(done func(error))
+}
+
+// httpEndpoint is implemented by wrappers whose legacy software serves
+// HTTP, so balancers can obtain the request target.
+type httpEndpoint interface {
+	HTTPEndpoint() legacy.HTTPHandler
+}
+
+// WrapperFactory builds a wrapped component on a node.
+type WrapperFactory func(p *Platform, name string, node *cluster.Node) (*fractal.Component, error)
+
+// startRank orders component startup so that servers register their
+// listeners before their clients resolve them (db → db balancer → app →
+// app balancer → web → web switch).
+func startRank(kind string) int {
+	switch kind {
+	case "mysql":
+		return 0
+	case "cjdbc":
+		return 1
+	case "tomcat":
+		return 2
+	case "plb":
+		return 3
+	case "apache":
+		return 4
+	case "l4":
+		return 5
+	}
+	return 9
+}
+
+func registerStandardWrappers(p *Platform) {
+	p.RegisterWrapper("apache", NewApacheComponent)
+	p.RegisterWrapper("tomcat", NewTomcatComponent)
+	p.RegisterWrapper("mysql", NewMySQLComponent)
+	p.RegisterWrapper("cjdbc", NewCJDBCComponent)
+	p.RegisterWrapper("plb", NewPLBComponent)
+	p.RegisterWrapper("l4", NewL4Component)
+}
+
+// targetWrapper resolves the wrapper behind a server interface.
+func targetWrapper(server *fractal.Interface) (Wrapper, error) {
+	w, ok := server.Owner().Content().(Wrapper)
+	if !ok {
+		return nil, fmt.Errorf("jade: %s is not a managed component", server.Owner().Name())
+	}
+	return w, nil
+}
+
+// --- Apache wrapper ---
+
+// ApacheWrapper manages an Apache web server. Attribute "port" is
+// reflected into httpd.conf's Listen directive; bindings of the "ajp"
+// client interface are reflected into worker.properties (§3.2's example
+// wrapper); the lifecycle controller runs the Apache start/stop scripts.
+type ApacheWrapper struct {
+	p    *Platform
+	srv  *legacy.Apache
+	comp *fractal.Component
+}
+
+// NewApacheComponent is the WrapperFactory for Apache.
+func NewApacheComponent(p *Platform, name string, node *cluster.Node) (*fractal.Component, error) {
+	w := &ApacheWrapper{p: p, srv: legacy.NewApache(p.Env(), name, node, legacy.DefaultApacheOptions())}
+	comp, err := fractal.NewPrimitive(name, w,
+		fractal.ItfSpec{Name: "http", Signature: SigHTTP, Role: fractal.Server},
+		fractal.ItfSpec{Name: "ajp", Signature: SigAJP, Role: fractal.Client,
+			Contingency: fractal.Optional, Collection: true},
+	)
+	if err != nil {
+		return nil, err
+	}
+	w.comp = comp
+	hc := config.NewHTTPDConf()
+	hc.Set("ServerName", node.Name())
+	hc.Set("Listen", "80")
+	if err := p.FS.WriteFile(w.srv.ConfPath(), []byte(hc.Render())); err != nil {
+		return nil, err
+	}
+	if err := p.FS.WriteFile(w.srv.WorkersPath(), []byte(config.NewWorkerProperties().Render())); err != nil {
+		return nil, err
+	}
+	if err := comp.SetAttribute("port", "80"); err != nil {
+		return nil, err
+	}
+	p.attachManagement(node)
+	return comp, nil
+}
+
+// Kind implements Wrapper.
+func (w *ApacheWrapper) Kind() string { return "apache" }
+
+// Node implements Wrapper.
+func (w *ApacheWrapper) Node() *cluster.Node { return w.srv.Node() }
+
+// Server exposes the managed Apache instance.
+func (w *ApacheWrapper) Server() *legacy.Apache { return w.srv }
+
+// HTTPEndpoint implements httpEndpoint.
+func (w *ApacheWrapper) HTTPEndpoint() legacy.HTTPHandler { return w.srv }
+
+// OnSetAttribute reflects attributes into httpd.conf.
+func (w *ApacheWrapper) OnSetAttribute(c *fractal.Component, name, value string) error {
+	switch name {
+	case "port":
+		port, err := strconv.Atoi(value)
+		if err != nil || port <= 0 {
+			return fmt.Errorf("%w: apache port %q", ErrBadAttribute, value)
+		}
+		return w.editHTTPD(func(hc *config.HTTPDConf) { hc.Set("Listen", value) })
+	default:
+		return nil // free-form attributes are recorded only
+	}
+}
+
+func (w *ApacheWrapper) editHTTPD(edit func(*config.HTTPDConf)) error {
+	raw, err := w.p.FS.ReadFile(w.srv.ConfPath())
+	if err != nil {
+		return err
+	}
+	hc, err := legacy.ParseHTTPD(raw)
+	if err != nil {
+		return err
+	}
+	edit(hc)
+	return w.p.FS.WriteFile(w.srv.ConfPath(), []byte(hc.Render()))
+}
+
+func (w *ApacheWrapper) editWorkers(edit func(*config.WorkerProperties)) error {
+	raw, err := w.p.FS.ReadFile(w.srv.WorkersPath())
+	if err != nil {
+		return err
+	}
+	wp, err := legacy.ParseWorkers(raw)
+	if err != nil {
+		return err
+	}
+	edit(wp)
+	return w.p.FS.WriteFile(w.srv.WorkersPath(), []byte(wp.Render()))
+}
+
+// OnBind reflects an AJP binding into worker.properties.
+func (w *ApacheWrapper) OnBind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	tw, err := targetWrapper(server)
+	if err != nil {
+		return err
+	}
+	port, err := strconv.Atoi(server.Owner().AttributeOr("ajp-port", "8009"))
+	if err != nil {
+		return fmt.Errorf("%w: ajp-port on %s", ErrBadAttribute, server.Owner().Name())
+	}
+	return w.editWorkers(func(wp *config.WorkerProperties) {
+		wp.SetWorker(config.Worker{
+			Name:     server.Owner().Name(),
+			Host:     tw.Node().Name(),
+			Port:     port,
+			Type:     "ajp13",
+			LBFactor: 100,
+		})
+	})
+}
+
+// OnUnbind removes the worker from worker.properties.
+func (w *ApacheWrapper) OnUnbind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	return w.editWorkers(func(wp *config.WorkerProperties) {
+		wp.RemoveWorker(server.Owner().Name())
+	})
+}
+
+// StartManaged runs the Apache start script.
+func (w *ApacheWrapper) StartManaged(done func(error)) { w.srv.Start(done) }
+
+// StopManaged runs the Apache stop script.
+func (w *ApacheWrapper) StopManaged(done func(error)) { w.srv.Stop(done) }
+
+// --- Tomcat wrapper ---
+
+// TomcatWrapper manages a Tomcat servlet server: attributes "ajp-port"
+// and "http-port" edit server.xml connectors; the "jdbc" client binding
+// writes the JDBC resource URL.
+type TomcatWrapper struct {
+	p    *Platform
+	srv  *legacy.Tomcat
+	comp *fractal.Component
+}
+
+// NewTomcatComponent is the WrapperFactory for Tomcat.
+func NewTomcatComponent(p *Platform, name string, node *cluster.Node) (*fractal.Component, error) {
+	w := &TomcatWrapper{p: p, srv: legacy.NewTomcat(p.Env(), name, node, legacy.DefaultTomcatOptions())}
+	comp, err := fractal.NewPrimitive(name, w,
+		fractal.ItfSpec{Name: "http", Signature: SigHTTP, Role: fractal.Server},
+		fractal.ItfSpec{Name: "ajp", Signature: SigAJP, Role: fractal.Server},
+		fractal.ItfSpec{Name: "jdbc", Signature: SigJDBC, Role: fractal.Client,
+			Contingency: fractal.Optional},
+	)
+	if err != nil {
+		return nil, err
+	}
+	w.comp = comp
+	sx := config.NewServerXML(name)
+	sx.SetConnector("ajp13", 8009, "")
+	sx.SetConnector("http", 8080, "")
+	sx.Contexts = append(sx.Contexts, config.WebContextXML{Path: "/rubis", DocBase: "rubis"})
+	text, err := sx.Render()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.FS.WriteFile(w.srv.ConfPath(), []byte(text)); err != nil {
+		return nil, err
+	}
+	for attr, v := range map[string]string{"ajp-port": "8009", "http-port": "8080"} {
+		if err := comp.SetAttribute(attr, v); err != nil {
+			return nil, err
+		}
+	}
+	p.attachManagement(node)
+	return comp, nil
+}
+
+// Kind implements Wrapper.
+func (w *TomcatWrapper) Kind() string { return "tomcat" }
+
+// Node implements Wrapper.
+func (w *TomcatWrapper) Node() *cluster.Node { return w.srv.Node() }
+
+// Server exposes the managed Tomcat instance.
+func (w *TomcatWrapper) Server() *legacy.Tomcat { return w.srv }
+
+// HTTPEndpoint implements httpEndpoint.
+func (w *TomcatWrapper) HTTPEndpoint() legacy.HTTPHandler { return w.srv }
+
+func (w *TomcatWrapper) editServerXML(edit func(*config.ServerXML)) error {
+	raw, err := w.p.FS.ReadFile(w.srv.ConfPath())
+	if err != nil {
+		return err
+	}
+	sx, err := legacy.ParseServerXML(raw)
+	if err != nil {
+		return err
+	}
+	edit(sx)
+	text, err := sx.Render()
+	if err != nil {
+		return err
+	}
+	return w.p.FS.WriteFile(w.srv.ConfPath(), []byte(text))
+}
+
+// OnSetAttribute reflects connector ports into server.xml.
+func (w *TomcatWrapper) OnSetAttribute(c *fractal.Component, name, value string) error {
+	switch name {
+	case "ajp-port", "http-port":
+		port, err := strconv.Atoi(value)
+		if err != nil || port <= 0 {
+			return fmt.Errorf("%w: tomcat %s %q", ErrBadAttribute, name, value)
+		}
+		proto := "ajp13"
+		if name == "http-port" {
+			proto = "http"
+		}
+		return w.editServerXML(func(sx *config.ServerXML) { sx.SetConnector(proto, port, "") })
+	default:
+		return nil
+	}
+}
+
+// OnBind writes the JDBC resource into server.xml.
+func (w *TomcatWrapper) OnBind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	tw, err := targetWrapper(server)
+	if err != nil {
+		return err
+	}
+	port := server.Owner().AttributeOr("port", "3306")
+	url := fmt.Sprintf("jdbc:mysql://%s:%s/rubis", tw.Node().Name(), port)
+	return w.editServerXML(func(sx *config.ServerXML) {
+		sx.SetJDBC("rubis", "com.mysql.jdbc.Driver", url)
+	})
+}
+
+// OnUnbind removes the JDBC resource.
+func (w *TomcatWrapper) OnUnbind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	return w.editServerXML(func(sx *config.ServerXML) { sx.RemoveJDBC("rubis") })
+}
+
+// StartManaged runs Tomcat's start script.
+func (w *TomcatWrapper) StartManaged(done func(error)) { w.srv.Start(done) }
+
+// StopManaged runs Tomcat's stop script.
+func (w *TomcatWrapper) StopManaged(done func(error)) { w.srv.Stop(done) }
+
+// --- MySQL wrapper ---
+
+// MySQLWrapper manages a MySQL server: attribute "port" edits my.cnf;
+// attribute "dump" names a registered database dump installed on first
+// start (the RUBiS dataset in the experiments).
+type MySQLWrapper struct {
+	p    *Platform
+	srv  *legacy.MySQL
+	comp *fractal.Component
+}
+
+// NewMySQLComponent is the WrapperFactory for MySQL.
+func NewMySQLComponent(p *Platform, name string, node *cluster.Node) (*fractal.Component, error) {
+	w := &MySQLWrapper{p: p, srv: legacy.NewMySQL(p.Env(), name, node, legacy.DefaultMySQLOptions())}
+	comp, err := fractal.NewPrimitive(name, w,
+		fractal.ItfSpec{Name: "sql", Signature: SigJDBC, Role: fractal.Server},
+	)
+	if err != nil {
+		return nil, err
+	}
+	w.comp = comp
+	cnf := config.NewMyCnf()
+	cnf.SetInt("mysqld", "port", 3306)
+	cnf.Set("mysqld", "datadir", "/var/lib/mysql")
+	if err := p.FS.WriteFile(w.srv.ConfPath(), []byte(cnf.Render())); err != nil {
+		return nil, err
+	}
+	if err := comp.SetAttribute("port", "3306"); err != nil {
+		return nil, err
+	}
+	p.attachManagement(node)
+	return comp, nil
+}
+
+// Kind implements Wrapper.
+func (w *MySQLWrapper) Kind() string { return "mysql" }
+
+// Node implements Wrapper.
+func (w *MySQLWrapper) Node() *cluster.Node { return w.srv.Node() }
+
+// Server exposes the managed MySQL instance.
+func (w *MySQLWrapper) Server() *legacy.MySQL { return w.srv }
+
+// OnSetAttribute reflects the port into my.cnf.
+func (w *MySQLWrapper) OnSetAttribute(c *fractal.Component, name, value string) error {
+	switch name {
+	case "port":
+		port, err := strconv.Atoi(value)
+		if err != nil || port <= 0 {
+			return fmt.Errorf("%w: mysql port %q", ErrBadAttribute, value)
+		}
+		raw, rerr := w.p.FS.ReadFile(w.srv.ConfPath())
+		if rerr != nil {
+			return rerr
+		}
+		cnf, perr := legacy.ParseMyCnf(raw)
+		if perr != nil {
+			return perr
+		}
+		cnf.SetInt("mysqld", "port", port)
+		return w.p.FS.WriteFile(w.srv.ConfPath(), []byte(cnf.Render()))
+	default:
+		return nil
+	}
+}
+
+// StartManaged installs the configured dump on an empty database, then
+// runs the MySQL start script.
+func (w *MySQLWrapper) StartManaged(done func(error)) {
+	if dumpName := w.comp.AttributeOr("dump", ""); dumpName != "" && len(w.srv.DB().Tables()) == 0 {
+		dump, ok := w.p.Dump(dumpName)
+		if !ok {
+			done(fmt.Errorf("jade: mysql %s: unknown dump %q", w.comp.Name(), dumpName))
+			return
+		}
+		if err := w.srv.LoadSnapshot(dump); err != nil {
+			done(err)
+			return
+		}
+	}
+	w.srv.Start(done)
+}
+
+// StopManaged runs the MySQL stop script.
+func (w *MySQLWrapper) StopManaged(done func(error)) { w.srv.Stop(done) }
+
+// --- C-JDBC wrapper ---
+
+// CJDBCWrapper manages the C-JDBC database controller. Its "backends"
+// client interface is a dynamic collection: initial deployment binds the
+// starting replicas (joined at index 0 during StartManaged, since all are
+// installed from the same dump before any write); at run time the db tier
+// actuator synchronizes a replica through the recovery log and *then*
+// binds it.
+type CJDBCWrapper struct {
+	p    *Platform
+	node *cluster.Node
+	comp *fractal.Component
+	ctl  *cjdbc.Controller
+}
+
+// NewCJDBCComponent is the WrapperFactory for C-JDBC.
+func NewCJDBCComponent(p *Platform, name string, node *cluster.Node) (*fractal.Component, error) {
+	w := &CJDBCWrapper{p: p, node: node}
+	comp, err := fractal.NewPrimitive(name, w,
+		fractal.ItfSpec{Name: "jdbc", Signature: SigJDBC, Role: fractal.Server},
+		fractal.ItfSpec{Name: "backends", Signature: SigJDBC, Role: fractal.Client,
+			Contingency: fractal.Optional, Collection: true, Dynamic: true},
+	)
+	if err != nil {
+		return nil, err
+	}
+	w.comp = comp
+	if err := comp.SetAttribute("port", "25322"); err != nil {
+		return nil, err
+	}
+	p.attachManagement(node)
+	return comp, nil
+}
+
+// Kind implements Wrapper.
+func (w *CJDBCWrapper) Kind() string { return "cjdbc" }
+
+// Node implements Wrapper.
+func (w *CJDBCWrapper) Node() *cluster.Node { return w.node }
+
+// Controller exposes the managed C-JDBC controller (nil before start).
+func (w *CJDBCWrapper) Controller() *cjdbc.Controller { return w.ctl }
+
+// OnSetAttribute validates controller attributes (frozen while running).
+func (w *CJDBCWrapper) OnSetAttribute(c *fractal.Component, name, value string) error {
+	switch name {
+	case "port":
+		if w.ctl != nil && w.ctl.Running() {
+			return fmt.Errorf("%w: cjdbc port", ErrAttributeFrozen)
+		}
+		if port, err := strconv.Atoi(value); err != nil || port <= 0 {
+			return fmt.Errorf("%w: cjdbc port %q", ErrBadAttribute, value)
+		}
+	case "read-policy":
+		if w.ctl != nil && w.ctl.Running() {
+			return fmt.Errorf("%w: cjdbc read-policy", ErrAttributeFrozen)
+		}
+		if _, err := parseReadPolicy(value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseReadPolicy(v string) (cjdbc.ReadPolicy, error) {
+	switch v {
+	case "", "least-pending":
+		return cjdbc.LeastPendingReads, nil
+	case "round-robin":
+		return cjdbc.RoundRobinReads, nil
+	}
+	return 0, fmt.Errorf("%w: cjdbc read-policy %q", ErrBadAttribute, v)
+}
+
+// OnBind validates a backend binding. A running controller only accepts
+// bindings for backends it already knows (i.e. that the actuator joined
+// after a recovery-log sync); deployment-time bindings are joined at
+// StartManaged.
+func (w *CJDBCWrapper) OnBind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	if _, err := w.mysqlOf(server); err != nil {
+		return err
+	}
+	if w.ctl != nil && w.ctl.Running() {
+		for _, b := range w.ctl.Backends() {
+			if b.Name == server.Owner().Name() {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: %s", ErrNotSynced, server.Owner().Name())
+	}
+	return nil
+}
+
+// OnUnbind accepts removals; the controller-side Leave happens through
+// the actuator before the architectural unbind.
+func (w *CJDBCWrapper) OnUnbind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	return nil
+}
+
+func (w *CJDBCWrapper) mysqlOf(server *fractal.Interface) (*MySQLWrapper, error) {
+	mw, ok := server.Owner().Content().(*MySQLWrapper)
+	if !ok {
+		return nil, fmt.Errorf("jade: cjdbc backend %s is not a mysql component", server.Owner().Name())
+	}
+	return mw, nil
+}
+
+// StartManaged starts the controller and joins every bound backend at
+// recovery-log index 0 (all initial replicas hold the same dump).
+func (w *CJDBCWrapper) StartManaged(done func(error)) {
+	port, err := strconv.Atoi(w.comp.AttributeOr("port", "25322"))
+	if err != nil {
+		done(fmt.Errorf("%w: cjdbc port", ErrBadAttribute))
+		return
+	}
+	opts := cjdbc.DefaultOptions()
+	opts.Port = port
+	policy, err := parseReadPolicy(w.comp.AttributeOr("read-policy", ""))
+	if err != nil {
+		done(err)
+		return
+	}
+	opts.ReadPolicy = policy
+	w.ctl = cjdbc.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
+	if err := w.ctl.Start(); err != nil {
+		done(err)
+		return
+	}
+	bindings := w.comp.Bindings("backends")
+	var joinNext func(i int)
+	joinNext = func(i int) {
+		if i >= len(bindings) {
+			done(nil)
+			return
+		}
+		server := bindings[i].ServerItf
+		mw, err := w.mysqlOf(server)
+		if err != nil {
+			done(err)
+			return
+		}
+		err = w.ctl.JoinAt(server.Owner().Name(), mw.Server(), 0, func(jerr error) {
+			if jerr != nil {
+				done(jerr)
+				return
+			}
+			joinNext(i + 1)
+		})
+		if err != nil {
+			done(err)
+		}
+	}
+	joinNext(0)
+}
+
+// StopManaged disables all backends and stops the controller.
+func (w *CJDBCWrapper) StopManaged(done func(error)) {
+	if w.ctl == nil {
+		done(nil)
+		return
+	}
+	w.ctl.Stop()
+	done(nil)
+}
+
+// JoinBackend synchronizes and activates a replica already installed and
+// started on its node: the §4.1 recovery-log protocol.
+func (w *CJDBCWrapper) JoinBackend(name string, mw *MySQLWrapper, atIndex int64, done func(error)) error {
+	if w.ctl == nil || !w.ctl.Running() {
+		return fmt.Errorf("jade: cjdbc %s is not running", w.comp.Name())
+	}
+	return w.ctl.JoinAt(name, mw.Server(), atIndex, done)
+}
+
+// LeaveBackend cleanly disables a replica, recording its checkpoint.
+func (w *CJDBCWrapper) LeaveBackend(name string, done func(int64)) error {
+	if w.ctl == nil || !w.ctl.Running() {
+		return fmt.Errorf("jade: cjdbc %s is not running", w.comp.Name())
+	}
+	return w.ctl.Leave(name, done)
+}
+
+// --- PLB wrapper ---
+
+// PLBWrapper manages the application-tier load balancer. Its "workers"
+// client interface is a dynamic collection; binding and unbinding while
+// running adds and removes workers live (the self-sizing actuator path).
+type PLBWrapper struct {
+	p    *Platform
+	node *cluster.Node
+	comp *fractal.Component
+	b    *plb.Balancer
+}
+
+// NewPLBComponent is the WrapperFactory for PLB.
+func NewPLBComponent(p *Platform, name string, node *cluster.Node) (*fractal.Component, error) {
+	w := &PLBWrapper{p: p, node: node}
+	comp, err := fractal.NewPrimitive(name, w,
+		fractal.ItfSpec{Name: "http", Signature: SigHTTP, Role: fractal.Server},
+		fractal.ItfSpec{Name: "workers", Signature: SigHTTP, Role: fractal.Client,
+			Contingency: fractal.Optional, Collection: true, Dynamic: true},
+	)
+	if err != nil {
+		return nil, err
+	}
+	w.comp = comp
+	if err := comp.SetAttribute("port", "8080"); err != nil {
+		return nil, err
+	}
+	p.attachManagement(node)
+	return comp, nil
+}
+
+// Kind implements Wrapper.
+func (w *PLBWrapper) Kind() string { return "plb" }
+
+// Node implements Wrapper.
+func (w *PLBWrapper) Node() *cluster.Node { return w.node }
+
+// Balancer exposes the managed PLB instance (nil before start).
+func (w *PLBWrapper) Balancer() *plb.Balancer { return w.b }
+
+// HTTPEndpoint implements httpEndpoint (for the L4 switch or clients).
+func (w *PLBWrapper) HTTPEndpoint() legacy.HTTPHandler { return w.b }
+
+// OnSetAttribute validates balancer attributes (frozen while running).
+func (w *PLBWrapper) OnSetAttribute(c *fractal.Component, name, value string) error {
+	if name != "port" {
+		return nil
+	}
+	if w.b != nil && w.b.Running() {
+		return fmt.Errorf("%w: plb port", ErrAttributeFrozen)
+	}
+	if port, err := strconv.Atoi(value); err != nil || port <= 0 {
+		return fmt.Errorf("%w: plb port %q", ErrBadAttribute, value)
+	}
+	return nil
+}
+
+// OnBind integrates a worker live when the balancer runs.
+func (w *PLBWrapper) OnBind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	ep, ok := server.Owner().Content().(httpEndpoint)
+	if !ok {
+		return fmt.Errorf("jade: plb worker %s does not serve HTTP", server.Owner().Name())
+	}
+	if w.b != nil && w.b.Running() {
+		return w.b.AddWorker(server.Owner().Name(), ep.HTTPEndpoint())
+	}
+	return nil
+}
+
+// OnUnbind removes a worker live when the balancer runs.
+func (w *PLBWrapper) OnUnbind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	if w.b != nil && w.b.Running() {
+		return w.b.RemoveWorker(server.Owner().Name())
+	}
+	return nil
+}
+
+// StartManaged starts the balancer and integrates bound workers.
+func (w *PLBWrapper) StartManaged(done func(error)) {
+	port, err := strconv.Atoi(w.comp.AttributeOr("port", "8080"))
+	if err != nil {
+		done(fmt.Errorf("%w: plb port", ErrBadAttribute))
+		return
+	}
+	opts := plb.DefaultOptions()
+	opts.Port = port
+	w.b = plb.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
+	if err := w.b.Start(); err != nil {
+		done(err)
+		return
+	}
+	for _, bd := range w.comp.Bindings("workers") {
+		ep, ok := bd.ServerItf.Owner().Content().(httpEndpoint)
+		if !ok {
+			done(fmt.Errorf("jade: plb worker %s does not serve HTTP", bd.ServerItf.Owner().Name()))
+			return
+		}
+		if err := w.b.AddWorker(bd.ServerItf.Owner().Name(), ep.HTTPEndpoint()); err != nil {
+			done(err)
+			return
+		}
+	}
+	done(nil)
+}
+
+// StopManaged stops the balancer.
+func (w *PLBWrapper) StopManaged(done func(error)) {
+	if w.b != nil {
+		w.b.Stop()
+	}
+	done(nil)
+}
+
+// --- L4 switch wrapper ---
+
+// L4Wrapper manages the front-end L4 switch balancing the Apache tier.
+type L4Wrapper struct {
+	p    *Platform
+	node *cluster.Node
+	comp *fractal.Component
+	sw   *l4.Switch
+}
+
+// NewL4Component is the WrapperFactory for the L4 switch.
+func NewL4Component(p *Platform, name string, node *cluster.Node) (*fractal.Component, error) {
+	w := &L4Wrapper{p: p, node: node}
+	comp, err := fractal.NewPrimitive(name, w,
+		fractal.ItfSpec{Name: "http", Signature: SigHTTP, Role: fractal.Server},
+		fractal.ItfSpec{Name: "servers", Signature: SigHTTP, Role: fractal.Client,
+			Contingency: fractal.Optional, Collection: true, Dynamic: true},
+	)
+	if err != nil {
+		return nil, err
+	}
+	w.comp = comp
+	if err := comp.SetAttribute("port", "80"); err != nil {
+		return nil, err
+	}
+	p.attachManagement(node)
+	return comp, nil
+}
+
+// Kind implements Wrapper.
+func (w *L4Wrapper) Kind() string { return "l4" }
+
+// Node implements Wrapper.
+func (w *L4Wrapper) Node() *cluster.Node { return w.node }
+
+// Switch exposes the managed switch (nil before start).
+func (w *L4Wrapper) Switch() *l4.Switch { return w.sw }
+
+// HTTPEndpoint implements httpEndpoint.
+func (w *L4Wrapper) HTTPEndpoint() legacy.HTTPHandler { return w.sw }
+
+// OnSetAttribute validates switch attributes (frozen while running).
+func (w *L4Wrapper) OnSetAttribute(c *fractal.Component, name, value string) error {
+	if name != "port" {
+		return nil
+	}
+	if w.sw != nil && w.sw.Running() {
+		return fmt.Errorf("%w: l4 port", ErrAttributeFrozen)
+	}
+	if port, err := strconv.Atoi(value); err != nil || port <= 0 {
+		return fmt.Errorf("%w: l4 port %q", ErrBadAttribute, value)
+	}
+	return nil
+}
+
+// OnBind integrates a real server live when the switch runs.
+func (w *L4Wrapper) OnBind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	ep, ok := server.Owner().Content().(httpEndpoint)
+	if !ok {
+		return fmt.Errorf("jade: l4 server %s does not serve HTTP", server.Owner().Name())
+	}
+	if w.sw != nil && w.sw.Running() {
+		return w.sw.AddServer(server.Owner().Name(), ep.HTTPEndpoint(), 1)
+	}
+	return nil
+}
+
+// OnUnbind removes a real server live when the switch runs.
+func (w *L4Wrapper) OnUnbind(c *fractal.Component, itf string, server *fractal.Interface) error {
+	if w.sw != nil && w.sw.Running() {
+		return w.sw.RemoveServer(server.Owner().Name())
+	}
+	return nil
+}
+
+// StartManaged starts the switch and integrates bound servers.
+func (w *L4Wrapper) StartManaged(done func(error)) {
+	port, err := strconv.Atoi(w.comp.AttributeOr("port", "80"))
+	if err != nil {
+		done(fmt.Errorf("%w: l4 port", ErrBadAttribute))
+		return
+	}
+	opts := l4.DefaultOptions()
+	opts.Port = port
+	w.sw = l4.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
+	if err := w.sw.Start(); err != nil {
+		done(err)
+		return
+	}
+	for _, bd := range w.comp.Bindings("servers") {
+		ep, ok := bd.ServerItf.Owner().Content().(httpEndpoint)
+		if !ok {
+			done(fmt.Errorf("jade: l4 server %s does not serve HTTP", bd.ServerItf.Owner().Name()))
+			return
+		}
+		if err := w.sw.AddServer(bd.ServerItf.Owner().Name(), ep.HTTPEndpoint(), 1); err != nil {
+			done(err)
+			return
+		}
+	}
+	done(nil)
+}
+
+// StopManaged stops the switch.
+func (w *L4Wrapper) StopManaged(done func(error)) {
+	if w.sw != nil {
+		w.sw.Stop()
+	}
+	done(nil)
+}

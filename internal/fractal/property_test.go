@@ -1,0 +1,119 @@
+package fractal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyLifecycleStateMachine drives random Start/Stop/Add/Remove
+// sequences over a small component forest and checks the invariants the
+// deployer relies on:
+//
+//   - a component is Started iff its last successful lifecycle op was
+//     Start;
+//   - Remove never succeeds on a started child;
+//   - a composite's Stop leaves every descendant stopped;
+//   - operations that error leave states unchanged.
+func TestPropertyLifecycleStateMachine(t *testing.T) {
+	f := func(ops []uint8) bool {
+		root, err := NewComposite("root")
+		if err != nil {
+			return false
+		}
+		kids := make([]*Component, 4)
+		for i := range kids {
+			c, err := NewPrimitive(string(rune('a'+i)), nil)
+			if err != nil {
+				return false
+			}
+			kids[i] = c
+		}
+		inRoot := make([]bool, len(kids))
+		want := make([]State, len(kids)) // expected state per kid
+		wantRoot := Stopped
+
+		snapshot := func() bool {
+			if root.State() != wantRoot {
+				return false
+			}
+			for i, c := range kids {
+				if c.State() != want[i] {
+					return false
+				}
+				if inRoot[i] != (c.Parent() == root) {
+					return false
+				}
+			}
+			return true
+		}
+
+		for _, op := range ops {
+			i := int(op>>2) % len(kids)
+			c := kids[i]
+			switch op % 5 {
+			case 0: // start child
+				err := c.Start()
+				if (err == nil) != (want[i] == Stopped) {
+					return false
+				}
+				if err == nil {
+					want[i] = Started
+				}
+			case 1: // stop child
+				err := c.Stop()
+				if (err == nil) != (want[i] == Started) {
+					return false
+				}
+				if err == nil {
+					want[i] = Stopped
+				}
+			case 2: // add to root
+				err := root.Add(c)
+				if (err == nil) != !inRoot[i] {
+					return false
+				}
+				if err == nil {
+					inRoot[i] = true
+				}
+			case 3: // remove from root
+				_, err := root.Remove(c.Name())
+				canRemove := inRoot[i] && want[i] == Stopped
+				if (err == nil) != canRemove {
+					return false
+				}
+				if err == nil {
+					inRoot[i] = false
+				}
+			case 4: // toggle root lifecycle
+				if wantRoot == Stopped {
+					if err := root.Start(); err != nil {
+						return false
+					}
+					wantRoot = Started
+					for j := range kids {
+						if inRoot[j] {
+							want[j] = Started
+						}
+					}
+				} else {
+					if err := root.Stop(); err != nil {
+						return false
+					}
+					wantRoot = Stopped
+					for j := range kids {
+						if inRoot[j] {
+							want[j] = Stopped
+						}
+					}
+				}
+			}
+			if !snapshot() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package l4 simulates the L4 switch the paper places in front of the
+// replicated Apache web tier (Fig. 2): a connection-level balancer doing
+// weighted round-robin across real servers, with no application
+// awareness. Unlike PLB it supports per-server weights, matching link-level
+// load-balancing hardware.
+package l4
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jade/internal/cluster"
+	"jade/internal/legacy"
+	"jade/internal/sim"
+)
+
+// Errors returned by the switch.
+var (
+	ErrNoServer      = errors.New("l4: no real server available")
+	ErrServerExists  = errors.New("l4: server already registered")
+	ErrUnknownServer = errors.New("l4: unknown server")
+	ErrNotRunning    = errors.New("l4: switch not running")
+	ErrBadWeight     = errors.New("l4: weight must be positive")
+)
+
+type realServer struct {
+	name    string
+	target  legacy.HTTPHandler
+	weight  int
+	credit  int // remaining slots in the current round
+	pending int
+	served  uint64
+}
+
+// Options tunes the switch.
+type Options struct {
+	// SwitchCost is the CPU-seconds per forwarded connection on the
+	// switch node (hardware switches are effectively free; the small
+	// non-zero default keeps the node's utilization meter honest).
+	SwitchCost float64
+	// Port is the virtual IP's listening port.
+	Port int
+	// MemoryMB is the switch's footprint on its node while running.
+	MemoryMB float64
+}
+
+// DefaultOptions mirrors a hardware L4 switch front end.
+func DefaultOptions() Options { return Options{SwitchCost: 0.00005, Port: 80, MemoryMB: 8} }
+
+// Switch is the L4 balancer.
+type Switch struct {
+	eng     *sim.Engine
+	net     *legacy.Network
+	node    *cluster.Node
+	name    string
+	opts    Options
+	addr    string
+	running bool
+
+	servers []*realServer
+
+	forwarded uint64
+	dropped   uint64
+}
+
+// New creates a stopped switch on node.
+func New(eng *sim.Engine, net *legacy.Network, node *cluster.Node, name string, opts Options) *Switch {
+	return &Switch{eng: eng, net: net, node: node, name: name, opts: opts}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// Node returns the switch's node.
+func (s *Switch) Node() *cluster.Node { return s.node }
+
+// Addr returns the virtual address while running.
+func (s *Switch) Addr() string { return s.addr }
+
+// Running reports whether the switch is serving.
+func (s *Switch) Running() bool { return s.running }
+
+// Forwarded returns the number of connections dispatched.
+func (s *Switch) Forwarded() uint64 { return s.forwarded }
+
+// Dropped returns the number of connections rejected.
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// Start registers the virtual address.
+func (s *Switch) Start() error {
+	if s.running {
+		return fmt.Errorf("l4 %s: already running", s.name)
+	}
+	if err := s.node.AllocMemory(s.opts.MemoryMB); err != nil {
+		return err
+	}
+	addr := fmt.Sprintf("%s:%d", s.node.Name(), s.opts.Port)
+	if err := s.net.Register(addr, s); err != nil {
+		s.node.FreeMemory(s.opts.MemoryMB)
+		return err
+	}
+	s.addr = addr
+	s.running = true
+	return nil
+}
+
+// Stop unregisters the virtual address.
+func (s *Switch) Stop() {
+	if !s.running {
+		return
+	}
+	s.net.Unregister(s.addr)
+	s.addr = ""
+	s.running = false
+	s.node.FreeMemory(s.opts.MemoryMB)
+}
+
+// AddServer registers a real server with a positive weight.
+func (s *Switch) AddServer(name string, target legacy.HTTPHandler, weight int) error {
+	if weight <= 0 {
+		return fmt.Errorf("%w: %d for %s", ErrBadWeight, weight, name)
+	}
+	for _, r := range s.servers {
+		if r.name == name {
+			return fmt.Errorf("%w: %s", ErrServerExists, name)
+		}
+	}
+	s.servers = append(s.servers, &realServer{name: name, target: target, weight: weight, credit: weight})
+	return nil
+}
+
+// RemoveServer unbinds a real server.
+func (s *Switch) RemoveServer(name string) error {
+	for i, r := range s.servers {
+		if r.name == name {
+			s.servers = append(s.servers[:i], s.servers[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrUnknownServer, name)
+}
+
+// Servers returns real-server names sorted.
+func (s *Switch) Servers() []string {
+	out := make([]string, 0, len(s.servers))
+	for _, r := range s.servers {
+		out = append(out, r.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pick implements weighted round-robin with per-round credits.
+func (s *Switch) pick() *realServer {
+	if len(s.servers) == 0 {
+		return nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range s.servers {
+			if r.credit > 0 {
+				r.credit--
+				return r
+			}
+		}
+		// Round exhausted: refill credits.
+		for _, r := range s.servers {
+			r.credit = r.weight
+		}
+	}
+	return s.servers[0]
+}
+
+// HandleHTTP forwards a connection to a real server.
+func (s *Switch) HandleHTTP(req *legacy.WebRequest, done func(error)) {
+	if !s.running {
+		s.dropped++
+		done(fmt.Errorf("%w: %s", ErrNotRunning, s.name))
+		return
+	}
+	s.node.Submit(s.opts.SwitchCost, func() {
+		r := s.pick()
+		if r == nil {
+			s.dropped++
+			done(fmt.Errorf("%w (l4 %s)", ErrNoServer, s.name))
+			return
+		}
+		r.pending++
+		s.forwarded++
+		r.target.HandleHTTP(req, func(err error) {
+			r.pending--
+			if err == nil {
+				r.served++
+			}
+			done(err)
+		})
+	}, func() {
+		s.dropped++
+		done(fmt.Errorf("l4 %s: switch node failed", s.name))
+	})
+}

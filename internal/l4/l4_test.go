@@ -1,0 +1,166 @@
+package l4
+
+import (
+	"errors"
+	"testing"
+
+	"jade/internal/cluster"
+	"jade/internal/legacy"
+	"jade/internal/sim"
+)
+
+type fakeServer struct {
+	eng    *sim.Engine
+	delay  float64
+	err    error
+	served int
+}
+
+func (f *fakeServer) HandleHTTP(req *legacy.WebRequest, done func(error)) {
+	f.eng.After(f.delay, "fake", func() {
+		f.served++
+		done(f.err)
+	})
+}
+
+func newSwitch(t *testing.T) (*sim.Engine, *Switch) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	net := legacy.NewNetwork()
+	node := cluster.NewNode(eng, "sw", cluster.DefaultConfig())
+	s := New(eng, net, node, "l4", DefaultOptions())
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, s
+}
+
+func TestEqualWeightsRoundRobin(t *testing.T) {
+	eng, s := newSwitch(t)
+	a := &fakeServer{eng: eng, delay: 0.001}
+	b := &fakeServer{eng: eng, delay: 0.001}
+	if err := s.AddServer("a", a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddServer("b", b, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.HandleHTTP(&legacy.WebRequest{}, func(error) {})
+	}
+	eng.Run()
+	if a.served != 5 || b.served != 5 {
+		t.Fatalf("split = %d/%d", a.served, b.served)
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	eng, s := newSwitch(t)
+	heavy := &fakeServer{eng: eng, delay: 0.001}
+	light := &fakeServer{eng: eng, delay: 0.001}
+	if err := s.AddServer("heavy", heavy, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddServer("light", light, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		s.HandleHTTP(&legacy.WebRequest{}, func(error) {})
+	}
+	eng.Run()
+	if heavy.served != 30 || light.served != 10 {
+		t.Fatalf("weighted split = %d/%d, want 30/10", heavy.served, light.served)
+	}
+}
+
+func TestServerManagement(t *testing.T) {
+	_, s := newSwitch(t)
+	a := &fakeServer{}
+	if err := s.AddServer("a", a, 0); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("zero weight: %v", err)
+	}
+	if err := s.AddServer("a", a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddServer("a", a, 1); !errors.Is(err, ErrServerExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if got := s.Servers(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Servers = %v", got)
+	}
+	if err := s.RemoveServer("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveServer("a"); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestNoServersDrops(t *testing.T) {
+	eng, s := newSwitch(t)
+	var got error
+	s.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrNoServer) {
+		t.Fatalf("no-server request: %v", got)
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", s.Dropped())
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	eng, s := newSwitch(t)
+	if err := s.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if s.Addr() != "sw:80" {
+		t.Fatalf("Addr = %q", s.Addr())
+	}
+	s.Stop()
+	if s.Running() {
+		t.Fatal("running after stop")
+	}
+	var got error
+	s.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrNotRunning) {
+		t.Fatalf("stopped switch request: %v", got)
+	}
+	s.Stop()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Forwarded() != 0 {
+		t.Fatalf("Forwarded = %d", s.Forwarded())
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	eng, s := newSwitch(t)
+	bad := &fakeServer{eng: eng, delay: 0.001, err: errors.New("down")}
+	if err := s.AddServer("bad", bad, 1); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	s.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	eng.Run()
+	if got == nil || got.Error() != "down" {
+		t.Fatalf("error not propagated: %v", got)
+	}
+}
+
+func TestSwitchNodeFailure(t *testing.T) {
+	eng, s := newSwitch(t)
+	a := &fakeServer{eng: eng, delay: 0.001}
+	if err := s.AddServer("a", a, 1); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	s.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	s.Node().Fail()
+	eng.Run()
+	if got == nil {
+		t.Fatal("request on failed switch node succeeded")
+	}
+}

@@ -1,0 +1,26 @@
+package legacy
+
+import "jade/internal/config"
+
+// Thin adapters between the FS byte API and the config parsers, shared by
+// the server startup paths and by tests.
+
+// ParseHTTPD parses httpd.conf bytes.
+func ParseHTTPD(raw []byte) (*config.HTTPDConf, error) {
+	return config.ParseHTTPDConf(string(raw))
+}
+
+// ParseWorkers parses worker.properties bytes.
+func ParseWorkers(raw []byte) (*config.WorkerProperties, error) {
+	return config.ParseWorkerProperties(string(raw))
+}
+
+// ParseServerXML parses server.xml bytes.
+func ParseServerXML(raw []byte) (*config.ServerXML, error) {
+	return config.ParseServerXML(string(raw))
+}
+
+// ParseMyCnf parses my.cnf bytes.
+func ParseMyCnf(raw []byte) (*config.MyCnf, error) {
+	return config.ParseMyCnf(string(raw))
+}

@@ -1,0 +1,251 @@
+// Package legacy simulates the legacy software tier of the paper's
+// testbed: Apache web servers, Tomcat servlet servers and MySQL database
+// servers. Each is a process bound to a cluster node, started and stopped
+// through script-like operations, and configured exclusively through its
+// proprietary configuration file (httpd.conf, server.xml, my.cnf) which it
+// parses at startup — exactly the boundary Jade's wrappers manage.
+//
+// Processes register network listeners in a Network registry keyed by
+// "host:port" strings, so a server can only reach a peer whose address
+// appears in its own configuration file. A Jade binding operation
+// therefore has to be *reflected into the legacy configuration* to have
+// any effect, as in the paper.
+package legacy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jade/internal/cluster"
+	"jade/internal/config"
+	"jade/internal/sim"
+)
+
+// Errors returned by the legacy layer.
+var (
+	ErrNotRunning     = errors.New("legacy: server not running")
+	ErrAlreadyRunning = errors.New("legacy: server already running")
+	ErrAddressInUse   = errors.New("legacy: address already in use")
+	ErrNoRoute        = errors.New("legacy: no listener at address")
+	ErrServerFailed   = errors.New("legacy: server failed")
+	ErrNoBackend      = errors.New("legacy: no backend configured")
+)
+
+// State is a server process state.
+type State int
+
+// Process lifecycle states.
+const (
+	Stopped State = iota
+	Starting
+	Running
+	Failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Stopped:
+		return "STOPPED"
+	case Starting:
+		return "STARTING"
+	case Running:
+		return "RUNNING"
+	case Failed:
+		return "FAILED"
+	}
+	return "?"
+}
+
+// Query is one SQL request flowing from the application tier to the
+// database tier, with its CPU service demand on a database node.
+type Query struct {
+	SQL  string
+	Cost float64 // CPU-seconds on a database node
+}
+
+// WebRequest is one HTTP request flowing through the tiers.
+type WebRequest struct {
+	Interaction string
+	Static      bool    // served by the web tier without forwarding
+	WebCost     float64 // CPU-seconds on the web tier
+	AppCost     float64 // CPU-seconds on the application tier
+	Queries     []Query // database work issued by the servlet
+}
+
+// HTTPHandler is anything that can serve a WebRequest: a Tomcat instance,
+// a PLB or L4 balancer, or an Apache server.
+type HTTPHandler interface {
+	HandleHTTP(req *WebRequest, done func(err error))
+}
+
+// SQLExecutor is anything that can execute a Query: a MySQL instance or
+// the C-JDBC controller.
+type SQLExecutor interface {
+	ExecSQL(q Query, done func(err error))
+}
+
+// Network is the simulated LAN: a registry of listeners by "host:port".
+type Network struct {
+	listeners map[string]any
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{listeners: make(map[string]any)} }
+
+// Register binds a listener object to an address.
+func (n *Network) Register(addr string, srv any) error {
+	if _, ok := n.listeners[addr]; ok {
+		return fmt.Errorf("%w: %s", ErrAddressInUse, addr)
+	}
+	n.listeners[addr] = srv
+	return nil
+}
+
+// Unregister removes the listener at addr (no-op when absent).
+func (n *Network) Unregister(addr string) { delete(n.listeners, addr) }
+
+// LookupHTTP resolves an address to an HTTP handler.
+func (n *Network) LookupHTTP(addr string) (HTTPHandler, error) {
+	srv, ok := n.listeners[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, addr)
+	}
+	h, ok := srv.(HTTPHandler)
+	if !ok {
+		return nil, fmt.Errorf("legacy: listener at %s is not an HTTP handler", addr)
+	}
+	return h, nil
+}
+
+// LookupSQL resolves an address to a SQL executor.
+func (n *Network) LookupSQL(addr string) (SQLExecutor, error) {
+	srv, ok := n.listeners[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, addr)
+	}
+	h, ok := srv.(SQLExecutor)
+	if !ok {
+		return nil, fmt.Errorf("legacy: listener at %s is not a SQL executor", addr)
+	}
+	return h, nil
+}
+
+// Addresses returns registered addresses, sorted.
+func (n *Network) Addresses() []string {
+	out := make([]string, 0, len(n.listeners))
+	for a := range n.listeners {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Env bundles the shared substrate a legacy process runs in.
+type Env struct {
+	Eng *sim.Engine
+	Net *Network
+	FS  config.FS
+}
+
+// process holds state common to the three server kinds.
+type process struct {
+	env        *Env
+	name       string
+	node       *cluster.Node
+	state      State
+	memMB      float64
+	startDelay float64
+	stopDelay  float64
+	listenAddr string
+
+	served uint64
+	failed uint64
+}
+
+func (p *process) Name() string        { return p.name }
+func (p *process) Node() *cluster.Node { return p.node }
+func (p *process) State() State        { return p.state }
+func (p *process) Served() uint64      { return p.served }
+func (p *process) Errors() uint64      { return p.failed }
+
+// watchNode fails the process when its node crashes.
+func (p *process) watchNode() {
+	p.node.OnFail(func(*cluster.Node) {
+		if p.state == Running || p.state == Starting {
+			p.state = Failed
+			if p.listenAddr != "" {
+				p.env.Net.Unregister(p.listenAddr)
+				p.listenAddr = ""
+			}
+		}
+	})
+}
+
+// begin transitions to Starting and schedules readiness after the start
+// delay, mimicking the latency of an init script. ready runs with the
+// process still in Starting; it must set Running or report an error.
+func (p *process) begin(ready func() error, done func(error)) {
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if p.state == Running || p.state == Starting {
+		finish(fmt.Errorf("%w: %s", ErrAlreadyRunning, p.name))
+		return
+	}
+	if p.node.Failed() {
+		finish(fmt.Errorf("%w: node %s is down", ErrServerFailed, p.node.Name()))
+		return
+	}
+	if err := p.node.AllocMemory(p.memMB); err != nil {
+		finish(err)
+		return
+	}
+	p.state = Starting
+	p.env.Eng.After(p.startDelay, p.name+":start", func() {
+		if p.state != Starting { // node failed meanwhile
+			finish(fmt.Errorf("%w: %s", ErrServerFailed, p.name))
+			return
+		}
+		if err := ready(); err != nil {
+			p.state = Stopped
+			p.node.FreeMemory(p.memMB)
+			finish(err)
+			return
+		}
+		p.state = Running
+		finish(nil)
+	})
+}
+
+// end transitions to Stopped after the stop delay.
+func (p *process) end(done func(error)) {
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if p.state != Running {
+		finish(fmt.Errorf("%w: %s is %s", ErrNotRunning, p.name, p.state))
+		return
+	}
+	if p.listenAddr != "" {
+		p.env.Net.Unregister(p.listenAddr)
+		p.listenAddr = ""
+	}
+	p.env.Eng.After(p.stopDelay, p.name+":stop", func() {
+		p.state = Stopped
+		p.node.FreeMemory(p.memMB)
+		finish(nil)
+	})
+}
+
+func (p *process) listen(addr string, self any) error {
+	if err := p.env.Net.Register(addr, self); err != nil {
+		return err
+	}
+	p.listenAddr = addr
+	return nil
+}

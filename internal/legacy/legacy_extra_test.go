@@ -1,0 +1,177 @@
+package legacy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"jade/internal/config"
+)
+
+func TestPortConflictOnSameNode(t *testing.T) {
+	// Two MySQL instances on the same node with the same my.cnf port:
+	// the second start must fail with an address conflict, as a real
+	// bind(2) would.
+	env, pool := testEnv(t, 1)
+	node := allocNode(t, pool)
+	m1 := NewMySQL(env, "mysqlA", node, DefaultMySQLOptions())
+	m2 := NewMySQL(env, "mysqlB", node, DefaultMySQLOptions())
+	writeMySQLConf(t, env, m1, 3306)
+	writeMySQLConf(t, env, m2, 3306)
+	startOK(t, env.Eng, m1.Start)
+	var got error
+	m2.Start(func(err error) { got = err })
+	env.Eng.Run()
+	if !errors.Is(got, ErrAddressInUse) {
+		t.Fatalf("conflicting port start: %v", got)
+	}
+	if m2.State() != Stopped {
+		t.Fatalf("state after conflict = %v", m2.State())
+	}
+	// Distinct ports coexist.
+	writeMySQLConf(t, env, m2, 3307)
+	startOK(t, env.Eng, m2.Start)
+}
+
+func TestMemoryReleasedOnStop(t *testing.T) {
+	env, pool := testEnv(t, 1)
+	node := allocNode(t, pool)
+	m := NewMySQL(env, "mysql1", node, DefaultMySQLOptions())
+	writeMySQLConf(t, env, m, 3306)
+	base := node.MemoryUsed()
+	startOK(t, env.Eng, m.Start)
+	running := node.MemoryUsed()
+	if running <= base {
+		t.Fatalf("start did not allocate memory: %v -> %v", base, running)
+	}
+	var serr error = errors.New("pending")
+	m.Stop(func(err error) { serr = err })
+	env.Eng.Run()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if node.MemoryUsed() != base {
+		t.Fatalf("stop leaked memory: %v, want %v", node.MemoryUsed(), base)
+	}
+}
+
+func TestStartOnFailedNodeFailsFast(t *testing.T) {
+	env, pool := testEnv(t, 1)
+	node := allocNode(t, pool)
+	m := NewMySQL(env, "mysql1", node, DefaultMySQLOptions())
+	writeMySQLConf(t, env, m, 3306)
+	node.Fail()
+	var got error
+	m.Start(func(err error) { got = err })
+	env.Eng.Run()
+	if !errors.Is(got, ErrServerFailed) {
+		t.Fatalf("start on failed node: %v", got)
+	}
+}
+
+func TestNodeFailsDuringStartup(t *testing.T) {
+	env, pool := testEnv(t, 1)
+	node := allocNode(t, pool)
+	m := NewMySQL(env, "mysql1", node, DefaultMySQLOptions())
+	writeMySQLConf(t, env, m, 3306)
+	var got error
+	m.Start(func(err error) { got = err })
+	// MySQL's start delay is 5 s; crash the node mid-boot.
+	env.Eng.After(1, "crash", node.Fail)
+	env.Eng.Run()
+	if !errors.Is(got, ErrServerFailed) {
+		t.Fatalf("start on crashing node: %v", got)
+	}
+	if m.State() != Failed {
+		t.Fatalf("state = %v, want FAILED", m.State())
+	}
+}
+
+func TestApacheMixedStaticDynamicWorkload(t *testing.T) {
+	env, a, tc, _ := buildStack(t)
+	done := 0
+	for i := 0; i < 10; i++ {
+		static := i%2 == 0
+		a.HandleHTTP(&WebRequest{Static: static, WebCost: 0.001, AppCost: 0.001},
+			func(err error) {
+				if err != nil {
+					t.Errorf("request failed: %v", err)
+				}
+				done++
+			})
+	}
+	env.Eng.Run()
+	if done != 10 {
+		t.Fatalf("completed = %d", done)
+	}
+	if a.Served() != 10 {
+		t.Fatalf("apache served = %d", a.Served())
+	}
+	if tc.Served() != 5 {
+		t.Fatalf("tomcat served = %d, want only the dynamic half", tc.Served())
+	}
+}
+
+func TestConcurrentRequestsShareTierCPU(t *testing.T) {
+	// Two simultaneous dynamic requests with 0.1 s app cost each on one
+	// Tomcat: processor sharing makes both finish at ~0.2 s + overheads,
+	// not 0.1 s.
+	env, a, _, _ := buildStack(t)
+	var finish []float64
+	t0 := env.Eng.Now()
+	for i := 0; i < 2; i++ {
+		a.HandleHTTP(&WebRequest{WebCost: 0, AppCost: 0.1}, func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			finish = append(finish, env.Eng.Now()-t0)
+		})
+	}
+	env.Eng.Run()
+	if len(finish) != 2 {
+		t.Fatalf("completions = %d", len(finish))
+	}
+	for _, f := range finish {
+		if f < 0.199 {
+			t.Fatalf("finish at %v: requests did not share the CPU", f)
+		}
+	}
+}
+
+func TestTomcatResolvesCJDBCStyleAddress(t *testing.T) {
+	// The JDBC URL may point at any SQL executor on the network; a
+	// second MySQL stands in for the C-JDBC controller here.
+	env, pool := testEnv(t, 2)
+	m := NewMySQL(env, "virtualdb", allocNode(t, pool), DefaultMySQLOptions())
+	cnf := config.NewMyCnf()
+	cnf.SetInt("mysqld", "port", 25322)
+	if err := env.FS.WriteFile(m.ConfPath(), []byte(cnf.Render())); err != nil {
+		t.Fatal(err)
+	}
+	startOK(t, env.Eng, m.Start)
+	tc := NewTomcat(env, "tomcat1", allocNode(t, pool), DefaultTomcatOptions())
+	writeTomcatConf(t, env, tc, 8009, fmt.Sprintf("jdbc:mysql://%s:25322/rubis", m.Node().Name()))
+	startOK(t, env.Eng, tc.Start)
+	if tc.JDBCAddr() != m.Node().Name()+":25322" {
+		t.Fatalf("jdbc addr = %q", tc.JDBCAddr())
+	}
+}
+
+func TestListenerFreedAfterStopAllowsRestartElsewhere(t *testing.T) {
+	// Stop a server, start another one on the same address: the network
+	// slot must have been released.
+	env, pool := testEnv(t, 1)
+	node := allocNode(t, pool)
+	m1 := NewMySQL(env, "mysqlA", node, DefaultMySQLOptions())
+	writeMySQLConf(t, env, m1, 3306)
+	startOK(t, env.Eng, m1.Start)
+	var serr error = errors.New("pending")
+	m1.Stop(func(err error) { serr = err })
+	env.Eng.Run()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	m2 := NewMySQL(env, "mysqlB", node, DefaultMySQLOptions())
+	writeMySQLConf(t, env, m2, 3306)
+	startOK(t, env.Eng, m2.Start)
+}

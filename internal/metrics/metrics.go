@@ -1,0 +1,354 @@
+// Package metrics provides the measurement primitives used by Jade's
+// sensors and by the experiment harness: time series, temporal (moving)
+// averages, spatial averages, utilization integrators, throughput windows
+// and percentile summaries.
+//
+// All types operate on the simulation's virtual clock (float64 seconds)
+// and are deliberately single-threaded: the discrete-event engine executes
+// one event at a time, so no locking is needed.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (time, value) sample.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample. Samples must arrive in non-decreasing time order;
+// out-of-order samples panic, since they indicate a simulation bug.
+func (s *Series) Add(t, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		panic(fmt.Sprintf("metrics: series %q sample at %.6f after %.6f", s.Name, t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Mean returns the arithmetic mean of the values, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// MeanBetween returns the mean of samples with t0 <= T <= t1.
+func (s *Series) MeanBetween(t0, t1 float64) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.T >= t0 && p.T <= t1 {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Max returns the maximum value, or 0 if empty.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum value, or 0 if empty.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// At returns the value in effect at time t: the last sample with T <= t.
+// It returns 0 before the first sample.
+func (s *Series) At(t float64) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// Resample returns the series values at a fixed step over [t0, t1], using
+// step-function interpolation (the value in effect at each instant).
+func (s *Series) Resample(t0, t1, step float64) []Point {
+	if step <= 0 {
+		panic("metrics: Resample with non-positive step")
+	}
+	var out []Point
+	for t := t0; t <= t1+1e-9; t += step {
+		out = append(out, Point{T: t, V: s.At(t)})
+	}
+	return out
+}
+
+// CSV renders the series as "t,v" lines with a header.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time,%s\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%.3f,%.6f\n", p.T, p.V)
+	}
+	return b.String()
+}
+
+// MovingAverage computes a temporal moving average over a sliding window of
+// the last Window seconds, as used by the paper's CPU sensors (60 s for the
+// application tier, 90 s for the database tier).
+type MovingAverage struct {
+	Window float64
+	buf    []Point // ring-ordered, oldest first
+}
+
+// NewMovingAverage returns a moving average over the given window (seconds).
+func NewMovingAverage(window float64) *MovingAverage {
+	if window <= 0 {
+		panic("metrics: moving average window must be positive")
+	}
+	return &MovingAverage{Window: window}
+}
+
+// Push records a sample at time t.
+func (m *MovingAverage) Push(t, v float64) {
+	m.buf = append(m.buf, Point{T: t, V: v})
+	m.trim(t)
+}
+
+func (m *MovingAverage) trim(now float64) {
+	cut := 0
+	for cut < len(m.buf) && m.buf[cut].T < now-m.Window {
+		cut++
+	}
+	if cut > 0 {
+		m.buf = append(m.buf[:0], m.buf[cut:]...)
+	}
+}
+
+// Avg returns the average of samples within the window ending at the most
+// recent sample. It returns 0 when no samples are retained.
+func (m *MovingAverage) Avg() float64 {
+	if len(m.buf) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range m.buf {
+		sum += p.V
+	}
+	return sum / float64(len(m.buf))
+}
+
+// Count returns the number of samples currently inside the window.
+func (m *MovingAverage) Count() int { return len(m.buf) }
+
+// Full reports whether the window has been populated for at least its
+// whole duration (i.e. the oldest retained sample is ~Window old).
+func (m *MovingAverage) Full() bool {
+	if len(m.buf) < 2 {
+		return false
+	}
+	return m.buf[len(m.buf)-1].T-m.buf[0].T >= m.Window*0.9
+}
+
+// SpatialMean averages a snapshot across nodes (the paper's "spatial
+// average" over all nodes hosting a replicated server). Empty input
+// yields 0.
+func SpatialMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// UtilizationMeter integrates a busy fraction over virtual time and
+// reports the mean utilization between probe reads. Nodes use one to
+// expose CPU usage to sensors.
+type UtilizationMeter struct {
+	lastT     float64
+	busyAccum float64 // integral of busy fraction dt since construction
+	busy      float64 // current busy fraction in [0,1]
+	readT     float64
+	readAccum float64
+}
+
+// SetBusy updates the current busy fraction at time now. The previous
+// fraction is integrated over [lastT, now] first.
+func (u *UtilizationMeter) SetBusy(now, fraction float64) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	u.advance(now)
+	u.busy = fraction
+}
+
+func (u *UtilizationMeter) advance(now float64) {
+	if now > u.lastT {
+		u.busyAccum += (now - u.lastT) * u.busy
+		u.lastT = now
+	}
+}
+
+// Read returns the mean utilization since the previous Read (or since
+// construction for the first call).
+func (u *UtilizationMeter) Read(now float64) float64 {
+	u.advance(now)
+	dt := now - u.readT
+	if dt <= 0 {
+		return u.busy
+	}
+	v := (u.busyAccum - u.readAccum) / dt
+	u.readT = now
+	u.readAccum = u.busyAccum
+	return v
+}
+
+// Total returns the integral of the busy fraction since construction.
+func (u *UtilizationMeter) Total(now float64) float64 {
+	u.advance(now)
+	return u.busyAccum
+}
+
+// Throughput counts completions and reports a windowed rate.
+type Throughput struct {
+	Window float64
+	times  []float64
+	total  uint64
+}
+
+// NewThroughput returns a throughput meter with the given window (seconds).
+func NewThroughput(window float64) *Throughput {
+	if window <= 0 {
+		panic("metrics: throughput window must be positive")
+	}
+	return &Throughput{Window: window}
+}
+
+// Observe records one completion at time t.
+func (tp *Throughput) Observe(t float64) {
+	tp.total++
+	tp.times = append(tp.times, t)
+	cut := 0
+	for cut < len(tp.times) && tp.times[cut] < t-tp.Window {
+		cut++
+	}
+	if cut > 0 {
+		tp.times = append(tp.times[:0], tp.times[cut:]...)
+	}
+}
+
+// Rate returns completions per second over the window ending at now.
+func (tp *Throughput) Rate(now float64) float64 {
+	n := 0
+	for _, t := range tp.times {
+		if t >= now-tp.Window && t <= now {
+			n++
+		}
+	}
+	return float64(n) / tp.Window
+}
+
+// Total returns the total number of completions observed.
+func (tp *Throughput) Total() uint64 { return tp.total }
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	Count          int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes a Summary; it copies and sorts the input.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	c := append([]float64(nil), vs...)
+	sort.Float64s(c)
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	return Summary{
+		Count: len(c),
+		Mean:  sum / float64(len(c)),
+		Min:   c[0],
+		Max:   c[len(c)-1],
+		P50:   Percentile(c, 0.50),
+		P90:   Percentile(c, 0.90),
+		P99:   Percentile(c, 0.99),
+	}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of a sorted sample using
+// nearest-rank interpolation. An empty slice yields 0.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,237 @@
+// Package plb simulates PLB 0.3, the application-server load balancer the
+// paper places in front of the replicated Tomcat tier. It forwards HTTP
+// requests to a dynamic set of workers; the self-sizing actuator's
+// "integrate the new replica with the load balancer" step is AddWorker,
+// and the shrink path's "unbind some replicas from the load balancer" is
+// RemoveWorker.
+package plb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jade/internal/cluster"
+	"jade/internal/legacy"
+	"jade/internal/sim"
+)
+
+// Errors returned by the balancer.
+var (
+	ErrNoWorker      = errors.New("plb: no worker available")
+	ErrWorkerExists  = errors.New("plb: worker already registered")
+	ErrUnknownWorker = errors.New("plb: unknown worker")
+	ErrNotRunning    = errors.New("plb: balancer not running")
+)
+
+// Policy selects how requests are spread across workers.
+type Policy int
+
+// Balancing policies.
+const (
+	RoundRobin Policy = iota
+	LeastConnections
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastConnections:
+		return "least-connections"
+	}
+	return "?"
+}
+
+type worker struct {
+	name    string
+	target  legacy.HTTPHandler
+	pending int
+	served  uint64
+	errors  uint64
+}
+
+// Options tunes a balancer instance.
+type Options struct {
+	// Policy is the distribution policy (default RoundRobin).
+	Policy Policy
+	// ProxyCost is the CPU-seconds consumed on the balancer node per
+	// forwarded request (PLB is lightweight; the paper dedicates it one
+	// node that never saturates).
+	ProxyCost float64
+	// Port is the listening port registered on the network.
+	Port int
+	// MemoryMB is the balancer process footprint, held while running.
+	MemoryMB float64
+}
+
+// DefaultOptions mirrors the paper's deployment.
+func DefaultOptions() Options {
+	return Options{Policy: RoundRobin, ProxyCost: 0.0002, Port: 8080, MemoryMB: 32}
+}
+
+// Balancer is one PLB instance.
+type Balancer struct {
+	eng     *sim.Engine
+	net     *legacy.Network
+	node    *cluster.Node
+	name    string
+	opts    Options
+	addr    string
+	running bool
+
+	workers []*worker
+	rrNext  int
+
+	forwarded uint64
+	dropped   uint64
+}
+
+// New creates a stopped balancer on node.
+func New(eng *sim.Engine, net *legacy.Network, node *cluster.Node, name string, opts Options) *Balancer {
+	return &Balancer{eng: eng, net: net, node: node, name: name, opts: opts}
+}
+
+// Name returns the balancer's name.
+func (b *Balancer) Name() string { return b.name }
+
+// Node returns the balancer's node.
+func (b *Balancer) Node() *cluster.Node { return b.node }
+
+// Addr returns the registered address while running.
+func (b *Balancer) Addr() string { return b.addr }
+
+// Running reports whether the balancer is serving.
+func (b *Balancer) Running() bool { return b.running }
+
+// Forwarded returns the number of requests successfully handed to workers.
+func (b *Balancer) Forwarded() uint64 { return b.forwarded }
+
+// Dropped returns the number of requests rejected for lack of workers.
+func (b *Balancer) Dropped() uint64 { return b.dropped }
+
+// Start registers the balancer's listener.
+func (b *Balancer) Start() error {
+	if b.running {
+		return fmt.Errorf("plb %s: already running", b.name)
+	}
+	if err := b.node.AllocMemory(b.opts.MemoryMB); err != nil {
+		return err
+	}
+	addr := fmt.Sprintf("%s:%d", b.node.Name(), b.opts.Port)
+	if err := b.net.Register(addr, b); err != nil {
+		b.node.FreeMemory(b.opts.MemoryMB)
+		return err
+	}
+	b.addr = addr
+	b.running = true
+	return nil
+}
+
+// Stop unregisters the listener. Pending requests complete.
+func (b *Balancer) Stop() {
+	if !b.running {
+		return
+	}
+	b.net.Unregister(b.addr)
+	b.addr = ""
+	b.running = false
+	b.node.FreeMemory(b.opts.MemoryMB)
+}
+
+// AddWorker registers a worker target under a unique name.
+func (b *Balancer) AddWorker(name string, target legacy.HTTPHandler) error {
+	for _, w := range b.workers {
+		if w.name == name {
+			return fmt.Errorf("%w: %s", ErrWorkerExists, name)
+		}
+	}
+	b.workers = append(b.workers, &worker{name: name, target: target})
+	return nil
+}
+
+// RemoveWorker unbinds a worker; in-flight requests on it complete.
+func (b *Balancer) RemoveWorker(name string) error {
+	for i, w := range b.workers {
+		if w.name == name {
+			b.workers = append(b.workers[:i], b.workers[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrUnknownWorker, name)
+}
+
+// Workers returns worker names sorted.
+func (b *Balancer) Workers() []string {
+	out := make([]string, 0, len(b.workers))
+	for _, w := range b.workers {
+		out = append(out, w.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorkerCount returns the number of registered workers.
+func (b *Balancer) WorkerCount() int { return len(b.workers) }
+
+// Pending returns the in-flight request count for a worker.
+func (b *Balancer) Pending(name string) (int, error) {
+	for _, w := range b.workers {
+		if w.name == name {
+			return w.pending, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s", ErrUnknownWorker, name)
+}
+
+func (b *Balancer) pick() *worker {
+	if len(b.workers) == 0 {
+		return nil
+	}
+	switch b.opts.Policy {
+	case LeastConnections:
+		best := b.workers[0]
+		for _, w := range b.workers[1:] {
+			if w.pending < best.pending {
+				best = w
+			}
+		}
+		return best
+	default:
+		w := b.workers[b.rrNext%len(b.workers)]
+		b.rrNext++
+		return w
+	}
+}
+
+// HandleHTTP proxies the request to a worker chosen by policy, consuming
+// the proxy cost on the balancer node first.
+func (b *Balancer) HandleHTTP(req *legacy.WebRequest, done func(error)) {
+	if !b.running {
+		b.dropped++
+		done(fmt.Errorf("%w: %s", ErrNotRunning, b.name))
+		return
+	}
+	b.node.Submit(b.opts.ProxyCost, func() {
+		w := b.pick()
+		if w == nil {
+			b.dropped++
+			done(fmt.Errorf("%w (plb %s)", ErrNoWorker, b.name))
+			return
+		}
+		w.pending++
+		b.forwarded++
+		w.target.HandleHTTP(req, func(err error) {
+			w.pending--
+			if err != nil {
+				w.errors++
+			} else {
+				w.served++
+			}
+			done(err)
+		})
+	}, func() {
+		b.dropped++
+		done(fmt.Errorf("plb %s: balancer node failed", b.name))
+	})
+}

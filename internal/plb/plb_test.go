@@ -1,0 +1,232 @@
+package plb
+
+import (
+	"errors"
+	"testing"
+
+	"jade/internal/cluster"
+	"jade/internal/legacy"
+	"jade/internal/sim"
+)
+
+// fakeWorker is a scriptable HTTP backend.
+type fakeWorker struct {
+	eng      *sim.Engine
+	delay    float64
+	err      error
+	served   int
+	inFly    int
+	maxInFly int
+}
+
+func (f *fakeWorker) HandleHTTP(req *legacy.WebRequest, done func(error)) {
+	f.inFly++
+	if f.inFly > f.maxInFly {
+		f.maxInFly = f.inFly
+	}
+	f.eng.After(f.delay, "fake", func() {
+		f.inFly--
+		f.served++
+		done(f.err)
+	})
+}
+
+func newBalancer(t *testing.T, policy Policy) (*sim.Engine, *Balancer) {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	net := legacy.NewNetwork()
+	node := cluster.NewNode(eng, "lbnode", cluster.DefaultConfig())
+	opts := DefaultOptions()
+	opts.Policy = policy
+	b := New(eng, net, node, "plb", opts)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, b
+}
+
+func TestRoundRobinDistribution(t *testing.T) {
+	eng, b := newBalancer(t, RoundRobin)
+	w1 := &fakeWorker{eng: eng, delay: 0.01}
+	w2 := &fakeWorker{eng: eng, delay: 0.01}
+	if err := b.AddWorker("t1", w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddWorker("t2", w2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.HandleHTTP(&legacy.WebRequest{}, func(error) {})
+	}
+	eng.Run()
+	if w1.served != 5 || w2.served != 5 {
+		t.Fatalf("split = %d/%d, want 5/5", w1.served, w2.served)
+	}
+	if b.Forwarded() != 10 {
+		t.Fatalf("Forwarded = %d", b.Forwarded())
+	}
+}
+
+func TestLeastConnectionsPrefersIdleWorker(t *testing.T) {
+	eng, b := newBalancer(t, LeastConnections)
+	slow := &fakeWorker{eng: eng, delay: 10}
+	fast := &fakeWorker{eng: eng, delay: 0.001}
+	if err := b.AddWorker("slow", slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddWorker("fast", fast); err != nil {
+		t.Fatal(err)
+	}
+	// First two requests land one on each; afterwards the slow worker is
+	// still busy so everything goes to the fast one.
+	for i := 0; i < 10; i++ {
+		at := float64(i) * 0.1
+		eng.At(at, "req", func() {
+			b.HandleHTTP(&legacy.WebRequest{}, func(error) {})
+		})
+	}
+	eng.Run()
+	if slow.served != 1 {
+		t.Fatalf("slow worker served %d, want 1", slow.served)
+	}
+	if fast.served != 9 {
+		t.Fatalf("fast worker served %d, want 9", fast.served)
+	}
+}
+
+func TestAddRemoveWorkerDynamics(t *testing.T) {
+	eng, b := newBalancer(t, RoundRobin)
+	w1 := &fakeWorker{eng: eng, delay: 0.001}
+	if err := b.AddWorker("t1", w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddWorker("t1", w1); !errors.Is(err, ErrWorkerExists) {
+		t.Fatalf("duplicate add: %v", err)
+	}
+	if got := b.Workers(); len(got) != 1 || got[0] != "t1" {
+		t.Fatalf("Workers = %v", got)
+	}
+	if b.WorkerCount() != 1 {
+		t.Fatalf("WorkerCount = %d", b.WorkerCount())
+	}
+	if err := b.RemoveWorker("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveWorker("t1"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("double remove: %v", err)
+	}
+	var got error
+	b.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrNoWorker) {
+		t.Fatalf("request with no workers: %v", got)
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", b.Dropped())
+	}
+}
+
+func TestRemoveWorkerLetsInFlightComplete(t *testing.T) {
+	eng, b := newBalancer(t, RoundRobin)
+	w := &fakeWorker{eng: eng, delay: 5}
+	if err := b.AddWorker("t1", w); err != nil {
+		t.Fatal(err)
+	}
+	completed := false
+	b.HandleHTTP(&legacy.WebRequest{}, func(err error) {
+		if err != nil {
+			t.Errorf("in-flight request failed: %v", err)
+		}
+		completed = true
+	})
+	eng.RunUntil(0.1)
+	if err := b.RemoveWorker("t1"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !completed {
+		t.Fatal("in-flight request lost on RemoveWorker")
+	}
+}
+
+func TestPendingAccounting(t *testing.T) {
+	eng, b := newBalancer(t, RoundRobin)
+	w := &fakeWorker{eng: eng, delay: 1}
+	if err := b.AddWorker("t1", w); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.HandleHTTP(&legacy.WebRequest{}, func(error) {})
+	}
+	eng.RunUntil(0.5)
+	if p, err := b.Pending("t1"); err != nil || p != 3 {
+		t.Fatalf("Pending = %d, %v", p, err)
+	}
+	eng.Run()
+	if p, _ := b.Pending("t1"); p != 0 {
+		t.Fatalf("Pending after drain = %d", p)
+	}
+	if _, err := b.Pending("ghost"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("Pending(ghost): %v", err)
+	}
+}
+
+func TestWorkerErrorsCountedAndPropagated(t *testing.T) {
+	eng, b := newBalancer(t, RoundRobin)
+	w := &fakeWorker{eng: eng, delay: 0.001, err: errors.New("boom")}
+	if err := b.AddWorker("t1", w); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	b.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	eng.Run()
+	if got == nil || got.Error() != "boom" {
+		t.Fatalf("worker error not propagated: %v", got)
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	eng, b := newBalancer(t, RoundRobin)
+	if err := b.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if b.Addr() != "lbnode:8080" {
+		t.Fatalf("Addr = %q", b.Addr())
+	}
+	b.Stop()
+	if b.Running() {
+		t.Fatal("running after stop")
+	}
+	var got error
+	b.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrNotRunning) {
+		t.Fatalf("request to stopped balancer: %v", got)
+	}
+	b.Stop() // idempotent
+	if err := b.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+}
+
+func TestBalancerNodeFailure(t *testing.T) {
+	eng, b := newBalancer(t, RoundRobin)
+	w := &fakeWorker{eng: eng, delay: 0.001}
+	if err := b.AddWorker("t1", w); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	b.HandleHTTP(&legacy.WebRequest{}, func(err error) { got = err })
+	b.Node().Fail()
+	eng.Run()
+	if got == nil {
+		t.Fatal("request on failed balancer node succeeded")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastConnections.String() != "least-connections" ||
+		Policy(9).String() != "?" {
+		t.Fatal("policy strings wrong")
+	}
+}

@@ -1,0 +1,340 @@
+package rubis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"jade/internal/legacy"
+	"jade/internal/metrics"
+	"jade/internal/sim"
+)
+
+// Profile shapes the emulated client population over time.
+type Profile interface {
+	// Active returns the target number of concurrently emulated clients
+	// at virtual time t.
+	Active(t float64) int
+	// Duration is the experiment length in seconds.
+	Duration() float64
+	// Max is the population high-water mark (for preallocation).
+	Max() int
+}
+
+// RampProfile is the paper's evaluation workload: a base population, a
+// linear increase of StepPerMinute clients per minute up to Peak, an
+// optional hold, then a symmetric decrease back to the base.
+type RampProfile struct {
+	Base          int
+	Peak          int
+	StepPerMinute int
+	HoldAtPeak    float64
+}
+
+// PaperRamp is the exact scenario of §5.2: 80 clients, +21 clients/minute
+// up to 500, then symmetric decrease.
+func PaperRamp() RampProfile {
+	return RampProfile{Base: 80, Peak: 500, StepPerMinute: 21, HoldAtPeak: 120}
+}
+
+func (r RampProfile) rampSeconds() float64 {
+	if r.StepPerMinute <= 0 {
+		return 0
+	}
+	return float64(r.Peak-r.Base) / float64(r.StepPerMinute) * 60
+}
+
+// Active implements Profile.
+func (r RampProfile) Active(t float64) int {
+	up := r.rampSeconds()
+	switch {
+	case t < 0:
+		return r.Base
+	case t < up:
+		return r.Base + int(t/60*float64(r.StepPerMinute))
+	case t < up+r.HoldAtPeak:
+		return r.Peak
+	case t < 2*up+r.HoldAtPeak:
+		down := t - up - r.HoldAtPeak
+		n := r.Peak - int(down/60*float64(r.StepPerMinute))
+		if n < r.Base {
+			return r.Base
+		}
+		return n
+	default:
+		return r.Base
+	}
+}
+
+// Duration implements Profile.
+func (r RampProfile) Duration() float64 { return 2*r.rampSeconds() + r.HoldAtPeak }
+
+// Max implements Profile.
+func (r RampProfile) Max() int { return r.Peak }
+
+// ConstantProfile holds a fixed population for a fixed length — the
+// "medium workload" of the paper's intrusivity experiment (Table 1).
+type ConstantProfile struct {
+	Clients int
+	Length  float64
+}
+
+// Active implements Profile.
+func (c ConstantProfile) Active(float64) int { return c.Clients }
+
+// Duration implements Profile.
+func (c ConstantProfile) Duration() float64 { return c.Length }
+
+// Max implements Profile.
+func (c ConstantProfile) Max() int { return c.Clients }
+
+// InteractionStats aggregates one interaction's outcomes.
+type InteractionStats struct {
+	Count        uint64
+	Errors       uint64
+	TotalLatency float64
+}
+
+// Stats gathers the emulator's measurements, mirroring the RUBiS
+// benchmarking tool ("gathers statistics about the generated workload and
+// the web application behavior").
+type Stats struct {
+	// Latency records one point per completed request: (t, seconds).
+	Latency *metrics.Series
+	// Workload records the active client population each second.
+	Workload *metrics.Series
+	// Throughput is a 30-second windowed completion rate.
+	Throughput *metrics.Throughput
+
+	Completed uint64
+	Failed    uint64
+
+	perInteraction map[string]*InteractionStats
+	latencies      []float64
+}
+
+func newStats() *Stats {
+	return &Stats{
+		Latency:        metrics.NewSeries("latency"),
+		Workload:       metrics.NewSeries("workload"),
+		Throughput:     metrics.NewThroughput(30),
+		perInteraction: make(map[string]*InteractionStats),
+	}
+}
+
+// Interaction returns the aggregate for one interaction name.
+func (s *Stats) Interaction(name string) InteractionStats {
+	if st, ok := s.perInteraction[name]; ok {
+		return *st
+	}
+	return InteractionStats{}
+}
+
+// InteractionNames returns the interaction names observed, sorted.
+func (s *Stats) InteractionNames() []string {
+	out := make([]string, 0, len(s.perInteraction))
+	for n := range s.perInteraction {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LatencySummary summarizes completed-request latencies (seconds).
+func (s *Stats) LatencySummary() metrics.Summary {
+	return metrics.Summarize(s.latencies)
+}
+
+// MeanLatencyBetween returns the mean latency of completions in [t0, t1].
+func (s *Stats) MeanLatencyBetween(t0, t1 float64) float64 {
+	return s.Latency.MeanBetween(t0, t1)
+}
+
+func (s *Stats) record(name string, t, latency float64, err error) {
+	st, ok := s.perInteraction[name]
+	if !ok {
+		st = &InteractionStats{}
+		s.perInteraction[name] = st
+	}
+	if err != nil {
+		s.Failed++
+		st.Errors++
+		return
+	}
+	s.Completed++
+	st.Count++
+	st.TotalLatency += latency
+	s.Latency.Add(t, latency)
+	s.latencies = append(s.latencies, latency)
+	s.Throughput.Observe(t)
+}
+
+// Emulator drives a closed-loop population of clients against a front-end
+// HTTP handler: each client thinks (exponential think time), issues one
+// interaction, waits for the response, and repeats — so an overloaded
+// system slows its own offered load, as real users do.
+type Emulator struct {
+	eng     *sim.Engine
+	front   legacy.HTTPHandler
+	mix     *Mix
+	profile Profile
+
+	// ThinkTime is the mean think time in seconds (RUBiS uses
+	// exponentially distributed think times; 7 s mean, per TPC-W).
+	ThinkTime float64
+
+	// Chain, when set, switches the emulator from independent sampling
+	// of the mix's stationary weights to Markov sessions: each client
+	// walks the transition graph from its start state (and restarts the
+	// session when reactivated).
+	Chain *Chain
+
+	ds       Dataset
+	counters *Counters
+	rng      *rand.Rand
+	stats    *Stats
+	clients  []*client
+	ticker   *sim.Ticker
+	running  bool
+	deadline float64
+}
+
+type client struct {
+	id     int
+	em     *Emulator
+	active bool
+	parked bool
+	state  string // current session state in Chain mode
+}
+
+// NewEmulator creates an emulator (not yet started).
+func NewEmulator(eng *sim.Engine, front legacy.HTTPHandler, mix *Mix, profile Profile, ds Dataset) *Emulator {
+	return &Emulator{
+		eng:       eng,
+		front:     front,
+		mix:       mix,
+		profile:   profile,
+		ThinkTime: 7,
+		ds:        ds,
+		counters:  NewCounters(ds),
+		rng:       rand.New(rand.NewSource(eng.Rand().Int63())),
+		stats:     newStats(),
+	}
+}
+
+// Stats returns the emulator's measurements.
+func (e *Emulator) Stats() *Stats { return e.stats }
+
+// ActiveClients returns the number of currently active clients.
+func (e *Emulator) ActiveClients() int {
+	n := 0
+	for _, c := range e.clients {
+		if c.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the population and the per-second population regulator.
+// The emulator deactivates everything at the profile's duration.
+func (e *Emulator) Start() error {
+	if e.running {
+		return fmt.Errorf("rubis: emulator already running")
+	}
+	e.running = true
+	e.deadline = e.eng.Now() + e.profile.Duration()
+	e.clients = make([]*client, e.profile.Max())
+	for i := range e.clients {
+		e.clients[i] = &client{id: i, em: e, parked: true}
+	}
+	e.adjust(e.eng.Now())
+	e.ticker = e.eng.Every(1, "rubis:population", func(now float64) {
+		if now >= e.deadline {
+			e.Stop()
+			return
+		}
+		e.adjust(now)
+	})
+	return nil
+}
+
+// Stop deactivates all clients; in-flight requests complete but are still
+// recorded.
+func (e *Emulator) Stop() {
+	if !e.running {
+		return
+	}
+	e.running = false
+	if e.ticker != nil {
+		e.ticker.Stop()
+		e.ticker = nil
+	}
+	for _, c := range e.clients {
+		c.active = false
+	}
+}
+
+// adjust reconciles the active population with the profile's target.
+func (e *Emulator) adjust(now float64) {
+	target := e.profile.Active(now - (e.deadline - e.profile.Duration()))
+	if target > len(e.clients) {
+		target = len(e.clients)
+	}
+	e.stats.Workload.Add(now, float64(target))
+	for i, c := range e.clients {
+		want := i < target
+		if want && !c.active {
+			c.active = true
+			if e.Chain != nil {
+				c.state = e.Chain.Start() // fresh session
+			}
+			if c.parked {
+				c.parked = false
+				c.think()
+			}
+		} else if !want && c.active {
+			c.active = false // parks at the end of its current cycle
+		}
+	}
+}
+
+// think schedules the client's next request after an exponential delay.
+func (c *client) think() {
+	if !c.active {
+		c.parked = true
+		return
+	}
+	delay := c.em.eng.Exponential(c.em.ThinkTime)
+	c.em.eng.After(delay, "rubis:think", c.issue)
+}
+
+// issue sends one interaction and recurses into the next cycle when the
+// response arrives.
+func (c *client) issue() {
+	if !c.active {
+		c.parked = true
+		return
+	}
+	em := c.em
+	g := &GenContext{DS: em.ds, RNG: em.rng, Counters: em.counters}
+	var it *Interaction
+	if em.Chain != nil {
+		c.state = em.Chain.Next(c.state, em.rng)
+		next, ok := em.mix.ByName(c.state)
+		if !ok { // chain names an interaction absent from the mix
+			next = em.mix.Pick(em.rng)
+			c.state = next.Name
+		}
+		it = next
+	} else {
+		it = em.mix.Pick(em.rng)
+	}
+	req := it.Request(g)
+	t0 := em.eng.Now()
+	em.front.HandleHTTP(req, func(err error) {
+		now := em.eng.Now()
+		em.stats.record(it.Name, now, now-t0, err)
+		c.think()
+	})
+}

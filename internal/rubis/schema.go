@@ -1,0 +1,135 @@
+// Package rubis reimplements the RUBiS 1.4.2 benchmark workload used in
+// the paper's evaluation: an auction site modeled over eBay with 26 web
+// interactions, a relational schema (users, items, categories, regions,
+// bids, comments, buy-now purchases), and a client emulator that generates
+// a tunable closed-loop workload and gathers latency/throughput
+// statistics.
+//
+// The dataset is scaled down from RUBiS's defaults so experiments run in
+// memory, but the schema and the interactions' SQL shapes are faithful;
+// per-interaction CPU costs are calibrated so that the tier saturation
+// points of the paper's scenario reproduce (see DESIGN.md).
+package rubis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jade/internal/sqlengine"
+)
+
+// Dataset sizes the generated auction database.
+type Dataset struct {
+	Regions    int
+	Categories int
+	Users      int
+	Items      int
+	// BidsPerItem and CommentsPerUser seed initial activity.
+	BidsPerItem     int
+	CommentsPerUser int
+}
+
+// DefaultDataset is the scaled-down standard database.
+func DefaultDataset() Dataset {
+	return Dataset{
+		Regions:         62, // RUBiS ships 62 US regions
+		Categories:      20,
+		Users:           300,
+		Items:           450,
+		BidsPerItem:     2,
+		CommentsPerUser: 1,
+	}
+}
+
+// schemaStatements returns the CREATE TABLE statements of the RUBiS
+// schema subset the interactions touch.
+func schemaStatements() []string {
+	return []string{
+		"CREATE TABLE regions (id INT, name TEXT)",
+		"CREATE TABLE categories (id INT, name TEXT)",
+		"CREATE TABLE users (id INT, nickname TEXT, password TEXT, region INT, rating INT, balance FLOAT)",
+		"CREATE TABLE items (id INT, name TEXT, seller INT, category INT, initial_price FLOAT, max_bid FLOAT, nb_of_bids INT, end_date INT, buy_now FLOAT)",
+		"CREATE TABLE bids (id INT, user_id INT, item_id INT, bid FLOAT, date INT)",
+		"CREATE TABLE comments (id INT, from_user INT, to_user INT, item_id INT, rating INT, comment TEXT)",
+		"CREATE TABLE buy_now (id INT, buyer_id INT, item_id INT, qty INT, date INT)",
+	}
+}
+
+// Populate fills db with the dataset. The generated content is a pure
+// function of the rng's state, so two replicas populated from equal seeds
+// are identical.
+func (d Dataset) Populate(db *sqlengine.Engine, rng *rand.Rand) error {
+	for _, stmt := range schemaStatements() {
+		if _, err := db.Exec(stmt); err != nil {
+			return fmt.Errorf("rubis: schema: %w", err)
+		}
+	}
+	exec := func(format string, args ...any) error {
+		if _, err := db.Exec(fmt.Sprintf(format, args...)); err != nil {
+			return fmt.Errorf("rubis: populate: %w", err)
+		}
+		return nil
+	}
+	for i := 0; i < d.Regions; i++ {
+		if err := exec("INSERT INTO regions (id, name) VALUES (%d, 'region-%d')", i, i); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < d.Categories; i++ {
+		if err := exec("INSERT INTO categories (id, name) VALUES (%d, 'category-%d')", i, i); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < d.Users; i++ {
+		if err := exec(
+			"INSERT INTO users (id, nickname, password, region, rating, balance) VALUES (%d, 'user%d', 'pw%d', %d, %d, %.2f)",
+			i, i, i, rng.Intn(max(1, d.Regions)), rng.Intn(10), rng.Float64()*1000); err != nil {
+			return err
+		}
+	}
+	bidID, commentID := 0, 0
+	for i := 0; i < d.Items; i++ {
+		price := 1 + rng.Float64()*100
+		if err := exec(
+			"INSERT INTO items (id, name, seller, category, initial_price, max_bid, nb_of_bids, end_date, buy_now) VALUES (%d, 'item-%d', %d, %d, %.2f, %.2f, %d, %d, %.2f)",
+			i, i, rng.Intn(max(1, d.Users)), rng.Intn(max(1, d.Categories)),
+			price, price, 0, 1000000+rng.Intn(1000000), price*1.5); err != nil {
+			return err
+		}
+		for b := 0; b < d.BidsPerItem; b++ {
+			if err := exec(
+				"INSERT INTO bids (id, user_id, item_id, bid, date) VALUES (%d, %d, %d, %.2f, %d)",
+				bidID, rng.Intn(max(1, d.Users)), i, price+float64(b), b); err != nil {
+				return err
+			}
+			bidID++
+		}
+	}
+	for u := 0; u < d.Users; u++ {
+		for c := 0; c < d.CommentsPerUser; c++ {
+			if err := exec(
+				"INSERT INTO comments (id, from_user, to_user, item_id, rating, comment) VALUES (%d, %d, %d, %d, %d, 'seed comment')",
+				commentID, rng.Intn(max(1, d.Users)), u, rng.Intn(max(1, d.Items)), rng.Intn(5)); err != nil {
+				return err
+			}
+			commentID++
+		}
+	}
+	return nil
+}
+
+// InitialDatabase builds and populates a fresh database from a seed.
+func (d Dataset) InitialDatabase(seed int64) (*sqlengine.Engine, error) {
+	db := sqlengine.New()
+	if err := d.Populate(db, rand.New(rand.NewSource(seed))); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every experiment in this repository replays the paper's 3000-second
+// cluster scenarios on a virtual clock: events are executed in
+// non-decreasing time order, ties are broken by scheduling order, and all
+// randomness flows through a single seeded source. Two runs with the same
+// seed produce identical traces, which makes the control-loop behaviour of
+// the Jade managers testable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // position in the heap, -1 once removed
+	canceled bool
+	fn       func()
+	label    string
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event executor with a virtual clock
+// measured in seconds. The zero value is not usable; construct one with
+// NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	// processed counts events executed since construction; useful in
+	// tests and as a progress indicator.
+	processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand returns the engine's deterministic random source. All simulation
+// code must draw randomness from here, never from the global source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue (including
+// canceled ones not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it would silently reorder causality.
+func (e *Engine) At(t float64, label string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %.9f, before now %.9f", label, t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling %q at non-finite time %v", label, t))
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay float64, label string, fn func()) *Event {
+	return e.At(e.now+delay, label, fn)
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or been canceled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t and then sets the clock to t.
+// Events scheduled exactly at t do run.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%.9f) before now %.9f", t, e.now))
+	}
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.time > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker fires a callback at a fixed period until stopped.
+type Ticker struct {
+	eng    *Engine
+	period float64
+	fn     func(now float64)
+	ev     *Event
+	label  string
+	done   bool
+}
+
+// Every schedules fn to run every period seconds, first at now+period.
+// The returned Ticker can be stopped. A non-positive period panics.
+func (e *Engine) Every(period float64, label string, fn func(now float64)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker %q with period %v", label, period))
+	}
+	t := &Ticker{eng: e, period: period, fn: fn, label: label}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.After(t.period, t.label, func() {
+		if t.done {
+			return
+		}
+		t.fn(t.eng.Now())
+		if !t.done {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.eng.Cancel(t.ev)
+}
+
+// Exponential draws from an exponential distribution with the given mean,
+// using the engine's random source.
+func (e *Engine) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return e.rng.ExpFloat64() * mean
+}
+
+// Uniform draws uniformly from [lo, hi).
+func (e *Engine) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + e.rng.Float64()*(hi-lo)
+}

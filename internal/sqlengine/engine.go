@@ -1,0 +1,517 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoSuchTable  = errors.New("sql: no such table")
+	ErrNoSuchColumn = errors.New("sql: no such column")
+	ErrTableExists  = errors.New("sql: table already exists")
+	ErrTypeMismatch = errors.New("sql: type mismatch")
+)
+
+// Row is one table row; indices align with the table's columns.
+type Row []Value
+
+// Table is one in-memory table.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+}
+
+func (t *Table) colIndex(name string) (int, error) {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, name)
+}
+
+// Engine is one database instance (one MySQL replica's state).
+type Engine struct {
+	tables map[string]*Table
+	writes uint64 // count of successfully executed write statements
+}
+
+// New returns an empty database.
+func New() *Engine { return &Engine{tables: make(map[string]*Table)} }
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Columns  []string
+	Rows     []Row
+	Affected int
+}
+
+// Writes returns the number of write statements executed successfully.
+func (e *Engine) Writes() uint64 { return e.writes }
+
+// Tables returns table names sorted.
+func (e *Engine) Tables() []string {
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table returns the named table.
+func (e *Engine) Table(name string) (*Table, bool) {
+	t, ok := e.tables[name]
+	return t, ok
+}
+
+// Exec parses and executes one SQL statement.
+func (e *Engine) Exec(sql string) (Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(stmt Statement) (Result, error) {
+	switch s := stmt.(type) {
+	case CreateStmt:
+		return e.execCreate(s)
+	case DropStmt:
+		return e.execDrop(s)
+	case InsertStmt:
+		return e.execInsert(s)
+	case SelectStmt:
+		return e.execSelect(s)
+	case UpdateStmt:
+		return e.execUpdate(s)
+	case DeleteStmt:
+		return e.execDelete(s)
+	}
+	return Result{}, fmt.Errorf("sql: unknown statement type %T", stmt)
+}
+
+func (e *Engine) execCreate(s CreateStmt) (Result, error) {
+	if _, ok := e.tables[s.Table]; ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrTableExists, s.Table)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if seen[c.Name] {
+			return Result{}, fmt.Errorf("sql: duplicate column %q in CREATE TABLE %s", c.Name, s.Table)
+		}
+		seen[c.Name] = true
+	}
+	e.tables[s.Table] = &Table{Name: s.Table, Columns: append([]Column(nil), s.Columns...)}
+	e.writes++
+	return Result{}, nil
+}
+
+func (e *Engine) execDrop(s DropStmt) (Result, error) {
+	if _, ok := e.tables[s.Table]; !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	delete(e.tables, s.Table)
+	e.writes++
+	return Result{}, nil
+}
+
+// coerce converts a literal to the column type, allowing int→float.
+func coerce(v Value, t ColType) (Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case TInt:
+		if n, ok := v.(int64); ok {
+			return n, nil
+		}
+	case TFloat:
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case int64:
+			return float64(n), nil
+		}
+	case TText:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %v (%T) is not %s", ErrTypeMismatch, v, v, t)
+}
+
+func (e *Engine) execInsert(s InsertStmt) (Result, error) {
+	t, ok := e.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	row := make(Row, len(t.Columns))
+	assigned := make([]bool, len(t.Columns))
+	for i, cn := range s.Columns {
+		ci, err := t.colIndex(cn)
+		if err != nil {
+			return Result{}, err
+		}
+		v, err := coerce(s.Values[i], t.Columns[ci].Type)
+		if err != nil {
+			return Result{}, fmt.Errorf("column %s: %w", cn, err)
+		}
+		row[ci] = v
+		assigned[ci] = true
+	}
+	for i := range row {
+		if !assigned[i] {
+			row[i] = nil
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	e.writes++
+	return Result{Affected: 1}, nil
+}
+
+func matches(t *Table, row Row, conds []Cond) (bool, error) {
+	for _, c := range conds {
+		ci, err := t.colIndex(c.Column)
+		if err != nil {
+			return false, err
+		}
+		ok, err := compare(row[ci], c.Op, c.Val)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// compare evaluates "cell op literal". NULL compares equal only to NULL
+// under "=" and unequal under "!="; ordered comparisons with NULL are
+// false.
+func compare(cell Value, op string, lit Value) (bool, error) {
+	if cell == nil || lit == nil {
+		switch op {
+		case "=":
+			return cell == nil && lit == nil, nil
+		case "!=":
+			return (cell == nil) != (lit == nil), nil
+		default:
+			return false, nil
+		}
+	}
+	switch a := cell.(type) {
+	case int64:
+		var b int64
+		switch l := lit.(type) {
+		case int64:
+			b = l
+		case float64:
+			return compareFloat(float64(a), op, l)
+		default:
+			return false, fmt.Errorf("%w: comparing INT with %T", ErrTypeMismatch, lit)
+		}
+		return compareInt(a, op, b)
+	case float64:
+		switch l := lit.(type) {
+		case float64:
+			return compareFloat(a, op, l)
+		case int64:
+			return compareFloat(a, op, float64(l))
+		default:
+			return false, fmt.Errorf("%w: comparing FLOAT with %T", ErrTypeMismatch, lit)
+		}
+	case string:
+		b, ok := lit.(string)
+		if !ok {
+			return false, fmt.Errorf("%w: comparing TEXT with %T", ErrTypeMismatch, lit)
+		}
+		return compareString(a, op, b)
+	}
+	return false, fmt.Errorf("%w: unsupported cell type %T", ErrTypeMismatch, cell)
+}
+
+func compareInt(a int64, op string, b int64) (bool, error) {
+	switch op {
+	case "=":
+		return a == b, nil
+	case "!=":
+		return a != b, nil
+	case "<":
+		return a < b, nil
+	case ">":
+		return a > b, nil
+	case "<=":
+		return a <= b, nil
+	case ">=":
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("sql: bad operator %q", op)
+}
+
+func compareFloat(a float64, op string, b float64) (bool, error) {
+	switch op {
+	case "=":
+		return a == b, nil
+	case "!=":
+		return a != b, nil
+	case "<":
+		return a < b, nil
+	case ">":
+		return a > b, nil
+	case "<=":
+		return a <= b, nil
+	case ">=":
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("sql: bad operator %q", op)
+}
+
+func compareString(a, op, b string) (bool, error) {
+	switch op {
+	case "=":
+		return a == b, nil
+	case "!=":
+		return a != b, nil
+	case "<":
+		return a < b, nil
+	case ">":
+		return a > b, nil
+	case "<=":
+		return a <= b, nil
+	case ">=":
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("sql: bad operator %q", op)
+}
+
+func (e *Engine) execSelect(s SelectStmt) (Result, error) {
+	t, ok := e.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	var matched []Row
+	for _, row := range t.Rows {
+		ok, err := matches(t, row, s.Where)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			matched = append(matched, row)
+		}
+	}
+	if s.OrderBy != "" {
+		ci, err := t.colIndex(s.OrderBy)
+		if err != nil {
+			return Result{}, err
+		}
+		sort.SliceStable(matched, func(i, j int) bool {
+			less := lessValue(matched[i][ci], matched[j][ci])
+			if s.Desc {
+				return lessValue(matched[j][ci], matched[i][ci])
+			}
+			return less
+		})
+	}
+	if s.Limit >= 0 && len(matched) > s.Limit {
+		matched = matched[:s.Limit]
+	}
+	if s.Count {
+		return Result{Columns: []string{"count"}, Rows: []Row{{int64(len(matched))}}}, nil
+	}
+	if s.Columns == nil {
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c.Name
+		}
+		out := make([]Row, len(matched))
+		for i, r := range matched {
+			out[i] = append(Row(nil), r...)
+		}
+		return Result{Columns: cols, Rows: out}, nil
+	}
+	idx := make([]int, len(s.Columns))
+	for i, cn := range s.Columns {
+		ci, err := t.colIndex(cn)
+		if err != nil {
+			return Result{}, err
+		}
+		idx[i] = ci
+	}
+	out := make([]Row, len(matched))
+	for i, r := range matched {
+		proj := make(Row, len(idx))
+		for j, ci := range idx {
+			proj[j] = r[ci]
+		}
+		out[i] = proj
+	}
+	return Result{Columns: append([]string(nil), s.Columns...), Rows: out}, nil
+}
+
+// lessValue orders values of the same family; NULL sorts first.
+func lessValue(a, b Value) bool {
+	if a == nil {
+		return b != nil
+	}
+	if b == nil {
+		return false
+	}
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return x < y
+		case float64:
+			return float64(x) < y
+		}
+	case float64:
+		switch y := b.(type) {
+		case float64:
+			return x < y
+		case int64:
+			return x < float64(y)
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return x < y
+		}
+	}
+	return false
+}
+
+func (e *Engine) execUpdate(s UpdateStmt) (Result, error) {
+	t, ok := e.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	// Validate assignments before mutating anything.
+	type setOp struct {
+		ci int
+		v  Value
+	}
+	cols := make([]string, 0, len(s.Set))
+	for cn := range s.Set {
+		cols = append(cols, cn)
+	}
+	sort.Strings(cols)
+	ops := make([]setOp, 0, len(cols))
+	for _, cn := range cols {
+		ci, err := t.colIndex(cn)
+		if err != nil {
+			return Result{}, err
+		}
+		v, err := coerce(s.Set[cn], t.Columns[ci].Type)
+		if err != nil {
+			return Result{}, fmt.Errorf("column %s: %w", cn, err)
+		}
+		ops = append(ops, setOp{ci: ci, v: v})
+	}
+	affected := 0
+	for i, row := range t.Rows {
+		ok, err := matches(t, row, s.Where)
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			continue
+		}
+		for _, op := range ops {
+			t.Rows[i][op.ci] = op.v
+		}
+		affected++
+	}
+	e.writes++
+	return Result{Affected: affected}, nil
+}
+
+func (e *Engine) execDelete(s DeleteStmt) (Result, error) {
+	t, ok := e.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	kept := t.Rows[:0]
+	affected := 0
+	for _, row := range t.Rows {
+		ok, err := matches(t, row, s.Where)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			affected++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	e.writes++
+	return Result{Affected: affected}, nil
+}
+
+// Snapshot returns a deep copy of the database — the "initial known state"
+// installed on a fresh replica before the recovery log replays the delta.
+func (e *Engine) Snapshot() *Engine {
+	cp := New()
+	cp.writes = e.writes
+	for name, t := range e.tables {
+		nt := &Table{Name: t.Name, Columns: append([]Column(nil), t.Columns...)}
+		nt.Rows = make([]Row, len(t.Rows))
+		for i, r := range t.Rows {
+			nt.Rows[i] = append(Row(nil), r...)
+		}
+		cp.tables[name] = nt
+	}
+	return cp
+}
+
+// Fingerprint returns a content hash of the full database state
+// (schema + rows, order-independent across tables, order-dependent within
+// a table as row order is part of engine state). Two replicas are
+// consistent iff their fingerprints are equal.
+func (e *Engine) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, name := range e.Tables() {
+		t := e.tables[name]
+		h.Write([]byte("table:" + name))
+		for _, c := range t.Columns {
+			h.Write([]byte(c.Name + ":" + c.Type.String()))
+		}
+		for _, r := range t.Rows {
+			for _, v := range r {
+				writeValue(h, v)
+			}
+			h.Write([]byte{0xFF})
+		}
+	}
+	return h.Sum64()
+}
+
+func writeValue(h interface{ Write([]byte) (int, error) }, v Value) {
+	switch x := v.(type) {
+	case nil:
+		h.Write([]byte("N"))
+	case int64:
+		h.Write([]byte("i" + strconv.FormatInt(x, 10)))
+	case float64:
+		h.Write([]byte("f" + strconv.FormatFloat(x, 'g', -1, 64)))
+	case string:
+		h.Write([]byte("s" + x))
+	}
+	h.Write([]byte{0})
+}
+
+// RowCount returns the number of rows in a table (0 if absent).
+func (e *Engine) RowCount(table string) int {
+	if t, ok := e.tables[table]; ok {
+		return len(t.Rows)
+	}
+	return 0
+}

@@ -1,0 +1,443 @@
+package sqlengine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustExec(t *testing.T, e *Engine, sql string) Result {
+	t.Helper()
+	r, err := e.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return r
+}
+
+func newUsers(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	mustExec(t, e, "CREATE TABLE users (id INT, nickname TEXT, rating FLOAT)")
+	mustExec(t, e, "INSERT INTO users (id, nickname, rating) VALUES (1, 'alice', 4.5)")
+	mustExec(t, e, "INSERT INTO users (id, nickname, rating) VALUES (2, 'bob', 3.0)")
+	mustExec(t, e, "INSERT INTO users (id, nickname, rating) VALUES (3, 'carol', 5.0)")
+	return e
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	e := newUsers(t)
+	r := mustExec(t, e, "SELECT * FROM users WHERE id = 2")
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][1] != "bob" {
+		t.Fatalf("nickname = %v", r.Rows[0][1])
+	}
+	if len(r.Columns) != 3 || r.Columns[0] != "id" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+}
+
+func TestSelectProjection(t *testing.T) {
+	e := newUsers(t)
+	r := mustExec(t, e, "SELECT nickname, id FROM users WHERE rating >= 4.0 ORDER BY id DESC")
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0] != "carol" || r.Rows[0][1] != int64(3) {
+		t.Fatalf("first row = %v", r.Rows[0])
+	}
+	if r.Columns[0] != "nickname" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+}
+
+func TestSelectCountAndLimit(t *testing.T) {
+	e := newUsers(t)
+	r := mustExec(t, e, "SELECT COUNT(*) FROM users")
+	if r.Rows[0][0] != int64(3) {
+		t.Fatalf("count = %v", r.Rows[0][0])
+	}
+	r = mustExec(t, e, "SELECT * FROM users ORDER BY rating DESC LIMIT 1")
+	if len(r.Rows) != 1 || r.Rows[0][1] != "carol" {
+		t.Fatalf("top-rated = %v", r.Rows)
+	}
+	r = mustExec(t, e, "SELECT * FROM users LIMIT 0")
+	if len(r.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned rows: %v", r.Rows)
+	}
+}
+
+func TestWhereOperatorsAndAnd(t *testing.T) {
+	e := newUsers(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM users WHERE id != 2", 2},
+		{"SELECT * FROM users WHERE id <> 2", 2},
+		{"SELECT * FROM users WHERE id < 3 AND rating > 3.5", 1},
+		{"SELECT * FROM users WHERE nickname = 'alice'", 1},
+		{"SELECT * FROM users WHERE nickname >= 'bob'", 2},
+		{"SELECT * FROM users WHERE rating <= 3.0", 1},
+		{"SELECT * FROM users WHERE id >= 1 AND id <= 3 AND nickname != 'bob'", 2},
+	}
+	for _, c := range cases {
+		r := mustExec(t, e, c.sql)
+		if len(r.Rows) != c.want {
+			t.Errorf("%s → %d rows, want %d", c.sql, len(r.Rows), c.want)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	e := newUsers(t)
+	r := mustExec(t, e, "UPDATE users SET rating = 1.0, nickname = 'bobby' WHERE id = 2")
+	if r.Affected != 1 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	got := mustExec(t, e, "SELECT nickname, rating FROM users WHERE id = 2")
+	if got.Rows[0][0] != "bobby" || got.Rows[0][1] != 1.0 {
+		t.Fatalf("row after update = %v", got.Rows[0])
+	}
+	// Update with no match affects zero rows.
+	r = mustExec(t, e, "UPDATE users SET rating = 0.0 WHERE id = 99")
+	if r.Affected != 0 {
+		t.Fatalf("phantom update affected %d", r.Affected)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := newUsers(t)
+	r := mustExec(t, e, "DELETE FROM users WHERE rating < 4.0")
+	if r.Affected != 1 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	if e.RowCount("users") != 2 {
+		t.Fatalf("rows left = %d", e.RowCount("users"))
+	}
+	// Unconditional delete clears the table.
+	mustExec(t, e, "DELETE FROM users")
+	if e.RowCount("users") != 0 {
+		t.Fatal("unconditional delete left rows")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	e := newUsers(t)
+	mustExec(t, e, "DROP TABLE users")
+	if _, err := e.Exec("SELECT * FROM users"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("select after drop: %v", err)
+	}
+	if _, err := e.Exec("DROP TABLE users"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := newUsers(t)
+	cases := []struct {
+		sql  string
+		want error
+	}{
+		{"SELECT * FROM ghosts", ErrNoSuchTable},
+		{"SELECT ghost FROM users", ErrNoSuchColumn},
+		{"INSERT INTO users (ghost) VALUES (1)", ErrNoSuchColumn},
+		{"INSERT INTO users (id) VALUES ('str')", ErrTypeMismatch},
+		{"CREATE TABLE users (id INT)", ErrTableExists},
+		{"UPDATE users SET ghost = 1", ErrNoSuchColumn},
+		{"SELECT * FROM users WHERE id = 'x'", ErrTypeMismatch},
+	}
+	for _, c := range cases {
+		if _, err := e.Exec(c.sql); !errors.Is(err, c.want) {
+			t.Errorf("%s → %v, want %v", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROB users",
+		"SELECT FROM users",
+		"SELECT * users",
+		"INSERT INTO users (id) VALUES (1, 2)",
+		"SELECT * FROM users WHERE id LIKE 3",
+		"SELECT * FROM users LIMIT -1",
+		"SELECT * FROM users WHERE id = 'unterminated",
+		"SELECT * FROM users trailing garbage ~",
+		"CREATE TABLE t (id BLOB)",
+		"SELECT * FROM users; SELECT 1 FROM users",
+	}
+	e := newUsers(t)
+	for _, sql := range bad {
+		if _, err := e.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) accepted invalid SQL", sql)
+		}
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE c (msg TEXT)")
+	quoted := QuoteString("it's a 'test'")
+	mustExec(t, e, fmt.Sprintf("INSERT INTO c (msg) VALUES (%s)", quoted))
+	r := mustExec(t, e, "SELECT * FROM c")
+	if r.Rows[0][0] != "it's a 'test'" {
+		t.Fatalf("round-tripped string = %q", r.Rows[0][0])
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE t (id INT, v TEXT)")
+	mustExec(t, e, "INSERT INTO t (id, v) VALUES (1, NULL)")
+	mustExec(t, e, "INSERT INTO t (id) VALUES (2)") // unassigned → NULL
+	r := mustExec(t, e, "SELECT * FROM t WHERE v = NULL")
+	if len(r.Rows) != 2 {
+		t.Fatalf("NULL = NULL matched %d rows", len(r.Rows))
+	}
+	r = mustExec(t, e, "SELECT * FROM t WHERE v != NULL")
+	if len(r.Rows) != 0 {
+		t.Fatalf("v != NULL matched %d rows", len(r.Rows))
+	}
+	r = mustExec(t, e, "SELECT * FROM t WHERE v < 'z'")
+	if len(r.Rows) != 0 {
+		t.Fatalf("ordered NULL comparison matched %d rows", len(r.Rows))
+	}
+	// NULLs sort first.
+	mustExec(t, e, "UPDATE t SET v = 'a' WHERE id = 1")
+	r = mustExec(t, e, "SELECT id FROM t ORDER BY v")
+	if r.Rows[0][0] != int64(2) {
+		t.Fatalf("NULL did not sort first: %v", r.Rows)
+	}
+}
+
+func TestIntFloatCoercion(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE t (f FLOAT)")
+	mustExec(t, e, "INSERT INTO t (f) VALUES (3)") // int literal into float col
+	r := mustExec(t, e, "SELECT * FROM t WHERE f = 3")
+	if len(r.Rows) != 1 || r.Rows[0][0] != 3.0 {
+		t.Fatalf("coerced value = %v", r.Rows)
+	}
+	// Mixed comparison: int column vs float literal.
+	mustExec(t, e, "CREATE TABLE u (i INT)")
+	mustExec(t, e, "INSERT INTO u (i) VALUES (2)")
+	r = mustExec(t, e, "SELECT * FROM u WHERE i < 2.5")
+	if len(r.Rows) != 1 {
+		t.Fatalf("int vs float comparison rows = %d", len(r.Rows))
+	}
+}
+
+func TestVarcharSizeSuffix(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE t (name VARCHAR(255), n INT)")
+	mustExec(t, e, "INSERT INTO t (name, n) VALUES ('x', 1)")
+	if e.RowCount("t") != 1 {
+		t.Fatal("insert failed")
+	}
+}
+
+func TestIsWrite(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"SELECT * FROM t", false},
+		{"select * from t", false},
+		{"INSERT INTO t (a) VALUES (1)", true},
+		{"update t set a = 1", true},
+		{"DELETE FROM t", true},
+		{"CREATE TABLE t (a INT)", true},
+		{"DROP TABLE t", true},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := IsWrite(c.sql); got != c.want {
+			t.Errorf("IsWrite(%q) = %v", c.sql, got)
+		}
+	}
+}
+
+func TestWritesCounterOnlyCountsSuccesses(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE t (a INT)")
+	before := e.Writes()
+	if _, err := e.Exec("INSERT INTO ghost (a) VALUES (1)"); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+	if e.Writes() != before {
+		t.Fatal("failed write incremented counter")
+	}
+	mustExec(t, e, "INSERT INTO t (a) VALUES (1)")
+	if e.Writes() != before+1 {
+		t.Fatalf("Writes = %d, want %d", e.Writes(), before+1)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	e := newUsers(t)
+	snap := e.Snapshot()
+	mustExec(t, e, "INSERT INTO users (id, nickname, rating) VALUES (4, 'dave', 2.0)")
+	mustExec(t, e, "UPDATE users SET nickname = 'ALICE' WHERE id = 1")
+	if snap.RowCount("users") != 3 {
+		t.Fatalf("snapshot saw later insert: %d rows", snap.RowCount("users"))
+	}
+	r, _ := snap.Exec("SELECT nickname FROM users WHERE id = 1")
+	if r.Rows[0][0] != "alice" {
+		t.Fatalf("snapshot saw later update: %v", r.Rows[0][0])
+	}
+}
+
+func TestFingerprintDetectsDivergence(t *testing.T) {
+	a := newUsers(t)
+	b := a.Snapshot()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical databases have different fingerprints")
+	}
+	mustExec(t, b, "UPDATE users SET rating = 0.1 WHERE id = 1")
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("diverged databases share a fingerprint")
+	}
+}
+
+func TestFingerprintEmptyEngines(t *testing.T) {
+	if New().Fingerprint() != New().Fingerprint() {
+		t.Fatal("two empty engines differ")
+	}
+}
+
+// Property: replaying the same write sequence on two fresh engines yields
+// identical fingerprints — the invariant C-JDBC's recovery log rests on.
+func TestPropertyReplayDeterminism(t *testing.T) {
+	f := func(ops []uint8) bool {
+		build := func() *Engine {
+			e := New()
+			if _, err := e.Exec("CREATE TABLE t (id INT, v INT)"); err != nil {
+				return nil
+			}
+			for i, op := range ops {
+				var sql string
+				switch op % 3 {
+				case 0:
+					sql = fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", i, op)
+				case 1:
+					sql = fmt.Sprintf("UPDATE t SET v = %d WHERE id < %d", op, op%10)
+				case 2:
+					sql = fmt.Sprintf("DELETE FROM t WHERE v = %d", op%5)
+				}
+				if _, err := e.Exec(sql); err != nil {
+					return nil
+				}
+			}
+			return e
+		}
+		a, b := build(), build()
+		if a == nil || b == nil {
+			return false
+		}
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: INSERT then COUNT round trip — count always equals inserts
+// minus matching deletes.
+func TestPropertyInsertCount(t *testing.T) {
+	f := func(vals []int16) bool {
+		e := New()
+		if _, err := e.Exec("CREATE TABLE t (v INT)"); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := e.Exec(fmt.Sprintf("INSERT INTO t (v) VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		r, err := e.Exec("SELECT COUNT(*) FROM t")
+		if err != nil {
+			return false
+		}
+		return r.Rows[0][0] == int64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strings with arbitrary content survive quoting and a SELECT
+// round trip.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "\x00") {
+			return true // NUL not representable in our literal grammar
+		}
+		e := New()
+		if _, err := e.Exec("CREATE TABLE t (v TEXT)"); err != nil {
+			return false
+		}
+		if _, err := e.Exec("INSERT INTO t (v) VALUES (" + QuoteString(s) + ")"); err != nil {
+			return false
+		}
+		r, err := e.Exec("SELECT v FROM t")
+		if err != nil || len(r.Rows) != 1 {
+			return false
+		}
+		return r.Rows[0][0] == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderByStable(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE t (k INT, seq INT)")
+	for i := 0; i < 5; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t (k, seq) VALUES (1, %d)", i))
+	}
+	r := mustExec(t, e, "SELECT seq FROM t ORDER BY k")
+	for i, row := range r.Rows {
+		if row[0] != int64(i) {
+			t.Fatalf("sort not stable: %v", r.Rows)
+		}
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	e := New()
+	mustExec(t, e, "CREATE TABLE zebra (a INT)")
+	mustExec(t, e, "CREATE TABLE apple (a INT)")
+	got := e.Tables()
+	if len(got) != 2 || got[0] != "apple" || got[1] != "zebra" {
+		t.Fatalf("Tables = %v", got)
+	}
+	if _, ok := e.Table("apple"); !ok {
+		t.Fatal("Table lookup failed")
+	}
+}
+
+func BenchmarkExecSelectWhere(b *testing.B) {
+	e := New()
+	if _, err := e.Exec("CREATE TABLE t (id INT, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := e.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'row')", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec("SELECT * FROM t WHERE id = 500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package jade is a reproduction of "Autonomic Management of Clustered
+// Applications" (Bouchenak, De Palma, Hagimont, Taton — IEEE CLUSTER
+// 2006): the Jade middleware for autonomic management of legacy
+// distributed software, evaluated on a self-sizing clustered J2EE
+// application.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/fractal — the Fractal component model (components,
+//     interfaces, bindings, attribute/binding/content/lifecycle
+//     controllers);
+//   - internal/legacy, internal/config — simulated legacy servers
+//     (Apache, Tomcat, MySQL) configured exclusively through their
+//     proprietary files (httpd.conf, server.xml, my.cnf,
+//     worker.properties);
+//   - internal/cjdbc, internal/plb, internal/l4 — the clustering
+//     middleware (C-JDBC with its recovery log, the PLB application-tier
+//     balancer, the L4 front-end switch);
+//   - internal/core — Jade itself: wrappers, the Software Installation
+//     Service, the ADL deployer, the control-loop framework, the
+//     self-optimization and self-recovery managers;
+//   - internal/rubis — the RUBiS auction-site workload (26 interactions,
+//     client emulator);
+//   - internal/sim, internal/cluster, internal/metrics, internal/report —
+//     the discrete-event engine, the simulated node pool, and the
+//     measurement/reporting substrate.
+//
+// Quick start:
+//
+//	p := jade.NewPlatform(jade.DefaultPlatformOptions())
+//	db, _ := jade.DefaultDataset().InitialDatabase(1)
+//	p.RegisterDump("rubis", db)
+//	def, _ := jade.ParseADL(jade.ThreeTierADL)
+//	p.Deploy(def, func(d *jade.Deployment, err error) { ... })
+//	p.Eng.Run()
+//
+// The experiment harness (scenario.go, experiments.go) regenerates every
+// table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package jade
+
+import (
+	"jade/internal/adl"
+	"jade/internal/cluster"
+	"jade/internal/core"
+	"jade/internal/fractal"
+	"jade/internal/legacy"
+	"jade/internal/metrics"
+	"jade/internal/report"
+	"jade/internal/rubis"
+	"jade/internal/sim"
+)
+
+// Re-exported core types: the platform, deployment and manager surface.
+type (
+	// Platform is a Jade instance managing one simulated cluster.
+	Platform = core.Platform
+	// PlatformOptions configures a Platform.
+	PlatformOptions = core.Options
+	// Deployment is an application deployed from an ADL description.
+	Deployment = core.Deployment
+	// Wrapper is the management contract of wrapped legacy software.
+	Wrapper = core.Wrapper
+	// SizingManager is a deployed self-optimization manager.
+	SizingManager = core.SizingManager
+	// SizingConfig parameterizes a self-optimization manager.
+	SizingConfig = core.SizingConfig
+	// RecoveryManager is the self-recovery manager.
+	RecoveryManager = core.RecoveryManager
+	// AppTier is the application-tier actuator.
+	AppTier = core.AppTier
+	// DBTier is the database-tier actuator.
+	DBTier = core.DBTier
+	// TierActuator is the uniform resize surface of a replicated tier.
+	TierActuator = core.TierActuator
+	// ControlLoop binds a sensor to a reactor at a fixed period.
+	ControlLoop = core.ControlLoop
+	// Sensor observes the managed system.
+	Sensor = core.Sensor
+	// Reactor decides and actuates.
+	Reactor = core.Reactor
+	// CPUSensor is the spatial+temporal CPU probe.
+	CPUSensor = core.CPUSensor
+	// Inhibitor serializes reconfigurations across loops.
+	Inhibitor = core.Inhibitor
+	// InstallService is the Software Installation Service.
+	InstallService = core.InstallService
+	// Arbiter coordinates conflicting autonomic policies (the paper's
+	// future-work arbitration manager).
+	Arbiter = core.Arbiter
+	// AdaptiveTuner dynamically adjusts a reactor's thresholds from the
+	// observed response time (the paper's future-work incremental
+	// parameter setting).
+	AdaptiveTuner = core.AdaptiveTuner
+	// ThresholdReactor is the paper's threshold decision logic.
+	ThresholdReactor = core.ThresholdReactor
+	// ResponseTimeSensor observes client-perceived latency.
+	ResponseTimeSensor = core.ResponseTimeSensor
+)
+
+// NewArbiter returns a policy arbiter with the given quiet window.
+func NewArbiter(quietSeconds float64) *Arbiter { return core.NewArbiter(quietSeconds) }
+
+// NewControlLoop wires a sensor to a reactor at a fixed period, wrapped
+// in its own management component.
+func NewControlLoop(p *Platform, name string, period float64, sensor Sensor, reactor Reactor) (*ControlLoop, error) {
+	return core.NewControlLoop(p, name, period, sensor, reactor)
+}
+
+// NewAdaptiveTuner builds a threshold tuner targeting a latency SLO.
+func NewAdaptiveTuner(reactor *ThresholdReactor, readLatency func(now float64) (float64, bool), slo float64) *AdaptiveTuner {
+	return core.NewAdaptiveTuner(reactor, readLatency, slo)
+}
+
+// Arbitration priorities for Arbiter.Request.
+const (
+	PriorityOptimization = core.PriorityOptimization
+	PriorityRecovery     = core.PriorityRecovery
+)
+
+// Re-exported architecture description types.
+type (
+	// ADLDefinition is a parsed architecture description.
+	ADLDefinition = adl.Definition
+	// Component is a Fractal component.
+	Component = fractal.Component
+	// Interface is a Fractal interface.
+	Interface = fractal.Interface
+)
+
+// Re-exported workload types.
+type (
+	// Dataset sizes the RUBiS database.
+	Dataset = rubis.Dataset
+	// Mix is a weighted RUBiS interaction mix.
+	Mix = rubis.Mix
+	// Emulator is the closed-loop client emulator.
+	Emulator = rubis.Emulator
+	// WorkloadStats gathers emulator measurements.
+	WorkloadStats = rubis.Stats
+	// RampProfile is the paper's ramp workload profile.
+	RampProfile = rubis.RampProfile
+	// ConstantProfile holds a fixed client population.
+	ConstantProfile = rubis.ConstantProfile
+	// Profile shapes the client population over time.
+	Profile = rubis.Profile
+	// SessionChain is the Markov session model over the 26 interactions.
+	SessionChain = rubis.Chain
+)
+
+// DefaultTransitions is the bidding-mix session graph for Markov-session
+// emulation.
+func DefaultTransitions() *SessionChain { return rubis.DefaultTransitions() }
+
+// Re-exported measurement types.
+type (
+	// Series is an append-only time series.
+	Series = metrics.Series
+	// Summary holds order statistics of a sample set.
+	Summary = metrics.Summary
+	// Chart renders time series as ASCII plots.
+	Chart = report.Chart
+	// ChartSeries is one plotted series.
+	ChartSeries = report.ChartSeries
+	// HLine is a horizontal chart reference line.
+	HLine = report.HLine
+	// TextTable renders aligned text tables.
+	TextTable = report.Table
+	// Engine is the discrete-event simulation engine.
+	Engine = sim.Engine
+	// Node is one simulated cluster machine.
+	Node = cluster.Node
+	// WebRequest is one HTTP request flowing through the tiers.
+	WebRequest = legacy.WebRequest
+	// Query is one SQL request with its CPU demand.
+	Query = legacy.Query
+)
+
+// NewPlatform builds a platform with the standard wrapper registry.
+func NewPlatform(opts PlatformOptions) *Platform { return core.NewPlatform(opts) }
+
+// DefaultPlatformOptions mirrors the paper's 9-node testbed.
+func DefaultPlatformOptions() PlatformOptions { return core.DefaultOptions() }
+
+// ParseADL parses an XML architecture description.
+func ParseADL(text string) (*ADLDefinition, error) { return adl.Parse(text) }
+
+// DefaultDataset is the scaled-down RUBiS database.
+func DefaultDataset() Dataset { return rubis.DefaultDataset() }
+
+// BiddingMix is RUBiS's default read/write interaction mix.
+func BiddingMix() *Mix { return rubis.BiddingMix() }
+
+// BrowsingMix is the read-only interaction mix.
+func BrowsingMix() *Mix { return rubis.BrowsingMix() }
+
+// PaperRamp is the exact §5.2 workload: 80 clients, +21/minute to 500,
+// then symmetric decrease.
+func PaperRamp() RampProfile { return rubis.PaperRamp() }
+
+// AppSizingDefaults mirrors the paper's application-tier control loop.
+func AppSizingDefaults() SizingConfig { return core.AppSizingDefaults() }
+
+// DBSizingDefaults mirrors the paper's database-tier control loop.
+func DBSizingDefaults() SizingConfig { return core.DBSizingDefaults() }
+
+// NewAppTier builds the application-tier actuator for a deployment.
+func NewAppTier(p *Platform, d *Deployment, plbName, dbName string, replicas []string) (*AppTier, error) {
+	return core.NewAppTier(p, d, plbName, dbName, replicas)
+}
+
+// NewDBTier builds the database-tier actuator for a deployment.
+func NewDBTier(p *Platform, d *Deployment, cjdbcName string, replicas []string) (*DBTier, error) {
+	return core.NewDBTier(p, d, cjdbcName, replicas)
+}
+
+// NewSizingManager assembles a self-optimization manager for one tier.
+func NewSizingManager(p *Platform, name string, tier TierActuator, cfg SizingConfig, shared *Inhibitor) (*SizingManager, error) {
+	return core.NewSizingManager(p, name, tier, cfg, shared)
+}
+
+// NewRecoveryManager assembles the self-recovery manager.
+func NewRecoveryManager(p *Platform, name string, period float64, tiers ...core.RepairableTier) (*RecoveryManager, error) {
+	return core.NewRecoveryManager(p, name, period, tiers...)
+}
+
+// NewEmulator creates a RUBiS client emulator against a front end.
+func NewEmulator(eng *Engine, front legacy.HTTPHandler, mix *Mix, profile Profile, ds Dataset) *Emulator {
+	return rubis.NewEmulator(eng, front, mix, profile, ds)
+}
+
+// ThreeTierADL is the paper's deployment: PLB in front of one Tomcat,
+// C-JDBC in front of one MySQL holding the RUBiS dump.
+const ThreeTierADL = `<?xml version="1.0"?>
+<definition name="rubis-j2ee">
+  <component name="plb1" wrapper="plb"/>
+  <composite name="app-tier">
+    <component name="tomcat1" wrapper="tomcat"/>
+  </composite>
+  <composite name="db-tier">
+    <component name="cjdbc1" wrapper="cjdbc"/>
+    <component name="mysql1" wrapper="mysql">
+      <attribute name="dump" value="rubis"/>
+    </component>
+  </composite>
+  <binding client="plb1.workers" server="tomcat1.http"/>
+  <binding client="tomcat1.jdbc" server="cjdbc1.jdbc"/>
+  <binding client="cjdbc1.backends" server="mysql1.sql"/>
+</definition>
+`
+
+// FiveTierADL is the full Fig. 2 architecture: an L4 switch balancing
+// two Apache replicas, each routing AJP traffic to both Tomcat replicas
+// via mod_jk, over C-JDBC with two mirrored MySQL backends. It occupies
+// eight of the default platform's nine nodes (the ninth hosted the Jade
+// platform itself in the paper's testbed).
+const FiveTierADL = `<?xml version="1.0"?>
+<definition name="rubis-j2ee-full">
+  <component name="l4" wrapper="l4"/>
+  <composite name="web-tier">
+    <component name="apache1" wrapper="apache"/>
+    <component name="apache2" wrapper="apache"/>
+  </composite>
+  <composite name="app-tier">
+    <component name="tomcat1" wrapper="tomcat"/>
+    <component name="tomcat2" wrapper="tomcat"/>
+  </composite>
+  <composite name="db-tier">
+    <component name="cjdbc1" wrapper="cjdbc"/>
+    <component name="mysql1" wrapper="mysql">
+      <attribute name="dump" value="rubis"/>
+    </component>
+    <component name="mysql2" wrapper="mysql">
+      <attribute name="dump" value="rubis"/>
+    </component>
+  </composite>
+  <binding client="l4.servers" server="apache1.http"/>
+  <binding client="l4.servers" server="apache2.http"/>
+  <binding client="apache1.ajp" server="tomcat1.ajp"/>
+  <binding client="apache1.ajp" server="tomcat2.ajp"/>
+  <binding client="apache2.ajp" server="tomcat1.ajp"/>
+  <binding client="apache2.ajp" server="tomcat2.ajp"/>
+  <binding client="tomcat1.jdbc" server="cjdbc1.jdbc"/>
+  <binding client="tomcat2.jdbc" server="cjdbc1.jdbc"/>
+  <binding client="cjdbc1.backends" server="mysql1.sql"/>
+  <binding client="cjdbc1.backends" server="mysql2.sql"/>
+</definition>
+`

@@ -1,0 +1,397 @@
+package jade
+
+import (
+	"errors"
+	"fmt"
+
+	"jade/internal/cluster"
+	"jade/internal/core"
+	"jade/internal/metrics"
+	"jade/internal/rubis"
+)
+
+// ScenarioConfig describes one end-to-end evaluation run: deploy the
+// three-tier RUBiS application on a simulated cluster, subject it to a
+// workload profile, optionally under Jade's autonomic managers.
+type ScenarioConfig struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Managed enables the self-optimization managers (the "with Jade"
+	// runs); unmanaged runs keep the initial static configuration.
+	Managed bool
+	// Recovery additionally enables the self-recovery manager.
+	Recovery bool
+	// Profile is the client population profile (PaperRamp by default).
+	Profile Profile
+	// Mix is the interaction mix (BiddingMix by default).
+	Mix *Mix
+	// Dataset sizes the RUBiS database (DefaultDataset by default).
+	Dataset *Dataset
+	// ThinkTime is the mean client think time in seconds (7 by default).
+	ThinkTime float64
+	// Sessions switches the client emulator from independent stationary
+	// sampling to RUBiS-style Markov sessions (DefaultTransitions).
+	Sessions bool
+	// MTBFSeconds, when positive, injects node crashes on random tier
+	// replicas with exponentially distributed inter-failure times —
+	// the availability-under-churn experiment for the self-recovery
+	// manager (enable Recovery alongside).
+	MTBFSeconds float64
+	// Nodes is the cluster size (9 by default, as in the paper).
+	Nodes int
+	// AppSizing and DBSizing parameterize the two control loops.
+	AppSizing, DBSizing SizingConfig
+	// MaxAppReplicas / MaxDBReplicas cap the tiers (2 and 3 in the
+	// paper's testbed).
+	MaxAppReplicas, MaxDBReplicas int
+	// ThrashThreshold / ThrashFactor configure the nodes' overload
+	// regime (reproducing the database thrashing of Fig. 6/8). Zero
+	// threshold disables thrashing.
+	ThrashThreshold int
+	ThrashFactor    float64
+	// DrainSeconds extends the run after the profile ends so in-flight
+	// work completes.
+	DrainSeconds float64
+	// FailAt (with FailComponent) crashes a component's node at the
+	// given time after the workload starts; used by the self-recovery
+	// demonstrations.
+	FailAt        float64
+	FailComponent string
+	// ADL overrides the deployed architecture (ThreeTierADL by default).
+	// It must contain plb1, tomcat1, cjdbc1 and mysql1.
+	ADL string
+	// Logf receives management log lines (optional).
+	Logf func(string, ...any)
+}
+
+// DefaultScenario returns the paper's §5.2 configuration.
+func DefaultScenario(seed int64, managed bool) ScenarioConfig {
+	return ScenarioConfig{
+		Seed:            seed,
+		Managed:         managed,
+		Profile:         PaperRamp(),
+		ThinkTime:       7,
+		Nodes:           9,
+		AppSizing:       AppSizingDefaults(),
+		DBSizing:        DBSizingDefaults(),
+		MaxAppReplicas:  2,
+		MaxDBReplicas:   3,
+		ThrashThreshold: 60,
+		ThrashFactor:    0.08,
+		DrainSeconds:    60,
+	}
+}
+
+// TierTrace holds one tier's observability for the figures.
+type TierTrace struct {
+	// CPURaw is the per-second spatial average CPU usage.
+	CPURaw *Series
+	// CPUSmoothed is the moving average the reactor sees.
+	CPUSmoothed *Series
+	// Replicas is the replica count over time.
+	Replicas *Series
+	// Min and Max are the thresholds in force (0 when unmanaged).
+	Min, Max float64
+}
+
+// ScenarioResult is everything the figures and tables read.
+type ScenarioResult struct {
+	Config ScenarioConfig
+
+	// Stats are the client emulator's measurements (latency, workload,
+	// throughput, per-interaction aggregates).
+	Stats *WorkloadStats
+	// App and DB trace the two managed tiers.
+	App, DB TierTrace
+
+	// NodeCPUPercent / NodeMemPercent are run averages across the nodes
+	// hosting components (Table 1's resource columns).
+	NodeCPUPercent float64
+	NodeMemPercent float64
+
+	// Reconfigurations counts completed grows+shrinks (0 unmanaged).
+	Reconfigurations int
+	// Repairs counts completed self-recovery repairs.
+	Repairs uint64
+	// InjectedFailures counts chaos-injected node crashes (MTBFSeconds).
+	InjectedFailures int
+	// PeakNodesUsed is the high-water mark of allocated nodes.
+	PeakNodesUsed int
+	// NodeSeconds integrates allocated nodes over the workload — the
+	// resource bill the paper's dynamic provisioning reduces.
+	NodeSeconds float64
+	// WorkloadStart/WorkloadEnd delimit the emulation in virtual time.
+	WorkloadStart, WorkloadEnd float64
+
+	// Platform and Deployment stay accessible for inspection.
+	Platform   *Platform
+	Deployment *Deployment
+	AppManager *SizingManager
+	DBManager  *SizingManager
+}
+
+// MeanLatency returns the mean request latency over the workload, in
+// seconds.
+func (r *ScenarioResult) MeanLatency() float64 {
+	return r.Stats.LatencySummary().Mean
+}
+
+// Throughput returns completed requests per second over the workload.
+func (r *ScenarioResult) Throughput() float64 {
+	d := r.WorkloadEnd - r.WorkloadStart
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Completed) / d
+}
+
+// RunScenario executes one full evaluation run in virtual time.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Profile == nil {
+		cfg.Profile = PaperRamp()
+	}
+	if cfg.Mix == nil {
+		cfg.Mix = BiddingMix()
+	}
+	if cfg.Dataset == nil {
+		d := DefaultDataset()
+		cfg.Dataset = &d
+	}
+	if cfg.ThinkTime == 0 {
+		cfg.ThinkTime = 7
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 9
+	}
+	if cfg.AppSizing.Period == 0 {
+		cfg.AppSizing = AppSizingDefaults()
+	}
+	if cfg.DBSizing.Period == 0 {
+		cfg.DBSizing = DBSizingDefaults()
+	}
+	if cfg.DrainSeconds == 0 {
+		cfg.DrainSeconds = 60
+	}
+
+	popts := core.DefaultOptions()
+	popts.Seed = cfg.Seed
+	popts.Nodes = cfg.Nodes
+	popts.NodeConfig = cluster.Config{
+		CPUCapacity:     1.0,
+		MemoryMB:        1024,
+		ThrashThreshold: cfg.ThrashThreshold,
+		ThrashFactor:    cfg.ThrashFactor,
+	}
+	if !cfg.Managed {
+		// Without Jade there are no probes and no management components.
+		popts.ProbeCPUCost = 0
+		popts.ManagementMemoryMB = 0
+	}
+	if cfg.Logf != nil {
+		popts.Logf = cfg.Logf
+	}
+	p := NewPlatform(popts)
+
+	dump, err := cfg.Dataset.InitialDatabase(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p.RegisterDump("rubis", dump)
+
+	adlText := cfg.ADL
+	if adlText == "" {
+		adlText = ThreeTierADL
+	}
+	def, err := ParseADL(adlText)
+	if err != nil {
+		return nil, err
+	}
+	var dep *Deployment
+	derr := errors.New("jade: deployment did not complete")
+	p.Deploy(def, func(d *Deployment, err error) { dep, derr = d, err })
+	p.Eng.Run()
+	if derr != nil {
+		return nil, derr
+	}
+
+	appTier, err := NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	if err != nil {
+		return nil, err
+	}
+	dbTier, err := NewDBTier(p, dep, "cjdbc1", []string{"mysql1"})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioResult{Config: cfg, Platform: p, Deployment: dep}
+	res.App.Min, res.App.Max = cfg.AppSizing.Min, cfg.AppSizing.Max
+	res.DB.Min, res.DB.Max = cfg.DBSizing.Min, cfg.DBSizing.Max
+
+	shared := &Inhibitor{}
+	var recMgr *RecoveryManager
+	if cfg.Managed {
+		cfg.AppSizing.MaxReplicas = cfg.MaxAppReplicas
+		cfg.DBSizing.MaxReplicas = cfg.MaxDBReplicas
+		appMgr, err := NewSizingManager(p, "self-optimization-app", appTier, cfg.AppSizing, shared)
+		if err != nil {
+			return nil, err
+		}
+		dbMgr, err := NewSizingManager(p, "self-optimization-db", dbTier, cfg.DBSizing, shared)
+		if err != nil {
+			return nil, err
+		}
+		if err := appMgr.Loop.Start(); err != nil {
+			return nil, err
+		}
+		if err := dbMgr.Loop.Start(); err != nil {
+			return nil, err
+		}
+		res.AppManager, res.DBManager = appMgr, dbMgr
+		res.App.CPURaw, res.App.CPUSmoothed = appMgr.Sensor.Raw, appMgr.Sensor.Smoothed
+		res.DB.CPURaw, res.DB.CPUSmoothed = dbMgr.Sensor.Raw, dbMgr.Sensor.Smoothed
+		res.App.Replicas = appMgr.Replicas
+		res.DB.Replicas = dbMgr.Replicas
+		if cfg.Recovery {
+			rec, err := NewRecoveryManager(p, "self-recovery", 1, appTier, dbTier)
+			if err != nil {
+				return nil, err
+			}
+			if err := rec.Loop.Start(); err != nil {
+				return nil, err
+			}
+			recMgr = rec
+		}
+	} else {
+		// Passive observation: same sensors, zero probe cost, no reactor.
+		appSensor := core.NewCPUSensor(appTier.Nodes, cfg.AppSizing.Window, 0)
+		dbSensor := core.NewCPUSensor(dbTier.Nodes, cfg.DBSizing.Window, 0)
+		res.App.CPURaw, res.App.CPUSmoothed = appSensor.Raw, appSensor.Smoothed
+		res.DB.CPURaw, res.DB.CPUSmoothed = dbSensor.Raw, dbSensor.Smoothed
+		res.App.Replicas = metrics.NewSeries("application-servers-replicas")
+		res.App.Replicas.Add(p.Eng.Now(), 1)
+		res.DB.Replicas = metrics.NewSeries("database-backends-replicas")
+		res.DB.Replicas.Add(p.Eng.Now(), 1)
+		p.Eng.Every(1, "observe", func(now float64) {
+			appSensor.Sample(now)
+			dbSensor.Sample(now)
+		})
+	}
+
+	// Table 1 accounting: per-second CPU and memory across the nodes
+	// hosting components (static and dynamically added alike).
+	var cpuSum, memSum float64
+	var sampleCount int
+	var nodeSeconds float64
+	readers := make(map[*Node]*cluster.UtilizationReader)
+	peak := p.Pool.AllocatedCount()
+	p.Eng.Every(1, "node-accounting", func(now float64) {
+		var cpu, mem float64
+		var n int
+		for _, name := range dep.ComponentNames() {
+			node, err := dep.NodeOf(name)
+			if err != nil || node.Failed() {
+				continue
+			}
+			r, ok := readers[node]
+			if !ok {
+				r = cluster.NewUtilizationReader(node)
+				readers[node] = r
+			}
+			cpu += r.Read()
+			mem += node.MemoryFraction()
+			n++
+		}
+		if n > 0 {
+			cpuSum += cpu / float64(n)
+			memSum += mem / float64(n)
+			sampleCount++
+		}
+		alloc := p.Pool.AllocatedCount()
+		nodeSeconds += float64(alloc)
+		if alloc > peak {
+			peak = alloc
+		}
+	})
+
+	front := dep.MustComponent("plb1").Content().(*core.PLBWrapper).Balancer()
+	em := NewEmulator(p.Eng, front, cfg.Mix, cfg.Profile, *cfg.Dataset)
+	em.ThinkTime = cfg.ThinkTime
+	if cfg.Sessions {
+		em.Chain = rubis.DefaultTransitions()
+	}
+	if err := em.Start(); err != nil {
+		return nil, err
+	}
+	res.WorkloadStart = p.Eng.Now()
+
+	if cfg.FailComponent != "" {
+		p.Eng.After(cfg.FailAt, "inject-failure", func() {
+			if node, err := dep.NodeOf(cfg.FailComponent); err == nil {
+				node.Fail()
+			}
+		})
+	}
+	if cfg.MTBFSeconds > 0 {
+		var scheduleCrash func()
+		scheduleCrash = func() {
+			delay := p.Eng.Exponential(cfg.MTBFSeconds)
+			p.Eng.After(delay, "chaos", func() {
+				if p.Eng.Now() >= res.WorkloadStart+cfg.Profile.Duration() {
+					return // workload over, stop injecting
+				}
+				// Crash a random currently deployed replica node (app or
+				// db tier; balancers and the controller are spared so
+				// availability stays attributable to replica repair).
+				var victims []string
+				for _, name := range appTier.ReplicaNames() {
+					victims = append(victims, name)
+				}
+				for _, name := range dbTier.ReplicaNames() {
+					victims = append(victims, name)
+				}
+				if len(victims) > 0 {
+					victim := victims[p.Eng.Rand().Intn(len(victims))]
+					if node, err := dep.NodeOf(victim); err == nil && !node.Failed() {
+						p.Logf("chaos: crashing %s (%s)", node.Name(), victim)
+						node.Fail()
+						res.InjectedFailures++
+						// The node is later repaired off-pool; reboot it
+						// so the pool does not starve under long churn.
+						p.Eng.After(60, "chaos:reboot", node.Reboot)
+					}
+				}
+				scheduleCrash()
+			})
+		}
+		scheduleCrash()
+	}
+
+	p.Eng.RunUntil(res.WorkloadStart + cfg.Profile.Duration() + cfg.DrainSeconds)
+	em.Stop()
+	res.WorkloadEnd = res.WorkloadStart + cfg.Profile.Duration()
+
+	res.Stats = em.Stats()
+	if sampleCount > 0 {
+		res.NodeCPUPercent = 100 * cpuSum / float64(sampleCount)
+		res.NodeMemPercent = 100 * memSum / float64(sampleCount)
+	}
+	res.PeakNodesUsed = peak
+	res.NodeSeconds = nodeSeconds
+	if recMgr != nil {
+		res.Repairs = recMgr.Repairs
+	}
+	if cfg.Managed {
+		res.Reconfigurations = int(res.AppManager.Reactor.Grows + res.AppManager.Reactor.Shrinks +
+			res.DBManager.Reactor.Grows + res.DBManager.Reactor.Shrinks)
+	}
+	return res, nil
+}
+
+// mustScenario is a helper for the experiment runners.
+func mustScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	r, err := RunScenario(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("jade: scenario (managed=%v): %w", cfg.Managed, err)
+	}
+	return r, nil
+}
