@@ -1,0 +1,28 @@
+# Tier-1 gate plus the simulation-testing harness.
+#
+#   make ci      - vet, race-enabled tests, and a small chaos sweep
+#   make test    - plain test run (what the seed gate runs)
+#   make sweep   - 20-seed invariant chaos sweep at 8x compression
+
+GO ?= go
+
+.PHONY: all build test vet race sweep ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+sweep:
+	$(GO) run ./cmd/jadebench -sweep 20 -speedup 8
+
+ci: vet race sweep

@@ -4,9 +4,15 @@
 // Usage:
 //
 //	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME]
+//	jadebench -sweep N [-speedup X] [-artifact PATH]
+//	jadebench -replay PATH [-speedup X]
 //
 // Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, ablations,
 // summary, all (default).
+//
+// -sweep runs the invariant-checked chaos sweep (the Fig. 5 scenario under
+// a crash/reboot/slow schedule) over N seeds, writing a replayable artifact
+// on the first violation. -replay re-runs such an artifact.
 package main
 
 import (
@@ -24,12 +30,75 @@ func main() {
 	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
 	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|ablations|summary|all")
+	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
+	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
+	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
 	flag.Parse()
 
-	if err := run(*seed, *speedup, *csvDir, strings.ToLower(*experiment)); err != nil {
+	var err error
+	switch {
+	case *replay != "":
+		err = runReplay(*replay, *speedup)
+	case *sweep > 0:
+		err = runSweep(*sweep, *speedup, *artifact)
+	default:
+		err = run(*seed, *speedup, *csvDir, strings.ToLower(*experiment))
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func runSweep(seeds int, speedup float64, artifactPath string) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "jadebench: "+format+"\n", args...)
+	}
+	res, err := jade.RunChaosSweep(seeds, speedup, logf)
+	if err != nil {
+		return err
+	}
+	if res.Failure == nil {
+		fmt.Printf("sweep: %d/%d seeds passed (%d runs, %d invariant checks)\n",
+			res.Passed, len(res.Seeds), res.Runs, res.Checks)
+		return nil
+	}
+	data, err := res.Failure.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(artifactPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep: seed %d VIOLATED %s\n  %s\n  schedule (%d events, shrunk from %d): %s\n  artifact: %s\n",
+		res.Failure.Seed, res.Failure.Violation.Checker, res.Failure.Violation.Detail,
+		len(res.Failure.Schedule), res.Failure.ShrunkFrom, res.Failure.Schedule, artifactPath)
+	return fmt.Errorf("invariant violated (replay with -replay %s)", artifactPath)
+}
+
+func runReplay(path string, speedup float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	a, err := jade.ParseSweepArtifact(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay: seed %d, schedule: %s\n", a.Seed, a.Schedule)
+	out, reproduced, err := jade.ReplayArtifact(a, speedup)
+	if err != nil {
+		return err
+	}
+	if reproduced {
+		fmt.Printf("replay: REPRODUCED %s\n  %s\n", out.Violation.Checker, out.Violation.Detail)
+		return nil
+	}
+	if out.Violation != nil {
+		fmt.Printf("replay: different violation: %v\n", out.Violation)
+		return nil
+	}
+	return fmt.Errorf("replay did not reproduce the violation (%d checks passed)", out.Checks)
 }
 
 func run(seed int64, speedup float64, csvDir, experiment string) error {

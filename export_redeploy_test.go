@@ -1,0 +1,109 @@
+package jade
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// replicaCounts tallies deployed app and db replicas by component prefix.
+func replicaCounts(names []string) (app, db int) {
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, "tomcat"):
+			app++
+		case strings.HasPrefix(n, "mysql"):
+			db++
+		}
+	}
+	return
+}
+
+// TestExportADLRedeploysSelfResizedArchitecture runs the managed scenario
+// under sustained load until the tiers have grown, exports the live
+// architecture as ADL, redeploys it on a fresh cluster, and checks the
+// redeployed system matches replica-for-replica and binding-for-binding.
+func TestExportADLRedeploysSelfResizedArchitecture(t *testing.T) {
+	cfg := DefaultScenario(5, true)
+	cfg.Profile = ConstantProfile{Clients: 400, Length: 300}
+	cfg.DrainSeconds = 1 // export before the idle tiers shrink back
+	r, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveNames := r.Deployment.ComponentNames()
+	liveApp, liveDB := replicaCounts(liveNames)
+	if liveApp+liveDB <= 2 {
+		t.Fatalf("scenario did not self-resize (app=%d db=%d); export test needs grown tiers", liveApp, liveDB)
+	}
+
+	def := r.Deployment.ExportADL()
+
+	// Fresh platform: same substrate, nothing deployed, dump re-registered
+	// under the name the ADL references.
+	popts := DefaultPlatformOptions()
+	popts.Nodes = r.Config.Nodes
+	popts.Seed = 12345 // redeploy must not depend on the original seed
+	p2 := NewPlatform(popts)
+	dump, err := r.Config.Dataset.InitialDatabase(r.Config.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.RegisterDump("rubis", dump)
+
+	var dep2 *Deployment
+	derr := errors.New("pending")
+	p2.Deploy(def, func(d *Deployment, err error) { dep2, derr = d, err })
+	p2.Eng.Run()
+	if derr != nil {
+		t.Fatalf("redeploy of exported ADL failed: %v", derr)
+	}
+
+	// Replica counts and component sets match the live architecture.
+	newNames := dep2.ComponentNames()
+	sort.Strings(liveNames)
+	sort.Strings(newNames)
+	if strings.Join(liveNames, ",") != strings.Join(newNames, ",") {
+		t.Fatalf("component sets differ:\nlive: %v\nredeployed: %v", liveNames, newNames)
+	}
+	newApp, newDB := replicaCounts(newNames)
+	if newApp != liveApp || newDB != liveDB {
+		t.Fatalf("replica counts differ: live app=%d db=%d, redeployed app=%d db=%d",
+			liveApp, liveDB, newApp, newDB)
+	}
+
+	// Every component restarts on the same pinned node.
+	for _, name := range newNames {
+		liveNode, err := r.Deployment.NodeOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newNode, err := dep2.NodeOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if liveNode.Name() != newNode.Name() {
+			t.Fatalf("%s redeployed on %s, was on %s", name, newNode.Name(), liveNode.Name())
+		}
+	}
+
+	// Bindings match: exporting the redeployed system reproduces the
+	// exported document binding-for-binding.
+	again := dep2.ExportADL()
+	bindingSet := func(d *ADLDefinition) []string {
+		var out []string
+		for _, b := range d.Bindings {
+			out = append(out, b.Client+"->"+b.Server)
+		}
+		sort.Strings(out)
+		return out
+	}
+	b1, b2 := bindingSet(def), bindingSet(again)
+	if strings.Join(b1, ";") != strings.Join(b2, ";") {
+		t.Fatalf("bindings differ after redeploy:\nexported:   %v\nredeployed: %v", b1, b2)
+	}
+	if len(b1) == 0 {
+		t.Fatal("exported architecture has no bindings")
+	}
+}

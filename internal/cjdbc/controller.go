@@ -317,7 +317,16 @@ func (c *Controller) markDead(b *backend, cause error) {
 	}
 	b.state = Dead
 	c.drop(b)
-	for idx, w := range c.waiters {
+	// Fail outstanding acknowledgements in log order: their completion
+	// callbacks re-enter the simulation, so iteration order must be
+	// deterministic.
+	idxs := make([]int64, 0, len(c.waiters))
+	for idx := range c.waiters {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		w := c.waiters[idx]
 		if w.waitingOn[b.name] {
 			delete(w.waitingOn, b.name)
 			if w.firstErr == nil {

@@ -83,6 +83,17 @@ func (l *RecoveryLog) Checkpoint(backend string) (int64, bool) {
 	return idx, ok
 }
 
+// Checkpoints returns a copy of every recorded checkpoint, keyed by
+// backend name. Invariant checkers use it to verify that checkpoint
+// indices only ever move forward.
+func (l *RecoveryLog) Checkpoints() map[string]int64 {
+	out := make(map[string]int64, len(l.checkpoints))
+	for name, idx := range l.checkpoints {
+		out[name] = idx
+	}
+	return out
+}
+
 // DropCheckpoint forgets a backend's checkpoint (after it rejoins).
 func (l *RecoveryLog) DropCheckpoint(backend string) {
 	delete(l.checkpoints, backend)

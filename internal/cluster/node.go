@@ -232,6 +232,19 @@ func (n *Node) Cancel(j *Job) {
 	}
 }
 
+// GrantedShares returns the total CPU service rate currently granted to
+// jobs on the node, in CPU-seconds per second. Under processor sharing
+// every active job receives an equal share of the effective capacity, so
+// the sum equals the effective capacity whenever the node is busy and can
+// never exceed the configured CPUCapacity — the conservation invariant the
+// testing harness checks.
+func (n *Node) GrantedShares() float64 {
+	if n.failed || len(n.jobs) == 0 {
+		return 0
+	}
+	return n.effectiveCapacity()
+}
+
 // Utilization returns the mean CPU busy fraction since the previous call
 // (the quantity the paper's probes sample every second).
 //

@@ -20,9 +20,15 @@ type httpdLine struct {
 	args      []string
 }
 
-// ParseHTTPDConf parses httpd.conf text.
+// ParseHTTPDConf parses httpd.conf text. A final newline is treated as a
+// line terminator, not as an extra blank line, so parse and Render are
+// mutually inverse.
 func ParseHTTPDConf(text string) (*HTTPDConf, error) {
 	c := &HTTPDConf{}
+	text = strings.TrimSuffix(text, "\n")
+	if text == "" {
+		return c, nil
+	}
 	for i, ln := range strings.Split(text, "\n") {
 		trimmed := strings.TrimSpace(ln)
 		if trimmed == "" || strings.HasPrefix(trimmed, "#") {

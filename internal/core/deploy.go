@@ -289,6 +289,7 @@ func (p *Platform) applyBindingsAndStart(d *Deployment, finish func(*Deployment,
 				return
 			}
 			p.logf("deploy: %s is up (%d components)", d.Def.Name, len(names))
+			p.reconfigured("deploy:" + d.Def.Name)
 			finish(d, nil)
 			return
 		}

@@ -83,6 +83,11 @@ type Platform struct {
 	// components (the control loops): Jade administrates itself with
 	// the same component model it manages applications with (§3.4).
 	mgmtRoot *fractal.Component
+
+	// reconfigHooks fire after every completed reconfiguration
+	// (deployment, grow, shrink, repair discard). The invariant harness
+	// subscribes here to check the architecture at every boundary.
+	reconfigHooks []func(now float64, event string)
 }
 
 // NewPlatform builds a platform with the standard wrapper registry.
@@ -188,6 +193,21 @@ func (p *Platform) detachManagement(n *cluster.Node) {
 	}
 	n.FreeMemory(p.opts.ManagementMemoryMB)
 	delete(p.mgmtNodes, n.Name())
+}
+
+// OnReconfiguration registers a callback invoked after every completed
+// reconfiguration of the managed architecture: initial deployment, tier
+// grow/shrink, and the discard step of a repair. The event string names
+// the boundary (e.g. "application-servers:grow").
+func (p *Platform) OnReconfiguration(fn func(now float64, event string)) {
+	p.reconfigHooks = append(p.reconfigHooks, fn)
+}
+
+// reconfigured notifies the reconfiguration subscribers.
+func (p *Platform) reconfigured(event string) {
+	for _, fn := range p.reconfigHooks {
+		fn(p.Eng.Now(), event)
+	}
 }
 
 // StartComponent performs the full managed start of a component: the

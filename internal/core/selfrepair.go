@@ -39,6 +39,7 @@ func (t *tierBase) discardFailedReplica(name string, comp *fractal.Component, de
 		// nodes until an operator reboots them.
 		_ = t.p.Pool.Release(node)
 	}
+	t.p.reconfigured(t.name + ":discard")
 	return nil
 }
 

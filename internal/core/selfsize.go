@@ -29,6 +29,10 @@ type TierActuator interface {
 	Nodes() []*cluster.Node
 	CanGrow() bool
 	CanShrink() bool
+	// Reconfiguring reports whether an actuation is currently in flight;
+	// observers (e.g. invariant checkers) use it to distinguish transient
+	// mid-reconfiguration states from steady-state violations.
+	Reconfiguring() bool
 	Grow(done func(error))
 	Shrink(done func(error))
 }
@@ -65,6 +69,8 @@ func (t *tierBase) Nodes() []*cluster.Node {
 	}
 	return out
 }
+
+func (t *tierBase) Reconfiguring() bool { return t.busy }
 
 func (t *tierBase) CanGrow() bool {
 	if t.busy {
@@ -209,6 +215,8 @@ func (t *AppTier) Grow(done func(error)) {
 			t.replicas = append(t.replicas, name)
 			t.p.logf("selfsize: %s grew to %d replicas (+%s on %s)",
 				t.name, len(t.replicas), name, node.Name())
+			t.busy = false
+			t.p.reconfigured(t.name + ":grow")
 			finish(nil)
 		})
 	})
@@ -266,6 +274,8 @@ func (t *AppTier) Shrink(done func(error)) {
 			_ = t.p.Pool.Release(node)
 		}
 		t.p.logf("selfsize: %s shrank to %d replicas (-%s)", t.name, len(t.replicas), name)
+		t.busy = false
+		t.p.reconfigured(t.name + ":shrink")
 		finish(nil)
 	})
 }
@@ -421,6 +431,8 @@ func (t *DBTier) Grow(done func(error)) {
 					t.replicas = append(t.replicas, name)
 					t.p.logf("selfsize: %s grew to %d replicas (+%s on %s, replayed from log index %d)",
 						t.name, len(t.replicas), name, node.Name(), idx)
+					t.busy = false
+					t.p.reconfigured(t.name + ":grow")
 					finish(nil)
 				})
 				if jerr != nil {
@@ -482,6 +494,8 @@ func (t *DBTier) Shrink(done func(error)) {
 			}
 			t.p.logf("selfsize: %s shrank to %d replicas (-%s, checkpoint %d)",
 				t.name, len(t.replicas), name, checkpoint)
+			t.busy = false
+			t.p.reconfigured(t.name + ":shrink")
 			finish(nil)
 		})
 	})

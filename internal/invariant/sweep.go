@@ -1,0 +1,233 @@
+package invariant
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a chaos schedule event.
+type Kind string
+
+// Standard event kinds. Scenario runners may accept additional kinds
+// (e.g. test-only sabotage events) through their own extension hooks.
+const (
+	// Crash fails the target's node at the scheduled time.
+	Crash Kind = "crash"
+	// Reboot returns the target's (previously crashed) node to service.
+	Reboot Kind = "reboot"
+	// Slow saturates the target's node with a CPU hog for Duration
+	// seconds, degrading every job sharing the processor.
+	Slow Kind = "slow"
+)
+
+// Event is one declarative chaos action at a virtual time (relative to
+// workload start).
+type Event struct {
+	// At is the virtual time of the event, in seconds after the workload
+	// starts.
+	At float64 `json:"at"`
+	// Kind is the action.
+	Kind Kind `json:"kind"`
+	// Target is a component name (resolved to its node at fire time) or
+	// a node name.
+	Target string `json:"target"`
+	// Duration parameterizes Slow events (seconds; default 60).
+	Duration float64 `json:"duration,omitempty"`
+}
+
+func (e Event) String() string {
+	if e.Duration > 0 {
+		return fmt.Sprintf("%s %s at t=%.0f for %.0f s", e.Kind, e.Target, e.At, e.Duration)
+	}
+	return fmt.Sprintf("%s %s at t=%.0f", e.Kind, e.Target, e.At)
+}
+
+// Schedule is a declarative failure schedule, applied in At order.
+type Schedule []Event
+
+// Sorted returns a copy of the schedule ordered by At (stable for ties).
+func (s Schedule) Sorted() Schedule {
+	out := append(Schedule(nil), s...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "(empty schedule)"
+	}
+	out := ""
+	for i, e := range s {
+		if i > 0 {
+			out += "; "
+		}
+		out += e.String()
+	}
+	return out
+}
+
+// Outcome is what one scenario run reports back to the sweep.
+type Outcome struct {
+	// Violation is the first invariant violation, or nil.
+	Violation *Violation
+	// Checks counts individual checker evaluations during the run.
+	Checks uint64
+}
+
+// Runner executes one scenario run at the given seed under the given
+// chaos schedule and reports the outcome. The package deliberately takes
+// a function rather than a scenario config: the scenario harness lives in
+// the root package, which imports this one.
+type Runner func(seed int64, schedule Schedule) (*Outcome, error)
+
+// Artifact is a replayable record of a failing run: feed it back through
+// Replay (or `jadebench -replay`) to reproduce the violation exactly.
+type Artifact struct {
+	// Seed reproduces the run's randomness.
+	Seed int64 `json:"seed"`
+	// Schedule is the (shrunk) failure schedule.
+	Schedule Schedule `json:"schedule"`
+	// Violation is the invariant failure the run hit.
+	Violation *Violation `json:"violation"`
+	// ShrunkFrom is the event count of the original failing schedule.
+	ShrunkFrom int `json:"shrunk_from"`
+}
+
+// Encode renders the artifact as indented JSON.
+func (a *Artifact) Encode() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// ParseArtifact decodes an artifact produced by Encode.
+func ParseArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("invariant: parsing artifact: %w", err)
+	}
+	return &a, nil
+}
+
+// SweepConfig parameterizes a chaos sweep.
+type SweepConfig struct {
+	// Run executes one scenario run.
+	Run Runner
+	// NoShrink skips schedule shrinking on failure.
+	NoShrink bool
+	// ShrinkBudget caps the number of extra runs the shrinker may spend
+	// (default 64).
+	ShrinkBudget int
+	// Logf receives progress lines (optional).
+	Logf func(format string, args ...any)
+}
+
+// SweepResult summarizes a sweep.
+type SweepResult struct {
+	// Seeds are the seeds swept, in order.
+	Seeds []int64
+	// Passed counts seeds that completed with no violation.
+	Passed int
+	// Failure is the replayable artifact of the first failing seed, or
+	// nil when every seed passed.
+	Failure *Artifact
+	// Runs counts scenario executions, including shrink reruns.
+	Runs int
+	// Checks totals checker evaluations across the sweep.
+	Checks uint64
+}
+
+// Sweep runs the scenario across every seed under the schedule, stopping
+// at the first seed that violates an invariant. The failing schedule is
+// greedily shrunk — events are dropped while the same checker still
+// fails — and returned as a replayable artifact. A scenario error (as
+// opposed to an invariant violation) aborts the sweep.
+func Sweep(cfg SweepConfig, seeds []int64, schedule Schedule) (*SweepResult, error) {
+	if cfg.Run == nil {
+		return nil, fmt.Errorf("invariant: SweepConfig.Run is required")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	budget := cfg.ShrinkBudget
+	if budget <= 0 {
+		budget = 64
+	}
+	res := &SweepResult{Seeds: append([]int64(nil), seeds...)}
+	sched := schedule.Sorted()
+	for _, seed := range seeds {
+		out, err := cfg.Run(seed, sched)
+		res.Runs++
+		if err != nil {
+			return res, fmt.Errorf("invariant: seed %d: %w", seed, err)
+		}
+		res.Checks += out.Checks
+		if out.Violation == nil {
+			res.Passed++
+			logf("sweep: seed %d ok (%d checks)", seed, out.Checks)
+			continue
+		}
+		logf("sweep: seed %d FAILED: %v", seed, out.Violation)
+		art := &Artifact{
+			Seed:       seed,
+			Schedule:   sched,
+			Violation:  out.Violation,
+			ShrunkFrom: len(sched),
+		}
+		if !cfg.NoShrink {
+			shrunk, v, runs := shrink(cfg.Run, seed, sched, out.Violation.Checker, budget)
+			res.Runs += runs
+			art.Schedule = shrunk
+			if v != nil {
+				art.Violation = v
+			}
+			logf("sweep: shrunk schedule from %d to %d events in %d runs", len(sched), len(shrunk), runs)
+		}
+		res.Failure = art
+		return res, nil
+	}
+	return res, nil
+}
+
+// shrink greedily removes schedule events while a run at the same seed
+// still violates the same checker, iterating to a fixpoint or until the
+// run budget is exhausted. It returns the smallest failing schedule found
+// and the violation it produces.
+func shrink(run Runner, seed int64, sched Schedule, checker string, budget int) (Schedule, *Violation, int) {
+	cur := append(Schedule(nil), sched...)
+	var lastV *Violation
+	runs := 0
+	reproduces := func(s Schedule) *Violation {
+		out, err := run(seed, s)
+		if err != nil {
+			return nil // treat errors as "does not reproduce"
+		}
+		if out.Violation != nil && out.Violation.Checker == checker {
+			return out.Violation
+		}
+		return nil
+	}
+	for changed := true; changed && len(cur) > 0; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			if runs >= budget {
+				return cur, lastV, runs
+			}
+			cand := append(append(Schedule(nil), cur[:i]...), cur[i+1:]...)
+			runs++
+			if v := reproduces(cand); v != nil {
+				cur, lastV = cand, v
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, lastV, runs
+}
+
+// Replay re-runs an artifact's seed and schedule and reports the outcome.
+// The replay reproduces the recorded violation when the outcome's
+// violation matches the artifact's checker.
+func Replay(run Runner, a *Artifact) (*Outcome, error) {
+	return run(a.Seed, a.Schedule)
+}

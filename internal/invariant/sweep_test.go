@@ -1,0 +1,165 @@
+package invariant
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticRunner violates checker "chk" iff the schedule contains both a
+// crash of "a" and a crash of "b" (an interaction bug), for seeds >= minSeed.
+func syntheticRunner(minSeed int64, runs *int) Runner {
+	return func(seed int64, schedule Schedule) (*Outcome, error) {
+		*runs++
+		var hasA, hasB bool
+		for _, ev := range schedule {
+			if ev.Kind == Crash && ev.Target == "a" {
+				hasA = true
+			}
+			if ev.Kind == Crash && ev.Target == "b" {
+				hasB = true
+			}
+		}
+		out := &Outcome{Checks: 100}
+		if seed >= minSeed && hasA && hasB {
+			out.Violation = &Violation{Time: 42, Checker: "chk", Event: "tick", Detail: "a and b both crashed"}
+		}
+		return out, nil
+	}
+}
+
+func fullSchedule() Schedule {
+	return Schedule{
+		{At: 300, Kind: Slow, Target: "c", Duration: 30},
+		{At: 100, Kind: Crash, Target: "a"},
+		{At: 160, Kind: Reboot, Target: "a"},
+		{At: 200, Kind: Crash, Target: "b"},
+		{At: 260, Kind: Reboot, Target: "b"},
+	}
+}
+
+func TestSweepAllPass(t *testing.T) {
+	runs := 0
+	res, err := Sweep(SweepConfig{Run: syntheticRunner(1000, &runs)}, []int64{1, 2, 3}, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != nil || res.Passed != 3 || res.Runs != 3 {
+		t.Fatalf("passed=%d runs=%d failure=%v, want 3/3 clean", res.Passed, res.Runs, res.Failure)
+	}
+	if res.Checks != 300 {
+		t.Fatalf("checks = %d, want 300", res.Checks)
+	}
+}
+
+func TestSweepFindsAndShrinks(t *testing.T) {
+	runs := 0
+	res, err := Sweep(SweepConfig{Run: syntheticRunner(2, &runs)}, []int64{1, 2, 3}, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed != 1 {
+		t.Fatalf("passed = %d, want 1 (seed 1)", res.Passed)
+	}
+	a := res.Failure
+	if a == nil {
+		t.Fatal("no failure artifact")
+	}
+	if a.Seed != 2 {
+		t.Fatalf("failing seed = %d, want 2", a.Seed)
+	}
+	if a.ShrunkFrom != 5 {
+		t.Fatalf("ShrunkFrom = %d, want 5", a.ShrunkFrom)
+	}
+	// The minimal failing schedule is exactly the two interacting crashes.
+	if len(a.Schedule) != 2 {
+		t.Fatalf("shrunk schedule has %d events, want 2: %v", len(a.Schedule), a.Schedule)
+	}
+	for _, ev := range a.Schedule {
+		if ev.Kind != Crash || (ev.Target != "a" && ev.Target != "b") {
+			t.Fatalf("unexpected event in shrunk schedule: %v", ev)
+		}
+	}
+	if a.Violation == nil || a.Violation.Checker != "chk" {
+		t.Fatalf("artifact violation = %+v", a.Violation)
+	}
+}
+
+func TestSweepNoShrink(t *testing.T) {
+	runs := 0
+	res, err := Sweep(SweepConfig{Run: syntheticRunner(1, &runs), NoShrink: true}, []int64{1}, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == nil || len(res.Failure.Schedule) != 5 || res.Runs != 1 {
+		t.Fatalf("NoShrink altered the schedule: %+v (runs %d)", res.Failure, res.Runs)
+	}
+}
+
+func TestSweepScenarioErrorAborts(t *testing.T) {
+	bad := func(seed int64, schedule Schedule) (*Outcome, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	_, err := Sweep(SweepConfig{Run: bad}, []int64{1}, fullSchedule())
+	if err == nil {
+		t.Fatal("scenario error did not abort the sweep")
+	}
+}
+
+func TestShrinkBudget(t *testing.T) {
+	runs := 0
+	res, err := Sweep(SweepConfig{Run: syntheticRunner(1, &runs), ShrinkBudget: 2}, []int64{1}, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == nil {
+		t.Fatal("no failure")
+	}
+	if res.Runs > 3 { // 1 initial + budget 2
+		t.Fatalf("runs = %d, want <= 3 under budget 2", res.Runs)
+	}
+	if res.Failure.Violation == nil {
+		t.Fatal("budget-limited shrink lost the violation")
+	}
+}
+
+func TestArtifactRoundTripAndReplay(t *testing.T) {
+	runs := 0
+	run := syntheticRunner(1, &runs)
+	res, err := Sweep(SweepConfig{Run: run}, []int64{7}, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Failure.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Seed != res.Failure.Seed || len(parsed.Schedule) != len(res.Failure.Schedule) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", parsed, res.Failure)
+	}
+	out, err := Replay(run, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil || out.Violation.Checker != res.Failure.Violation.Checker {
+		t.Fatalf("replay outcome %+v does not reproduce %+v", out.Violation, res.Failure.Violation)
+	}
+	if _, err := ParseArtifact([]byte("{")); err == nil {
+		t.Fatal("ParseArtifact accepted malformed JSON")
+	}
+}
+
+func TestScheduleSorted(t *testing.T) {
+	s := fullSchedule().Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i].At < s[i-1].At {
+			t.Fatalf("schedule not sorted at %d: %v", i, s)
+		}
+	}
+	if fullSchedule().String() == "" || (Schedule{}).String() != "(empty schedule)" {
+		t.Fatal("Schedule.String misbehaves")
+	}
+}

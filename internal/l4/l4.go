@@ -151,6 +151,17 @@ func (s *Switch) Servers() []string {
 	return out
 }
 
+// Pendings returns the in-flight connection count of every real server,
+// keyed by server name. Invariant checkers verify the counts never go
+// negative.
+func (s *Switch) Pendings() map[string]int {
+	out := make(map[string]int, len(s.servers))
+	for _, r := range s.servers {
+		out[r.name] = r.pending
+	}
+	return out
+}
+
 // pick implements weighted round-robin with per-round credits.
 func (s *Switch) pick() *realServer {
 	if len(s.servers) == 0 {

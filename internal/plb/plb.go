@@ -184,6 +184,17 @@ func (b *Balancer) Pending(name string) (int, error) {
 	return 0, fmt.Errorf("%w: %s", ErrUnknownWorker, name)
 }
 
+// Pendings returns the in-flight request count of every worker, keyed by
+// worker name. Invariant checkers verify the counts never go negative
+// (a negative count would mean a completion callback ran twice).
+func (b *Balancer) Pendings() map[string]int {
+	out := make(map[string]int, len(b.workers))
+	for _, w := range b.workers {
+		out[w.name] = w.pending
+	}
+	return out
+}
+
 func (b *Balancer) pick() *worker {
 	if len(b.workers) == 0 {
 		return nil

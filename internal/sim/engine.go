@@ -77,6 +77,7 @@ type Engine struct {
 	queue   eventQueue
 	rng     *rand.Rand
 	stopped bool
+	fault   error
 	// processed counts events executed since construction; useful in
 	// tests and as a progress indicator.
 	processed uint64
@@ -153,7 +154,7 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() {
-	e.stopped = false
+	e.stopped = e.fault != nil
 	for !e.stopped && e.Step() {
 	}
 }
@@ -164,7 +165,7 @@ func (e *Engine) RunUntil(t float64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%.9f) before now %.9f", t, e.now))
 	}
-	e.stopped = false
+	e.stopped = e.fault != nil
 	for !e.stopped {
 		if len(e.queue) == 0 {
 			break
@@ -178,7 +179,9 @@ func (e *Engine) RunUntil(t float64) {
 		}
 		e.Step()
 	}
-	if e.now < t {
+	// A faulted engine keeps its clock at the violation instant instead of
+	// jumping to the horizon.
+	if e.fault == nil && e.now < t {
 		e.now = t
 	}
 }
@@ -196,6 +199,23 @@ func (e *Engine) peek() *Event {
 
 // Stop makes the innermost Run or RunUntil return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Fail records a fault (the first one wins) and stops the engine. Invariant
+// checkers use it to freeze the simulation at the instant a violation is
+// detected, so the clock and queue state remain inspectable. A faulted
+// engine refuses to resume: Run and RunUntil return immediately.
+func (e *Engine) Fail(err error) {
+	if err == nil {
+		return
+	}
+	if e.fault == nil {
+		e.fault = err
+	}
+	e.stopped = true
+}
+
+// Err returns the fault recorded by Fail, or nil.
+func (e *Engine) Err() error { return e.fault }
 
 // Ticker fires a callback at a fixed period until stopped.
 type Ticker struct {

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 
+	"jade/internal/cjdbc"
 	"jade/internal/cluster"
 	"jade/internal/core"
+	"jade/internal/fractal"
+	"jade/internal/invariant"
 	"jade/internal/metrics"
 	"jade/internal/rubis"
 )
@@ -60,6 +63,29 @@ type ScenarioConfig struct {
 	// ADL overrides the deployed architecture (ThreeTierADL by default).
 	// It must contain plb1, tomcat1, cjdbc1 and mysql1.
 	ADL string
+	// Invariants enables the invariant-checking harness: the registered
+	// checkers (C-JDBC consistency, node conservation, balancer
+	// agreement, Fractal lifecycle, arbiter legality) run every
+	// InvariantPeriod seconds and at every reconfiguration boundary.
+	// The first violation freezes the run at the violation instant and
+	// is reported in ScenarioResult.InvariantViolation.
+	Invariants bool
+	// InvariantPeriod is the harness ticker period (1 s by default).
+	InvariantPeriod float64
+	// Arbitrate replaces the shared inhibitor with the conflict
+	// arbitration manager: sizing actuates at PriorityOptimization,
+	// recovery at PriorityRecovery, so repairs may preempt sizing's
+	// quiet window but never the reverse.
+	Arbitrate bool
+	// Chaos is a declarative failure schedule (crash/reboot/slow
+	// events), applied relative to workload start. Unlike MTBFSeconds
+	// it is fully deterministic: the same schedule and seed reproduce
+	// the same run.
+	Chaos invariant.Schedule
+	// ChaosHandler, when set, receives Chaos events whose Kind this
+	// package does not implement and reports whether it handled them.
+	// Tests use it to inject deliberately broken actuations.
+	ChaosHandler func(res *ScenarioResult, ev invariant.Event) bool
 	// Logf receives management log lines (optional).
 	Logf func(string, ...any)
 }
@@ -122,6 +148,13 @@ type ScenarioResult struct {
 	NodeSeconds float64
 	// WorkloadStart/WorkloadEnd delimit the emulation in virtual time.
 	WorkloadStart, WorkloadEnd float64
+
+	// InvariantViolation is the first invariant violation observed, or
+	// nil (always nil when Invariants is off). A violation freezes the
+	// simulation, so the series and stats end at the violation instant.
+	InvariantViolation *invariant.Violation
+	// InvariantChecks counts individual checker evaluations performed.
+	InvariantChecks uint64
 
 	// Platform and Deployment stay accessible for inspection.
 	Platform   *Platform
@@ -229,6 +262,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 
 	shared := &Inhibitor{}
 	var recMgr *RecoveryManager
+	var arb *core.Arbiter
 	if cfg.Managed {
 		cfg.AppSizing.MaxReplicas = cfg.MaxAppReplicas
 		cfg.DBSizing.MaxReplicas = cfg.MaxDBReplicas
@@ -239,6 +273,11 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		dbMgr, err := NewSizingManager(p, "self-optimization-db", dbTier, cfg.DBSizing, shared)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Arbitrate {
+			arb = core.NewArbiter(cfg.AppSizing.InhibitSeconds)
+			appMgr.Reactor.Arbiter = arb
+			dbMgr.Reactor.Arbiter = arb
 		}
 		if err := appMgr.Loop.Start(); err != nil {
 			return nil, err
@@ -255,6 +294,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			rec, err := NewRecoveryManager(p, "self-recovery", 1, appTier, dbTier)
 			if err != nil {
 				return nil, err
+			}
+			if arb != nil {
+				rec.Arbiter = arb
 			}
 			if err := rec.Loop.Start(); err != nil {
 				return nil, err
@@ -275,6 +317,81 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			appSensor.Sample(now)
 			dbSensor.Sample(now)
 		})
+	}
+
+	var harness *invariant.Harness
+	if cfg.Invariants {
+		harness = invariant.NewHarness(p.Eng)
+		if cfg.InvariantPeriod > 0 {
+			harness.Period = cfg.InvariantPeriod
+		}
+		cw := dep.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper)
+		plbW := dep.MustComponent("plb1").Content().(*core.PLBWrapper)
+		componentState := func(name string) (fractal.State, error) {
+			c, err := dep.Component(name)
+			if err != nil {
+				return fractal.Stopped, err
+			}
+			return c.State(), nil
+		}
+		appAgree := invariant.NewBalancerAgreement("plb1/"+appTier.TierName(), func() []string {
+			b := plbW.Balancer()
+			if b == nil || !b.Running() {
+				return nil
+			}
+			return b.Workers()
+		}, appTier)
+		appAgree.Pendings = func() map[string]int {
+			b := plbW.Balancer()
+			if b == nil {
+				return nil
+			}
+			return b.Pendings()
+		}
+		appAgree.ComponentState = componentState
+		appAgree.NodeOf = dep.NodeOf
+		dbAgree := invariant.NewBalancerAgreement("cjdbc1/"+dbTier.TierName(), func() []string {
+			ctl := cw.Controller()
+			if ctl == nil || !ctl.Running() {
+				return nil
+			}
+			var names []string
+			for _, b := range ctl.Backends() {
+				if b.State == cjdbc.Active {
+					names = append(names, b.Name)
+				}
+			}
+			if names == nil {
+				names = []string{}
+			}
+			return names
+		}, dbTier)
+		dbAgree.ComponentState = componentState
+		dbAgree.NodeOf = dep.NodeOf
+		harness.Register(
+			invariant.NewCJDBCConsistency("cjdbc1", cw.Controller),
+			invariant.NewNodeConservation(p.Pool),
+			appAgree,
+			dbAgree,
+			invariant.NewLifecycle(dep.Root, p.ManagementRoot()),
+		)
+		if arb != nil {
+			harness.Register(invariant.NewArbiterLegality(arb.QuietSeconds, func() []invariant.ArbiterDecisionView {
+				ds := arb.Decisions()
+				out := make([]invariant.ArbiterDecisionView, len(ds))
+				for i, d := range ds {
+					out[i] = invariant.ArbiterDecisionView{
+						T:        d.T,
+						Priority: d.Priority,
+						Granted:  d.Granted,
+						Released: d.Reason == "released",
+					}
+				}
+				return out
+			}))
+		}
+		p.OnReconfiguration(func(now float64, event string) { harness.CheckNow(event) })
+		harness.Start()
 	}
 
 	// Table 1 accounting: per-second CPU and memory across the nodes
@@ -331,6 +448,64 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 		})
 	}
+	if len(cfg.Chaos) > 0 {
+		// Targets are resolved at fire time: a component discarded by a
+		// repair no longer resolves, and a Reboot names the node its
+		// earlier Crash actually hit.
+		crashed := map[string]*cluster.Node{}
+		resolve := func(target string) *cluster.Node {
+			if node, err := dep.NodeOf(target); err == nil {
+				return node
+			}
+			if node, ok := p.Pool.Lookup(target); ok {
+				return node
+			}
+			return nil
+		}
+		for _, ev := range cfg.Chaos.Sorted() {
+			ev := ev
+			p.Eng.At(res.WorkloadStart+ev.At, "chaos:"+string(ev.Kind), func() {
+				switch ev.Kind {
+				case invariant.Crash:
+					node := resolve(ev.Target)
+					if node == nil || node.Failed() {
+						return
+					}
+					p.Logf("chaos: crashing %s (%s)", node.Name(), ev.Target)
+					crashed[ev.Target] = node
+					node.Fail()
+					res.InjectedFailures++
+				case invariant.Reboot:
+					node := crashed[ev.Target]
+					if node == nil {
+						node = resolve(ev.Target)
+					}
+					if node != nil && node.Failed() {
+						p.Logf("chaos: rebooting %s (%s)", node.Name(), ev.Target)
+						node.Reboot()
+					}
+				case invariant.Slow:
+					node := resolve(ev.Target)
+					if node == nil || node.Failed() {
+						return
+					}
+					dur := ev.Duration
+					if dur <= 0 {
+						dur = 60
+					}
+					p.Logf("chaos: slowing %s (%s) for %.0f s", node.Name(), ev.Target, dur)
+					hog := node.Submit(1e12, nil, nil)
+					if hog != nil {
+						p.Eng.After(dur, "chaos:slow-end", func() { node.Cancel(hog) })
+					}
+				default:
+					if cfg.ChaosHandler == nil || !cfg.ChaosHandler(res, ev) {
+						p.Logf("chaos: unhandled event kind %q on %s", ev.Kind, ev.Target)
+					}
+				}
+			})
+		}
+	}
 	if cfg.MTBFSeconds > 0 {
 		var scheduleCrash func()
 		scheduleCrash = func() {
@@ -369,6 +544,11 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	p.Eng.RunUntil(res.WorkloadStart + cfg.Profile.Duration() + cfg.DrainSeconds)
 	em.Stop()
 	res.WorkloadEnd = res.WorkloadStart + cfg.Profile.Duration()
+	if harness != nil {
+		harness.Stop()
+		res.InvariantViolation = harness.Violation()
+		res.InvariantChecks = harness.Checks()
+	}
 
 	res.Stats = em.Stats()
 	if sampleCount > 0 {
