@@ -1,12 +1,14 @@
 # Tier-1 gate plus the simulation-testing harness.
 #
-#   make ci      - vet, race-enabled tests, and a small chaos sweep
-#   make test    - plain test run (what the seed gate runs)
-#   make sweep   - 20-seed invariant chaos sweep at 8x compression
+#   make ci          - vet, race-enabled tests, chaos sweep, trace smoke
+#   make test        - plain test run (what the seed gate runs)
+#   make sweep       - 20-seed invariant chaos sweep at 8x compression
+#   make trace-smoke - export a managed-run trace and validate its schema
 
 GO ?= go
+TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep ci
+.PHONY: all build test vet race sweep trace-smoke ci
 
 all: build
 
@@ -25,4 +27,9 @@ race:
 sweep:
 	$(GO) run ./cmd/jadebench -sweep 20 -speedup 8
 
-ci: vet race sweep
+trace-smoke:
+	$(GO) run ./cmd/jadectl scenario -clients 300 -duration 300 -managed -trace $(TRACE_TMP)
+	$(GO) run ./cmd/jadectl trace-validate $(TRACE_TMP)
+	rm -f $(TRACE_TMP)
+
+ci: vet race sweep trace-smoke

@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME]
+//	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME] [-trace FILE]
 //	jadebench -sweep N [-speedup X] [-artifact PATH]
 //	jadebench -replay PATH [-speedup X]
+//
+// -trace writes the managed paper run's telemetry bus as a Chrome
+// trace-event file (Perfetto-loadable).
 //
 // Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, ablations,
 // summary, all (default).
@@ -33,6 +36,7 @@ func main() {
 	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
 	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
+	traceOut := flag.String("trace", "", "write the managed paper run's telemetry bus as a Chrome trace-event file")
 	flag.Parse()
 
 	var err error
@@ -42,7 +46,7 @@ func main() {
 	case *sweep > 0:
 		err = runSweep(*sweep, *speedup, *artifact)
 	default:
-		err = run(*seed, *speedup, *csvDir, strings.ToLower(*experiment))
+		err = run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
@@ -101,7 +105,7 @@ func runReplay(path string, speedup float64) error {
 	return fmt.Errorf("replay did not reproduce the violation (%d checks passed)", out.Checks)
 }
 
-func run(seed int64, speedup float64, csvDir, experiment string) error {
+func run(seed int64, speedup float64, csvDir, experiment, traceOut string) error {
 	want := func(names ...string) bool {
 		if experiment == "all" {
 			return true
@@ -122,7 +126,7 @@ func run(seed int64, speedup float64, csvDir, experiment string) error {
 		section("Figure 4 — qualitative reconfiguration scenario", out)
 	}
 
-	needRuns := want("fig5", "fig6", "fig7", "fig8", "fig9", "summary")
+	needRuns := want("fig5", "fig6", "fig7", "fig8", "fig9", "summary") || traceOut != ""
 	var pr *jade.PaperRuns
 	if needRuns {
 		fmt.Fprintf(os.Stderr, "jadebench: running the paper scenario (managed + unmanaged, speedup %.0fx)...\n", speedup)
@@ -162,6 +166,22 @@ func run(seed int64, speedup float64, csvDir, experiment string) error {
 				}
 				fmt.Fprintf(os.Stderr, "jadebench: wrote %s\n", path)
 			}
+		}
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			tr := pr.Managed.Trace()
+			if err := tr.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			st := tr.Stat()
+			fmt.Fprintf(os.Stderr, "jadebench: wrote %s (%d events, %d spans)\n", traceOut, st.Events, st.Spans)
 		}
 	}
 

@@ -8,8 +8,14 @@
 //	jadectl validate [-adl FILE]
 //	jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
 //	jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]
+//	                 [-trace FILE] [-trace-jsonl FILE] [-trace-requests N]
+//	jadectl trace-validate FILE
 //
 // Without -adl, the built-in three-tier RUBiS architecture is used.
+// -trace exports the run's telemetry bus in Chrome trace-event format
+// (load it at ui.perfetto.dev); -trace-jsonl exports the raw events and
+// spans one JSON object per line. trace-validate checks an exported
+// Chrome trace against the trace-event schema.
 package main
 
 import (
@@ -34,6 +40,8 @@ func main() {
 		err = cmdDeploy(args)
 	case "scenario":
 		err = cmdScenario(args)
+	case "trace-validate":
+		err = cmdTraceValidate(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -51,7 +59,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jadectl validate [-adl FILE]
   jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
-  jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]`)
+  jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]
+                   [-trace FILE] [-trace-jsonl FILE] [-trace-requests N]
+  jadectl trace-validate FILE`)
 }
 
 func loadADL(path string) (*jade.ADLDefinition, error) {
@@ -180,6 +190,9 @@ func cmdScenario(args []string) error {
 	sessions := fs.Bool("sessions", false, "use Markov sessions instead of i.i.d. interaction sampling")
 	recovery := fs.Bool("recovery", false, "arm the self-recovery manager")
 	mtbf := fs.Float64("mtbf", 0, "inject node crashes with this mean time between failures (seconds; 0 = none)")
+	traceOut := fs.String("trace", "", "write the telemetry bus as a Chrome trace-event file (Perfetto-loadable)")
+	traceJSONL := fs.String("trace-jsonl", "", "write the telemetry bus as JSONL (one event/span per line)")
+	traceReqs := fs.Int("trace-requests", 0, "open a causal span for every N-th client request (0 = default 25 when tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -188,6 +201,10 @@ func cmdScenario(args []string) error {
 	cfg.Sessions = *sessions
 	cfg.Recovery = *recovery
 	cfg.MTBFSeconds = *mtbf
+	cfg.TraceRequests = *traceReqs
+	if cfg.TraceRequests == 0 && (*traceOut != "" || *traceJSONL != "") {
+		cfg.TraceRequests = 25
+	}
 	fmt.Fprintf(os.Stderr, "running %v clients for %.0fs (managed=%v)...\n", *clients, *duration, *managed)
 	r, err := jade.RunScenario(cfg)
 	if err != nil {
@@ -206,5 +223,62 @@ func cmdScenario(args []string) error {
 		fmt.Printf("churn: %d crashes injected, %d repairs completed\n",
 			r.InjectedFailures, r.Repairs)
 	}
+	return writeTraces(r, *traceOut, *traceJSONL)
+}
+
+// writeTraces exports the run's telemetry bus in the requested formats.
+func writeTraces(r *jade.ScenarioResult, chromePath, jsonlPath string) error {
+	tr := r.Trace()
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		st := tr.Stat()
+		fmt.Printf("trace: %s (%d events, %d spans; load at ui.perfetto.dev)\n",
+			chromePath, st.Events, st.Spans)
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (JSONL)\n", jsonlPath)
+	}
+	return nil
+}
+
+func cmdTraceValidate(args []string) error {
+	fs := flag.NewFlagSet("trace-validate", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: jadectl trace-validate FILE")
+	}
+	path := fs.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n, err := jade.ValidateChromeTrace(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid Chrome trace (%d trace events)\n", path, n)
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"jade/internal/legacy"
 	"jade/internal/sim"
 	"jade/internal/sqlengine"
+	"jade/internal/trace"
 )
 
 // Errors returned by the controller.
@@ -132,6 +133,11 @@ type Controller struct {
 	reads    uint64
 	writes   uint64
 	failures uint64
+
+	// Trace, when set, records backend membership transitions and, for
+	// queries carrying a TraceSpan, a "sql" child span with the chosen
+	// backend. All Tracer methods are nil-receiver safe.
+	Trace *trace.Tracer
 }
 
 // New creates a stopped controller on node.
@@ -248,6 +254,8 @@ func (c *Controller) JoinAt(name string, srv *legacy.MySQL, startIndex int64, do
 	b := &backend{name: name, srv: srv, state: Syncing, applied: startIndex, stopAt: -1, onSynced: done}
 	c.backends = append(c.backends, b)
 	c.log.DropCheckpoint(name)
+	c.Trace.Emit("membership.join", c.name,
+		trace.F("backend", name), trace.Fi("log-index", int(startIndex)), trace.Fi("backends", len(c.backends)))
 	c.pump(b)
 	return nil
 }
@@ -287,6 +295,8 @@ func (c *Controller) finishLeave(b *backend) {
 	b.state = Disabled
 	c.log.SetCheckpoint(b.name, b.applied)
 	c.drop(b)
+	c.Trace.Emit("membership.leave", c.name,
+		trace.F("backend", b.name), trace.Fi("checkpoint", int(b.applied)), trace.Fi("backends", len(c.backends)))
 	if b.onLeft != nil {
 		b.onLeft(b.applied)
 		b.onLeft = nil
@@ -317,6 +327,8 @@ func (c *Controller) markDead(b *backend, cause error) {
 	}
 	b.state = Dead
 	c.drop(b)
+	c.Trace.Emit("membership.dead", c.name,
+		trace.F("backend", b.name), trace.F("cause", cause.Error()), trace.Fi("backends", len(c.backends)))
 	// Fail outstanding acknowledgements in log order: their completion
 	// callbacks re-enter the simulation, so iteration order must be
 	// deterministic.
@@ -362,6 +374,8 @@ func (c *Controller) pump(b *backend) {
 		switch {
 		case b.state == Syncing:
 			b.state = Active
+			c.Trace.Emit("membership.active", c.name,
+				trace.F("backend", b.name), trace.Fi("applied", int(b.applied)))
 			if b.onSynced != nil {
 				fn := b.onSynced
 				b.onSynced = nil
@@ -459,6 +473,15 @@ func (c *Controller) ExecSQL(q legacy.Query, done func(error)) {
 		done(fmt.Errorf("%w: %s", ErrNotRunning, c.name))
 		return
 	}
+	if q.TraceSpan != 0 {
+		span := c.Trace.Begin(q.TraceSpan, "sql", c.name)
+		q.TraceSpan = span
+		orig := done
+		done = func(err error) {
+			c.Trace.End(span, trace.Outcome(err))
+			orig(err)
+		}
+	}
 	c.node.Submit(c.opts.ProxyCost, func() {
 		if sqlengine.IsWrite(q.SQL) {
 			c.execWrite(q, done)
@@ -483,6 +506,10 @@ func (c *Controller) execWrite(q legacy.Query, done func(error)) {
 	}
 	idx := c.log.Append(q)
 	c.writes++
+	if q.TraceSpan != 0 {
+		c.Trace.EmitIn(q.TraceSpan, "sql.write", c.name,
+			trace.Fi("log-index", int(idx)), trace.Fi("acks", len(actives)))
+	}
 	w := &writeWait{waitingOn: make(map[string]bool, len(actives)), done: done}
 	for _, b := range actives {
 		w.waitingOn[b.name] = true
@@ -502,6 +529,9 @@ func (c *Controller) execRead(q legacy.Query, done func(error), attempts int) {
 		return
 	}
 	b.reads++
+	if q.TraceSpan != 0 {
+		c.Trace.EmitIn(q.TraceSpan, "sql.read", c.name, trace.F("backend", b.name))
+	}
 	b.srv.ExecSQL(q, func(err error) {
 		b.reads--
 		if err != nil {

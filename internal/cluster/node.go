@@ -72,6 +72,9 @@ type Node struct {
 	// onFail callbacks fire once when the node fails (failure detectors
 	// subscribe here).
 	onFail []func(*Node)
+	// onReboot callbacks fire when a failed node returns to service
+	// (telemetry subscribes here).
+	onReboot []func(*Node)
 
 	// bookkeeping
 	jobsStarted   uint64
@@ -322,6 +325,9 @@ func (n *Node) MemoryFraction() float64 { return n.memUsed / n.cfg.MemoryMB }
 // OnFail registers a callback invoked (once) when the node fails.
 func (n *Node) OnFail(fn func(*Node)) { n.onFail = append(n.onFail, fn) }
 
+// OnReboot registers a callback invoked when a failed node reboots.
+func (n *Node) OnReboot(fn func(*Node)) { n.onReboot = append(n.onReboot, fn) }
+
 // Fail crashes the node: all in-flight jobs abort (their failed callbacks
 // run), memory is wiped, and failure subscribers are notified. Failing a
 // failed node is a no-op.
@@ -366,4 +372,7 @@ func (n *Node) Reboot() {
 	}
 	n.failed = false
 	n.lastUpdate = n.eng.Now()
+	for _, fn := range n.onReboot {
+		fn(n)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jade/internal/metrics"
+	"jade/internal/trace"
 )
 
 // Arbiter implements the conflict-arbitration manager the paper lists as
@@ -20,6 +21,9 @@ type Arbiter struct {
 	// QuietSeconds is the post-grant window during which equal- or
 	// lower-priority requests are denied (the paper's one minute).
 	QuietSeconds float64
+	// Trace, when set, records every decision as an "arbiter.verdict"
+	// event on the telemetry bus.
+	Trace *trace.Tracer
 
 	holder   string
 	priority int
@@ -96,6 +100,12 @@ func (a *Arbiter) record(t float64, requester string, prio int, granted bool, re
 	a.decisions = append(a.decisions, ArbiterDecision{
 		T: t, Requester: requester, Priority: prio, Granted: granted, Reason: reason,
 	})
+	verdict := "denied"
+	if granted {
+		verdict = "granted"
+	}
+	a.Trace.Emit("arbiter.verdict", requester,
+		trace.F("verdict", verdict), trace.Fi("priority", prio), trace.F("reason", reason))
 }
 
 // gate abstracts "may I reconfigure now?" so reactors work with either

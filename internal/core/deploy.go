@@ -8,6 +8,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/fractal"
 	"jade/internal/legacy"
+	"jade/internal/trace"
 )
 
 // Deployment is a managed application deployed from an ADL description:
@@ -136,7 +137,9 @@ func (p *Platform) abortDeployment(d *Deployment, cause error, finish func(*Depl
 // interpretation runs in simulated time; done fires when the application
 // is up.
 func (p *Platform) Deploy(def *adl.Definition, done func(*Deployment, error)) {
+	span := p.tracer.Begin(0, "deploy", def.Name)
 	finish := func(d *Deployment, err error) {
+		p.tracer.End(span, outcomeField(err))
 		if done != nil {
 			done(d, err)
 		}
@@ -219,6 +222,8 @@ func (p *Platform) Deploy(def *adl.Definition, done func(*Deployment, error)) {
 			}
 			d.comps[pc.Name] = comp
 			d.nodes[pc.Name] = node
+			p.tracer.EmitIn(span, "deploy.place", pc.Name,
+				trace.F("wrapper", pc.Wrapper), trace.F("node", node.Name()))
 			p.logf("deploy: %s (%s) on %s", pc.Name, pc.Wrapper, node.Name())
 			deployNext(i + 1)
 		})

@@ -7,6 +7,7 @@ import (
 	"jade/internal/fractal"
 	"jade/internal/metrics"
 	"jade/internal/sim"
+	"jade/internal/trace"
 )
 
 // Sensor observes one aspect of the managed system. Sample returns the
@@ -39,6 +40,9 @@ type ControlLoop struct {
 	samples uint64
 	// LastValue is the most recent valid sensor reading.
 	LastValue float64
+	// lastSample is the bus event recording the most recent valid
+	// sample; reactors link their decisions back to it.
+	lastSample trace.ID
 }
 
 // NewControlLoop builds a loop (stopped). Period is in seconds; the paper
@@ -93,6 +97,10 @@ func (l *ControlLoop) Start() error { return l.comp.Start() }
 // Stop disarms the loop.
 func (l *ControlLoop) Stop() error { return l.comp.Stop() }
 
+// LastSampleEvent returns the bus event ID of the most recent valid
+// sensor sample (0 before warmup).
+func (l *ControlLoop) LastSampleEvent() trace.ID { return l.lastSample }
+
 func (l *ControlLoop) tick(now float64) {
 	l.samples++
 	v, ok := l.sensor.Sample(now)
@@ -100,6 +108,7 @@ func (l *ControlLoop) tick(now float64) {
 		return
 	}
 	l.LastValue = v
+	l.lastSample = l.p.tracer.Emit("loop.sample", l.name, trace.Ff("value", v))
 	l.reactor.React(now, v)
 }
 

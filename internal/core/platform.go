@@ -27,6 +27,7 @@ import (
 	"jade/internal/legacy"
 	"jade/internal/sim"
 	"jade/internal/sqlengine"
+	"jade/internal/trace"
 )
 
 // Options configures a Jade platform.
@@ -50,6 +51,15 @@ type Options struct {
 	// ProbeCPUCost is the CPU consumed on each monitored node per sensor
 	// sample (Table 1's CPU intrusivity).
 	ProbeCPUCost float64
+	// TraceEventCapacity bounds the telemetry bus's event ring buffer
+	// (default trace.DefaultEventCapacity).
+	TraceEventCapacity int
+	// TraceSpanCapacity bounds the telemetry bus's span store (default
+	// trace.DefaultSpanCapacity).
+	TraceSpanCapacity int
+	// TraceSimEvents additionally records every dispatched scheduler
+	// event on the bus (kind "sim.event"). High volume; off by default.
+	TraceSimEvents bool
 }
 
 // DefaultOptions mirrors the paper's testbed scale: a 9-node cluster of
@@ -79,6 +89,11 @@ type Platform struct {
 	loops     []*ControlLoop
 	mgmtNodes map[string]bool // nodes carrying the management footprint
 
+	// tracer is the structured telemetry bus. Always present; every
+	// logf line and management decision is recorded on it, and the
+	// original Options.Logf becomes its onward sink.
+	tracer *trace.Tracer
+
 	// mgmtRoot is the composite holding Jade's own management
 	// components (the control loops): Jade administrates itself with
 	// the same component model it manages applications with (§3.4).
@@ -101,11 +116,9 @@ func NewPlatform(opts Options) *Platform {
 	if opts.FS == nil {
 		opts.FS = config.NewMemFS()
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
 	eng := sim.NewEngine(opts.Seed)
+	tracer := trace.New(eng.Now, opts.TraceEventCapacity, opts.TraceSpanCapacity)
+	tracer.SetLogSink(opts.Logf)
 	p := &Platform{
 		Eng:       eng,
 		Net:       legacy.NewNetwork(),
@@ -114,10 +127,24 @@ func NewPlatform(opts Options) *Platform {
 		opts:      opts,
 		registry:  make(map[string]WrapperFactory),
 		dumps:     make(map[string]*sqlengine.Engine),
-		logf:      logf,
+		logf:      tracer.Logf, // every log line is also a bus event
 		mgmtNodes: make(map[string]bool),
+		tracer:    tracer,
 	}
-	p.SIS = NewInstallService(eng, logf)
+	if opts.TraceSimEvents {
+		eng.SetEventHook(func(t float64, label string) {
+			tracer.Emit("sim.event", label)
+		})
+	}
+	for _, n := range p.Pool.Nodes() {
+		n.OnFail(func(n *cluster.Node) {
+			tracer.Emit("node.fail", n.Name())
+		})
+		n.OnReboot(func(n *cluster.Node) {
+			tracer.Emit("node.reboot", n.Name())
+		})
+	}
+	p.SIS = NewInstallService(eng, p.logf)
 	root, err := fractal.NewComposite("jade")
 	if err != nil {
 		panic(err) // static name; cannot fail
@@ -130,11 +157,16 @@ func NewPlatform(opts Options) *Platform {
 
 // Env returns the legacy environment view of the platform.
 func (p *Platform) Env() *legacy.Env {
-	return &legacy.Env{Eng: p.Eng, Net: p.Net, FS: p.FS}
+	return &legacy.Env{Eng: p.Eng, Net: p.Net, FS: p.FS, Trace: p.tracer}
 }
 
-// Logf writes a management-layer log line.
+// Logf writes a management-layer log line. Lines are recorded on the
+// telemetry bus (kind "log") and forwarded to Options.Logf, so verbose
+// output and traces can never disagree.
 func (p *Platform) Logf(format string, args ...any) { p.logf(format, args...) }
+
+// Trace returns the platform's telemetry bus.
+func (p *Platform) Trace() *trace.Tracer { return p.tracer }
 
 // RegisterDump stores a named database dump the Software Installation
 // Service can install on fresh MySQL replicas (the RUBiS dataset in the
@@ -205,6 +237,7 @@ func (p *Platform) OnReconfiguration(fn func(now float64, event string)) {
 
 // reconfigured notifies the reconfiguration subscribers.
 func (p *Platform) reconfigured(event string) {
+	p.tracer.Emit("reconfig", event)
 	for _, fn := range p.reconfigHooks {
 		fn(p.Eng.Now(), event)
 	}
@@ -225,6 +258,7 @@ func (p *Platform) StartComponent(c *fractal.Component, done func(error)) {
 		finish(err)
 		return
 	}
+	p.tracer.Emit("lifecycle.start", c.Name())
 	w, ok := c.Content().(Wrapper)
 	if !ok {
 		finish(nil)
@@ -233,9 +267,11 @@ func (p *Platform) StartComponent(c *fractal.Component, done func(error)) {
 	w.StartManaged(func(err error) {
 		if err != nil {
 			_ = c.Stop()
+			p.tracer.Emit("lifecycle.start-failed", c.Name(), trace.F("error", err.Error()))
 			finish(fmt.Errorf("jade: starting %s: %w", c.Name(), err))
 			return
 		}
+		p.tracer.Emit("lifecycle.started", c.Name())
 		finish(nil)
 	})
 }
@@ -247,6 +283,7 @@ func (p *Platform) StopComponent(c *fractal.Component, done func(error)) {
 			done(err)
 		}
 	}
+	p.tracer.Emit("lifecycle.stop", c.Name())
 	w, ok := c.Content().(Wrapper)
 	if !ok {
 		finish(c.Stop())
@@ -257,6 +294,7 @@ func (p *Platform) StopComponent(c *fractal.Component, done func(error)) {
 			finish(fmt.Errorf("jade: stopping %s: %w", c.Name(), err))
 			return
 		}
+		p.tracer.Emit("lifecycle.stopped", c.Name())
 		finish(c.Stop())
 	})
 }

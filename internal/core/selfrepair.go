@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"jade/internal/fractal"
+	"jade/internal/trace"
 )
 
 // RepairableTier is the actuation surface of the self-recovery manager
@@ -48,10 +49,16 @@ func (t *tierBase) discardFailedReplica(name string, comp *fractal.Component, de
 // repair must not silently drop the lost replica just because another
 // actuation was in flight.
 func (t *tierBase) growWithRetry(grow func(func(error)), attempts int, done func(error)) {
+	// The ambient cause is re-established around retries so the grow's
+	// actuation span stays attached to the repair that triggered it even
+	// after crossing a scheduler delay.
+	cause := t.p.tracer.Cause()
 	grow(func(err error) {
 		if errors.Is(err, ErrTierBusy) && attempts > 1 {
 			t.p.Eng.After(5, "selfrepair:retry", func() {
-				t.growWithRetry(grow, attempts-1, done)
+				t.p.tracer.WithCause(cause, func() {
+					t.growWithRetry(grow, attempts-1, done)
+				})
 			})
 			return
 		}
@@ -61,10 +68,12 @@ func (t *tierBase) growWithRetry(grow func(func(error)), attempts int, done func
 
 // Repair implements RepairableTier for the application tier.
 func (t *AppTier) Repair(name string, done func(error)) {
+	span := t.p.tracer.Begin(0, "actuate", t.name+":repair", trace.F("replica", name))
 	finish := func(err error) {
 		if err != nil {
 			t.p.logf("selfrepair: %s repair of %s failed: %v", t.name, name, err)
 		}
+		t.p.tracer.End(span, outcomeField(err))
 		if done != nil {
 			done(err)
 		}
@@ -80,18 +89,23 @@ func (t *AppTier) Repair(name string, done func(error)) {
 		finish(err)
 		return
 	}
+	t.p.tracer.EmitIn(span, "actuate.step", "discarded", trace.F("replica", name))
 	t.p.logf("selfrepair: %s discarded failed replica %s, reallocating", t.name, name)
-	t.growWithRetry(t.Grow, 12, finish)
+	t.p.tracer.WithCause(span, func() {
+		t.growWithRetry(t.Grow, 12, finish)
+	})
 }
 
 // Repair implements RepairableTier for the database tier. The C-JDBC
 // controller drops the dead backend on its first failed operation; the
 // replacement replica synchronizes through the recovery log as usual.
 func (t *DBTier) Repair(name string, done func(error)) {
+	span := t.p.tracer.Begin(0, "actuate", t.name+":repair", trace.F("replica", name))
 	finish := func(err error) {
 		if err != nil {
 			t.p.logf("selfrepair: %s repair of %s failed: %v", t.name, name, err)
 		}
+		t.p.tracer.End(span, outcomeField(err))
 		if done != nil {
 			done(err)
 		}
@@ -119,8 +133,11 @@ func (t *DBTier) Repair(name string, done func(error)) {
 		finish(err)
 		return
 	}
+	t.p.tracer.EmitIn(span, "actuate.step", "discarded", trace.F("replica", name))
 	t.p.logf("selfrepair: %s discarded failed replica %s, reallocating", t.name, name)
-	t.growWithRetry(t.Grow, 12, finish)
+	t.p.tracer.WithCause(span, func() {
+		t.growWithRetry(t.Grow, 12, finish)
+	})
 }
 
 // RecoveryManager is the self-recovery autonomic manager: a heartbeat
@@ -194,17 +211,32 @@ func (m *RecoveryManager) React(now float64, v float64) {
 	if m.Arbiter != nil && !m.Arbiter.Request(now, "self-recovery", m.Priority) {
 		return // retried on the next loop period
 	}
+	tr := m.p.tracer
+	fields := []trace.Field{
+		trace.F("tier", f.tier.TierName()),
+		trace.F("replica", f.name),
+		trace.Fi("failed", len(failed)),
+	}
+	if m.Loop != nil {
+		if id := m.Loop.LastSampleEvent(); id != 0 {
+			fields = append(fields, trace.Fid("sample", id))
+		}
+	}
+	dec := tr.Begin(0, "decision", f.tier.TierName()+":repair", fields...)
 	m.busy = true
 	m.p.logf("selfrepair: detected failure of %s (%s), repairing", f.name, f.tier.TierName())
-	f.tier.Repair(f.name, func(err error) {
-		m.busy = false
-		if err == nil {
-			m.Repairs++
-			if m.OnRepair != nil {
-				m.OnRepair(f.tier.TierName(), f.name)
+	tr.WithCause(dec, func() {
+		f.tier.Repair(f.name, func(err error) {
+			m.busy = false
+			if err == nil {
+				m.Repairs++
+				if m.OnRepair != nil {
+					m.OnRepair(f.tier.TierName(), f.name)
+				}
+			} else {
+				m.p.logf("selfrepair: repair of %s failed: %v", f.name, err)
 			}
-		} else {
-			m.p.logf("selfrepair: repair of %s failed: %v", f.name, err)
-		}
+			tr.End(dec, outcomeField(err))
+		})
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/fractal"
 	"jade/internal/metrics"
+	"jade/internal/trace"
 )
 
 // Errors returned by the tier actuators.
@@ -151,11 +152,13 @@ func NewAppTier(p *Platform, d *Deployment, plbName, dbName string, replicas []s
 // Grow allocates a node, installs Tomcat, configures and starts a new
 // replica and integrates it with the load balancer.
 func (t *AppTier) Grow(done func(error)) {
+	var span trace.ID
 	finish := func(err error) {
 		t.busy = false
 		if err != nil {
 			t.p.logf("selfsize: %s grow failed: %v", t.name, err)
 		}
+		t.p.tracer.End(span, outcomeField(err))
 		if done != nil {
 			done(err)
 		}
@@ -168,12 +171,14 @@ func (t *AppTier) Grow(done func(error)) {
 		done(ErrTierAtMax)
 		return
 	}
+	span = t.p.tracer.Begin(0, "actuate", t.name+":grow", trace.Fi("replicas", len(t.replicas)))
 	t.busy = true
 	node, err := t.p.Pool.Allocate()
 	if err != nil {
 		finish(err)
 		return
 	}
+	t.p.tracer.EmitIn(span, "actuate.step", "node-allocated", trace.F("node", node.Name()))
 	t.p.SIS.Install("tomcat", node, func(ierr error) {
 		if ierr != nil {
 			_ = t.p.Pool.Release(node)
@@ -181,6 +186,8 @@ func (t *AppTier) Grow(done func(error)) {
 			return
 		}
 		name := t.nextName("tomcat-r")
+		t.p.tracer.EmitIn(span, "actuate.step", "installed",
+			trace.F("package", "tomcat"), trace.F("replica", name))
 		comp, cerr := NewTomcatComponent(t.p, name, node)
 		if cerr != nil {
 			_ = t.p.Pool.Release(node)
@@ -208,10 +215,12 @@ func (t *AppTier) Grow(done func(error)) {
 				finish(serr)
 				return
 			}
+			t.p.tracer.EmitIn(span, "actuate.step", "started", trace.F("replica", name))
 			if berr := t.plbComp.Bind("workers", comp.MustInterface("http")); berr != nil {
 				finish(berr)
 				return
 			}
+			t.p.tracer.EmitIn(span, "actuate.step", "joined-balancer", trace.F("replica", name))
 			t.replicas = append(t.replicas, name)
 			t.p.logf("selfsize: %s grew to %d replicas (+%s on %s)",
 				t.name, len(t.replicas), name, node.Name())
@@ -225,11 +234,13 @@ func (t *AppTier) Grow(done func(error)) {
 // Shrink unbinds the most recently added replica from the load balancer,
 // stops it and releases its node.
 func (t *AppTier) Shrink(done func(error)) {
+	var span trace.ID
 	finish := func(err error) {
 		t.busy = false
 		if err != nil {
 			t.p.logf("selfsize: %s shrink failed: %v", t.name, err)
 		}
+		t.p.tracer.End(span, outcomeField(err))
 		if done != nil {
 			done(err)
 		}
@@ -242,6 +253,7 @@ func (t *AppTier) Shrink(done func(error)) {
 		done(ErrTierAtMin)
 		return
 	}
+	span = t.p.tracer.Begin(0, "actuate", t.name+":shrink", trace.Fi("replicas", len(t.replicas)))
 	t.busy = true
 	name := t.replicas[len(t.replicas)-1]
 	comp, err := t.d.Component(name)
@@ -253,6 +265,7 @@ func (t *AppTier) Shrink(done func(error)) {
 		finish(err)
 		return
 	}
+	t.p.tracer.EmitIn(span, "actuate.step", "left-balancer", trace.F("replica", name))
 	t.p.StopComponent(comp, func(serr error) {
 		if serr != nil {
 			finish(serr)
@@ -272,6 +285,8 @@ func (t *AppTier) Shrink(done func(error)) {
 		if node != nil {
 			t.p.detachManagement(node)
 			_ = t.p.Pool.Release(node)
+			t.p.tracer.EmitIn(span, "actuate.step", "node-released",
+				trace.F("node", node.Name()), trace.F("replica", name))
 		}
 		t.p.logf("selfsize: %s shrank to %d replicas (-%s)", t.name, len(t.replicas), name)
 		t.busy = false
@@ -338,11 +353,13 @@ func (t *DBTier) wrapper() *CJDBCWrapper { return t.cjdbcComp.Content().(*CJDBCW
 // backend, start the server, replay the recovery-log delta, activate, and
 // record the binding in the management layer.
 func (t *DBTier) Grow(done func(error)) {
+	var span trace.ID
 	finish := func(err error) {
 		t.busy = false
 		if err != nil {
 			t.p.logf("selfsize: %s grow failed: %v", t.name, err)
 		}
+		t.p.tracer.End(span, outcomeField(err))
 		if done != nil {
 			done(err)
 		}
@@ -360,12 +377,14 @@ func (t *DBTier) Grow(done func(error)) {
 		done(fmt.Errorf("jade: cjdbc %s is not running", t.cjdbcComp.Name()))
 		return
 	}
+	span = t.p.tracer.Begin(0, "actuate", t.name+":grow", trace.Fi("replicas", len(t.replicas)))
 	t.busy = true
 	node, err := t.p.Pool.Allocate()
 	if err != nil {
 		finish(err)
 		return
 	}
+	t.p.tracer.EmitIn(span, "actuate.step", "node-allocated", trace.F("node", node.Name()))
 	t.p.SIS.Install("mysql", node, func(ierr error) {
 		if ierr != nil {
 			_ = t.p.Pool.Release(node)
@@ -389,6 +408,8 @@ func (t *DBTier) Grow(done func(error)) {
 			return
 		}
 		name := t.nextName("mysql-r")
+		t.p.tracer.EmitIn(span, "actuate.step", "installed",
+			trace.F("package", "mysql"), trace.F("replica", name))
 		comp, cerr := NewMySQLComponent(t.p, name, node)
 		if cerr != nil {
 			_ = t.p.Pool.Release(node)
@@ -403,6 +424,8 @@ func (t *DBTier) Grow(done func(error)) {
 				finish(err)
 				return
 			}
+			t.p.tracer.EmitIn(span, "actuate.step", "state-transferred",
+				trace.F("replica", name), trace.Fi("log-index", int(idx)))
 			if err := t.composite.Add(comp); err != nil {
 				_ = t.p.Pool.Release(node)
 				finish(err)
@@ -419,6 +442,7 @@ func (t *DBTier) Grow(done func(error)) {
 					finish(sterr)
 					return
 				}
+				t.p.tracer.EmitIn(span, "actuate.step", "started", trace.F("replica", name))
 				jerr := cw.JoinBackend(name, mw, idx, func(syncErr error) {
 					if syncErr != nil {
 						finish(syncErr)
@@ -428,6 +452,7 @@ func (t *DBTier) Grow(done func(error)) {
 						finish(berr)
 						return
 					}
+					t.p.tracer.EmitIn(span, "actuate.step", "joined-backend", trace.F("replica", name))
 					t.replicas = append(t.replicas, name)
 					t.p.logf("selfsize: %s grew to %d replicas (+%s on %s, replayed from log index %d)",
 						t.name, len(t.replicas), name, node.Name(), idx)
@@ -446,11 +471,13 @@ func (t *DBTier) Grow(done func(error)) {
 // Shrink disables the most recently added replica (its checkpoint index
 // is recorded in the recovery log), stops it and releases its node.
 func (t *DBTier) Shrink(done func(error)) {
+	var span trace.ID
 	finish := func(err error) {
 		t.busy = false
 		if err != nil {
 			t.p.logf("selfsize: %s shrink failed: %v", t.name, err)
 		}
+		t.p.tracer.End(span, outcomeField(err))
 		if done != nil {
 			done(err)
 		}
@@ -464,6 +491,7 @@ func (t *DBTier) Shrink(done func(error)) {
 		return
 	}
 	cw := t.wrapper()
+	span = t.p.tracer.Begin(0, "actuate", t.name+":shrink", trace.Fi("replicas", len(t.replicas)))
 	t.busy = true
 	name := t.replicas[len(t.replicas)-1]
 	comp, err := t.d.Component(name)
@@ -472,6 +500,8 @@ func (t *DBTier) Shrink(done func(error)) {
 		return
 	}
 	lerr := cw.LeaveBackend(name, func(checkpoint int64) {
+		t.p.tracer.EmitIn(span, "actuate.step", "left-backend",
+			trace.F("replica", name), trace.Fi("checkpoint", int(checkpoint)))
 		if err := t.cjdbcComp.Unbind("backends", comp.MustInterface("sql")); err != nil {
 			finish(err)
 			return
@@ -491,6 +521,8 @@ func (t *DBTier) Shrink(done func(error)) {
 			if node != nil {
 				t.p.detachManagement(node)
 				_ = t.p.Pool.Release(node)
+				t.p.tracer.EmitIn(span, "actuate.step", "node-released",
+					trace.F("node", node.Name()), trace.F("replica", name))
 			}
 			t.p.logf("selfsize: %s shrank to %d replicas (-%s, checkpoint %d)",
 				t.name, len(t.replicas), name, checkpoint)
@@ -524,6 +556,10 @@ type ThresholdReactor struct {
 	Priority int
 	// OnResize (optional) observes replica-count changes.
 	OnResize func(now float64, replicas int)
+	// SampleEvent (optional) returns the bus event of the sensor sample
+	// a decision was based on, linking decision spans back to the
+	// sensor (set by NewSizingManager).
+	SampleEvent func() trace.ID
 
 	// Grows and Shrinks count completed reconfigurations.
 	Grows, Shrinks uint64
@@ -553,33 +589,63 @@ func NewThresholdReactor(p *Platform, tier TierActuator, min, max float64, share
 	}
 }
 
+// decisionSpan opens the span recording one threshold crossing; the
+// actuation it triggers nests under it via the ambient cause.
+func (r *ThresholdReactor) decisionSpan(direction string, v, threshold float64) trace.ID {
+	fields := []trace.Field{
+		trace.F("tier", r.tier.TierName()),
+		trace.F("direction", direction),
+		trace.Ff("cpu", v),
+		trace.Ff("threshold", threshold),
+		trace.Fi("replicas", r.tier.ReplicaCount()),
+	}
+	if r.SampleEvent != nil {
+		if id := r.SampleEvent(); id != 0 {
+			fields = append(fields, trace.Fid("sample", id))
+		}
+	}
+	return r.p.tracer.Begin(0, "decision", r.tier.TierName()+":"+direction, fields...)
+}
+
 // React implements Reactor.
 func (r *ThresholdReactor) React(now float64, v float64) {
+	tr := r.p.tracer
 	switch {
 	case v > r.Max && r.tier.CanGrow():
 		if !r.gate().tryAcquire(now, r.tier.TierName(), r.Priority) {
 			return
 		}
+		dec := r.decisionSpan("grow", v, r.Max)
 		r.p.logf("selfsize: %s cpu %.2f > %.2f, growing", r.tier.TierName(), v, r.Max)
-		r.tier.Grow(func(err error) {
-			if err == nil {
-				r.Grows++
-				r.notify()
-			}
+		tr.WithCause(dec, func() {
+			r.tier.Grow(func(err error) {
+				if err == nil {
+					r.Grows++
+					r.notify()
+				}
+				tr.End(dec, outcomeField(err))
+			})
 		})
 	case v < r.Min && r.tier.CanShrink():
 		if !r.gate().tryAcquire(now, r.tier.TierName(), r.Priority) {
 			return
 		}
+		dec := r.decisionSpan("shrink", v, r.Min)
 		r.p.logf("selfsize: %s cpu %.2f < %.2f, shrinking", r.tier.TierName(), v, r.Min)
-		r.tier.Shrink(func(err error) {
-			if err == nil {
-				r.Shrinks++
-				r.notify()
-			}
+		tr.WithCause(dec, func() {
+			r.tier.Shrink(func(err error) {
+				if err == nil {
+					r.Shrinks++
+					r.notify()
+				}
+				tr.End(dec, outcomeField(err))
+			})
 		})
 	}
 }
+
+// outcomeField summarizes an actuation result for span closure.
+func outcomeField(err error) trace.Field { return trace.Outcome(err) }
 
 func (r *ThresholdReactor) notify() {
 	if r.OnResize != nil {
@@ -638,6 +704,7 @@ func NewSizingManager(p *Platform, name string, tier TierActuator, cfg SizingCon
 	if err != nil {
 		return nil, err
 	}
+	reactor.SampleEvent = loop.LastSampleEvent
 	m := &SizingManager{
 		Loop:     loop,
 		Sensor:   sensor,

@@ -538,6 +538,7 @@ func (w *CJDBCWrapper) StartManaged(done func(error)) {
 	}
 	opts.ReadPolicy = policy
 	w.ctl = cjdbc.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
+	w.ctl.Trace = w.p.Trace()
 	if err := w.ctl.Start(); err != nil {
 		done(err)
 		return
@@ -683,6 +684,7 @@ func (w *PLBWrapper) StartManaged(done func(error)) {
 	opts := plb.DefaultOptions()
 	opts.Port = port
 	w.b = plb.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
+	w.b.Trace = w.p.Trace()
 	if err := w.b.Start(); err != nil {
 		done(err)
 		return
@@ -794,6 +796,7 @@ func (w *L4Wrapper) StartManaged(done func(error)) {
 	opts := l4.DefaultOptions()
 	opts.Port = port
 	w.sw = l4.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
+	w.sw.Trace = w.p.Trace()
 	if err := w.sw.Start(); err != nil {
 		done(err)
 		return

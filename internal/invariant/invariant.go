@@ -59,6 +59,10 @@ type Violation struct {
 	Event string `json:"event"`
 	// Detail is the checker's error message.
 	Detail string `json:"detail"`
+	// Tail is the last few telemetry-bus events before the violation
+	// (when the harness has a Tail source) — the flight recorder readout
+	// attached to every replay artifact.
+	Tail []string `json:"tail,omitempty"`
 }
 
 // Error implements error.
@@ -77,6 +81,12 @@ type Harness struct {
 	// ContinueOnViolation keeps the simulation running after the first
 	// violation instead of faulting the engine.
 	ContinueOnViolation bool
+	// Tail, when set, supplies the last n formatted telemetry events;
+	// they are attached to every recorded violation (wire it to the
+	// platform tracer's Tail method).
+	Tail func(n int) []string
+	// TailLines is how many events to attach (default 40).
+	TailLines int
 
 	checkers   []Checker
 	ticker     *sim.Ticker
@@ -134,6 +144,13 @@ func (h *Harness) run(now float64, boundary bool, event string) {
 		h.checks++
 		if err := c.Check(now, boundary); err != nil {
 			v := &Violation{Time: now, Checker: c.Name(), Event: event, Detail: err.Error()}
+			if h.Tail != nil {
+				n := h.TailLines
+				if n <= 0 {
+					n = 40
+				}
+				v.Tail = h.Tail(n)
+			}
 			if h.first == nil {
 				h.first = v
 			}

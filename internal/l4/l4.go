@@ -13,6 +13,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/legacy"
 	"jade/internal/sim"
+	"jade/internal/trace"
 )
 
 // Errors returned by the switch.
@@ -62,6 +63,11 @@ type Switch struct {
 
 	forwarded uint64
 	dropped   uint64
+
+	// Trace, when set, records real-server membership changes and, for
+	// requests carrying a TraceSpan, a "forward" child span naming the
+	// chosen server. All Tracer methods are nil-receiver safe.
+	Trace *trace.Tracer
 }
 
 // New creates a stopped switch on node.
@@ -127,6 +133,7 @@ func (s *Switch) AddServer(name string, target legacy.HTTPHandler, weight int) e
 		}
 	}
 	s.servers = append(s.servers, &realServer{name: name, target: target, weight: weight, credit: weight})
+	s.Trace.Emit("membership.join", s.name, trace.F("server", name), trace.Fi("weight", weight), trace.Fi("servers", len(s.servers)))
 	return nil
 }
 
@@ -135,6 +142,7 @@ func (s *Switch) RemoveServer(name string) error {
 	for i, r := range s.servers {
 		if r.name == name {
 			s.servers = append(s.servers[:i], s.servers[i+1:]...)
+			s.Trace.Emit("membership.leave", s.name, trace.F("server", name), trace.Fi("servers", len(s.servers)))
 			return nil
 		}
 	}
@@ -198,10 +206,20 @@ func (s *Switch) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 		}
 		r.pending++
 		s.forwarded++
+		var span trace.ID
+		parent := req.TraceSpan
+		if parent != 0 {
+			span = s.Trace.Begin(parent, "forward", s.name, trace.F("server", r.name))
+			req.TraceSpan = span
+		}
 		r.target.HandleHTTP(req, func(err error) {
 			r.pending--
 			if err == nil {
 				r.served++
+			}
+			if span != 0 {
+				req.TraceSpan = parent
+				s.Trace.End(span, trace.Outcome(err))
 			}
 			done(err)
 		})

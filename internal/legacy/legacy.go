@@ -20,6 +20,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/config"
 	"jade/internal/sim"
+	"jade/internal/trace"
 )
 
 // Errors returned by the legacy layer.
@@ -62,6 +63,9 @@ func (s State) String() string {
 type Query struct {
 	SQL  string
 	Cost float64 // CPU-seconds on a database node
+	// TraceSpan, when non-zero, is the telemetry span this query belongs
+	// to; servers along the path attach their own child spans under it.
+	TraceSpan trace.ID
 }
 
 // WebRequest is one HTTP request flowing through the tiers.
@@ -71,6 +75,12 @@ type WebRequest struct {
 	WebCost     float64 // CPU-seconds on the web tier
 	AppCost     float64 // CPU-seconds on the application tier
 	Queries     []Query // database work issued by the servlet
+	// TraceSpan, when non-zero, is the telemetry span covering this
+	// request; each hop (balancer, servlet server, database proxy) opens
+	// its child span under the one it received and rewrites the field for
+	// the next hop, yielding a causal L4/PLB -> Tomcat -> C-JDBC -> MySQL
+	// tree.
+	TraceSpan trace.ID
 }
 
 // HTTPHandler is anything that can serve a WebRequest: a Tomcat instance,
@@ -146,6 +156,10 @@ type Env struct {
 	Eng *sim.Engine
 	Net *Network
 	FS  config.FS
+	// Trace, when set, lets servers attach child spans to requests that
+	// carry a TraceSpan. All Tracer methods are nil-receiver safe, so the
+	// field may stay unset (the standalone unit tests do).
+	Trace *trace.Tracer
 }
 
 // process holds state common to the three server kinds.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"jade/internal/cluster"
+	"jade/internal/trace"
 )
 
 // Tomcat simulates a Tomcat 3.3 servlet server. At startup it parses its
@@ -124,15 +125,24 @@ func (t *Tomcat) HandleHTTP(req *WebRequest, done func(error)) {
 		done(fmt.Errorf("%w: tomcat %s is %s", ErrNotRunning, t.name, t.state))
 		return
 	}
+	var span trace.ID
+	if req.TraceSpan != 0 {
+		span = t.env.Trace.Begin(req.TraceSpan, "app", t.name, trace.Fi("queries", len(req.Queries)))
+		orig := done
+		done = func(err error) {
+			t.env.Trace.End(span, trace.Outcome(err))
+			orig(err)
+		}
+	}
 	t.node.Submit(req.AppCost, func() {
-		t.runQueries(req, 0, done)
+		t.runQueries(req, span, 0, done)
 	}, func() {
 		t.failed++
 		done(fmt.Errorf("%w: tomcat %s", ErrServerFailed, t.name))
 	})
 }
 
-func (t *Tomcat) runQueries(req *WebRequest, i int, done func(error)) {
+func (t *Tomcat) runQueries(req *WebRequest, span trace.ID, i int, done func(error)) {
 	if i >= len(req.Queries) {
 		t.served++
 		done(nil)
@@ -143,12 +153,14 @@ func (t *Tomcat) runQueries(req *WebRequest, i int, done func(error)) {
 		done(fmt.Errorf("%w: tomcat %s has no JDBC resource", ErrNoBackend, t.name))
 		return
 	}
-	t.jdbc.ExecSQL(req.Queries[i], func(err error) {
+	q := req.Queries[i]
+	q.TraceSpan = span
+	t.jdbc.ExecSQL(q, func(err error) {
 		if err != nil {
 			t.failed++
 			done(fmt.Errorf("tomcat %s: query %d: %w", t.name, i, err))
 			return
 		}
-		t.runQueries(req, i+1, done)
+		t.runQueries(req, span, i+1, done)
 	})
 }

@@ -121,8 +121,14 @@ func (s *Series) Resample(t0, t1, step float64) []Point {
 	if step <= 0 {
 		panic("metrics: Resample with non-positive step")
 	}
+	// Index-based stepping: accumulating t += step drifts by one ulp per
+	// iteration, which over long ramps drops or duplicates the final sample.
 	var out []Point
-	for t := t0; t <= t1+1e-9; t += step {
+	for i := 0; ; i++ {
+		t := t0 + float64(i)*step
+		if t > t1+1e-9 {
+			break
+		}
 		out = append(out, Point{T: t, V: s.At(t)})
 	}
 	return out
@@ -289,12 +295,14 @@ func (tp *Throughput) Observe(t float64) {
 }
 
 // Rate returns completions per second over the window ending at now.
+// times is ascending (Observe appends monotonically), so both window
+// bounds are binary searches.
 func (tp *Throughput) Rate(now float64) float64 {
-	n := 0
-	for _, t := range tp.times {
-		if t >= now-tp.Window && t <= now {
-			n++
-		}
+	lo := sort.SearchFloat64s(tp.times, now-tp.Window)
+	hi := sort.Search(len(tp.times), func(i int) bool { return tp.times[i] > now })
+	n := hi - lo
+	if n < 0 {
+		n = 0
 	}
 	return float64(n) / tp.Window
 }

@@ -14,6 +14,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/legacy"
 	"jade/internal/sim"
+	"jade/internal/trace"
 )
 
 // Errors returned by the balancer.
@@ -85,6 +86,12 @@ type Balancer struct {
 
 	forwarded uint64
 	dropped   uint64
+
+	// Trace, when set, records worker membership changes and, for
+	// requests carrying a TraceSpan, a "forward" child span naming the
+	// chosen worker. All Tracer methods are nil-receiver safe, so the
+	// field may stay unset.
+	Trace *trace.Tracer
 }
 
 // New creates a stopped balancer on node.
@@ -147,6 +154,7 @@ func (b *Balancer) AddWorker(name string, target legacy.HTTPHandler) error {
 		}
 	}
 	b.workers = append(b.workers, &worker{name: name, target: target})
+	b.Trace.Emit("membership.join", b.name, trace.F("worker", name), trace.Fi("workers", len(b.workers)))
 	return nil
 }
 
@@ -155,6 +163,7 @@ func (b *Balancer) RemoveWorker(name string) error {
 	for i, w := range b.workers {
 		if w.name == name {
 			b.workers = append(b.workers[:i], b.workers[i+1:]...)
+			b.Trace.Emit("membership.leave", b.name, trace.F("worker", name), trace.Fi("workers", len(b.workers)))
 			return nil
 		}
 	}
@@ -232,12 +241,22 @@ func (b *Balancer) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 		}
 		w.pending++
 		b.forwarded++
+		var span trace.ID
+		parent := req.TraceSpan
+		if parent != 0 {
+			span = b.Trace.Begin(parent, "forward", b.name, trace.F("worker", w.name))
+			req.TraceSpan = span
+		}
 		w.target.HandleHTTP(req, func(err error) {
 			w.pending--
 			if err != nil {
 				w.errors++
 			} else {
 				w.served++
+			}
+			if span != 0 {
+				req.TraceSpan = parent
+				b.Trace.End(span, trace.Outcome(err))
 			}
 			done(err)
 		})

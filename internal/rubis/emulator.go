@@ -8,6 +8,7 @@ import (
 	"jade/internal/legacy"
 	"jade/internal/metrics"
 	"jade/internal/sim"
+	"jade/internal/trace"
 )
 
 // Profile shapes the emulated client population over time.
@@ -189,6 +190,14 @@ type Emulator struct {
 	// session when reactivated).
 	Chain *Chain
 
+	// Trace, when set together with TraceEvery, opens a root "request"
+	// span for every TraceEvery-th issued request; the request then
+	// carries the span through the tiers, which attach their hop spans
+	// under it. Sampling keeps the span store bounded on long runs.
+	Trace      *trace.Tracer
+	TraceEvery int
+
+	issued   uint64
 	ds       Dataset
 	counters *Counters
 	rng      *rand.Rand
@@ -332,8 +341,17 @@ func (c *client) issue() {
 	}
 	req := it.Request(g)
 	t0 := em.eng.Now()
+	em.issued++
+	var span trace.ID
+	if em.Trace != nil && em.TraceEvery > 0 && em.issued%uint64(em.TraceEvery) == 0 {
+		span = em.Trace.Begin(0, "request", it.Name, trace.Fi("client", c.id))
+		req.TraceSpan = span
+	}
 	em.front.HandleHTTP(req, func(err error) {
 		now := em.eng.Now()
+		if span != 0 {
+			em.Trace.End(span, trace.Outcome(err))
+		}
 		em.stats.record(it.Name, now, now-t0, err)
 		c.think()
 	})

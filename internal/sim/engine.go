@@ -81,6 +81,10 @@ type Engine struct {
 	// processed counts events executed since construction; useful in
 	// tests and as a progress indicator.
 	processed uint64
+	// hook, when set, observes every dispatched event just before its
+	// callback runs. Observation only: the telemetry bus uses it to
+	// record scheduler activity without perturbing the schedule.
+	hook func(t float64, label string)
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose random
@@ -136,6 +140,12 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 }
 
+// SetEventHook installs an observer called for every dispatched event
+// (after the clock advances, before the callback runs) with the event's
+// time and label. The hook must not schedule or cancel events; it
+// exists so tracers can watch the scheduler. Pass nil to remove.
+func (e *Engine) SetEventHook(hook func(t float64, label string)) { e.hook = hook }
+
 // Step executes the next pending event, advancing the clock. It reports
 // whether an event was executed.
 func (e *Engine) Step() bool {
@@ -146,6 +156,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.time
 		e.processed++
+		if e.hook != nil {
+			e.hook(ev.time, ev.label)
+		}
 		ev.fn()
 		return true
 	}

@@ -1,0 +1,446 @@
+// Package trace is a deterministic, zero-dependency telemetry bus for
+// the simulated Jade platform. Every event and span is timestamped from
+// the virtual clock, IDs are assigned in execution order, and no wall
+// clock or map iteration leaks into the record — so two runs with the
+// same seed produce byte-identical exports.
+//
+// The bus records two shapes:
+//
+//   - Events: instantaneous structured records with typed fields
+//     (loop samples, arbiter verdicts, membership changes, log lines).
+//     Events live in a bounded ring buffer; the oldest are evicted.
+//   - Spans: intervals with a parent ID forming causal trees — one
+//     emulated request L4 → PLB → Tomcat → C-JDBC → MySQL, or one
+//     reconfiguration sensor-sample → decision → actuation-complete.
+//     Spans are bounded by refusing new spans once full (management
+//     spans are low-rate; request spans are sampled by the caller).
+//
+// All Tracer methods are safe on a nil receiver, so instrumented code
+// never needs a guard.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ID identifies an event or span. The zero ID means "none"; IDs are
+// unique across both shapes and strictly increase in execution order.
+type ID uint64
+
+// Field is one typed key/value attribute. Fields are an ordered slice
+// (not a map) so emission order is deterministic.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// F builds a string field.
+func F(key, value string) Field { return Field{Key: key, Value: value} }
+
+// Ff builds a float field, formatted with the shortest exact
+// representation so exports are byte-stable.
+func Ff(key string, v float64) Field {
+	return Field{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Fi builds an integer field.
+func Fi(key string, v int) Field { return Field{Key: key, Value: strconv.Itoa(v)} }
+
+// Fid builds a field referencing another event or span ID (a causal
+// link that is not a parent relationship, e.g. the sensor sample a
+// decision was based on).
+func Fid(key string, id ID) Field {
+	return Field{Key: key, Value: strconv.FormatUint(uint64(id), 10)}
+}
+
+// Outcome builds the conventional span-closing field: "ok" on success,
+// the error text otherwise.
+func Outcome(err error) Field {
+	if err != nil {
+		return Field{Key: "outcome", Value: err.Error()}
+	}
+	return Field{Key: "outcome", Value: "ok"}
+}
+
+// Event is one instantaneous record.
+type Event struct {
+	ID     ID
+	Span   ID // enclosing span, or 0
+	T      float64
+	Kind   string
+	Name   string
+	Fields []Field
+}
+
+// Span is one interval in a causal tree.
+type Span struct {
+	ID     ID
+	Parent ID // parent span, or 0 for a root
+	Kind   string
+	Name   string
+	Start  float64
+	End    float64
+	Open   bool
+	Fields []Field
+}
+
+// DefaultEventCapacity bounds the event ring buffer.
+const DefaultEventCapacity = 65536
+
+// DefaultSpanCapacity bounds the span store.
+const DefaultSpanCapacity = 65536
+
+// Tracer is the telemetry bus. Construct with New; methods are
+// nil-receiver-safe.
+type Tracer struct {
+	mu       sync.Mutex
+	now      func() float64
+	nextID   uint64
+	events   []Event // ring of capEvents entries once full
+	head     int     // index of the oldest event when the ring is full
+	capEv    int
+	spans    []Span
+	spanIdx  map[ID]int
+	capSp    int
+	dropped  uint64 // spans refused because the store was full
+	evicted  uint64 // events evicted from the ring
+	cause    ID     // ambient causal parent, managed by WithCause
+	sink     func(string, ...any)
+}
+
+// New builds a tracer on the given virtual clock. Non-positive
+// capacities select the defaults.
+func New(now func() float64, eventCap, spanCap int) *Tracer {
+	if eventCap <= 0 {
+		eventCap = DefaultEventCapacity
+	}
+	if spanCap <= 0 {
+		spanCap = DefaultSpanCapacity
+	}
+	if now == nil {
+		now = func() float64 { return 0 }
+	}
+	return &Tracer{now: now, capEv: eventCap, capSp: spanCap, spanIdx: make(map[ID]int)}
+}
+
+// SetLogSink routes Logf lines onward (typically the platform's -v
+// printer) after they are recorded on the bus.
+func (t *Tracer) SetLogSink(sink func(string, ...any)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = sink
+	t.mu.Unlock()
+}
+
+func (t *Tracer) id() ID {
+	t.nextID++
+	return ID(t.nextID)
+}
+
+func (t *Tracer) pushEvent(ev Event) {
+	if len(t.events) < t.capEv {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.head] = ev
+	t.head = (t.head + 1) % t.capEv
+	t.evicted++
+}
+
+// Emit records an instantaneous event under the ambient cause (if any)
+// and returns its ID.
+func (t *Tracer) Emit(kind, name string, fields ...Field) ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitLocked(t.cause, kind, name, fields)
+}
+
+// EmitIn records an instantaneous event inside an explicit span.
+func (t *Tracer) EmitIn(span ID, kind, name string, fields ...Field) ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitLocked(span, kind, name, fields)
+}
+
+func (t *Tracer) emitLocked(span ID, kind, name string, fields []Field) ID {
+	id := t.id()
+	t.pushEvent(Event{ID: id, Span: span, T: t.now(), Kind: kind, Name: name, Fields: fields})
+	return id
+}
+
+// Begin opens a span. A zero parent uses the ambient cause (set by
+// WithCause), so actuators opened from a reactor's decision nest under
+// it without explicit plumbing.
+func (t *Tracer) Begin(parent ID, kind, name string, fields ...Field) ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if parent == 0 {
+		parent = t.cause
+	}
+	if len(t.spans) >= t.capSp {
+		t.dropped++
+		return 0
+	}
+	id := t.id()
+	now := t.now()
+	t.spanIdx[id] = len(t.spans)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: now, End: now, Open: true, Fields: fields})
+	return id
+}
+
+// End closes a span, appending any final fields. Ending an unknown or
+// already-closed span is a no-op.
+func (t *Tracer) End(id ID, fields ...Field) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.spanIdx[id]
+	if !ok || !t.spans[i].Open {
+		return
+	}
+	t.spans[i].Open = false
+	t.spans[i].End = t.now()
+	t.spans[i].Fields = append(t.spans[i].Fields, fields...)
+}
+
+// WithCause runs fn with the ambient causal parent set to id, restoring
+// the previous cause afterwards. It lets a decision span become the
+// parent of whatever the actuator records during its synchronous entry,
+// without changing actuator signatures.
+func (t *Tracer) WithCause(id ID, fn func()) {
+	if t == nil {
+		fn()
+		return
+	}
+	t.mu.Lock()
+	prev := t.cause
+	t.cause = id
+	t.mu.Unlock()
+	fn()
+	t.mu.Lock()
+	t.cause = prev
+	t.mu.Unlock()
+}
+
+// Cause returns the ambient causal parent, for async continuations that
+// need to re-establish it later via WithCause.
+func (t *Tracer) Cause() ID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cause
+}
+
+// Logf records a formatted log line as a "log" event and forwards it to
+// the sink, so verbose output and the trace can never disagree.
+func (t *Tracer) Logf(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	t.emitLocked(t.cause, "log", msg, nil)
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink("%s", msg)
+	}
+}
+
+// Events returns all retained events in time order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eventsLocked()
+}
+
+func (t *Tracer) eventsLocked() []Event {
+	out := make([]Event, 0, len(t.events))
+	if len(t.events) < t.capEv {
+		return append(out, t.events...)
+	}
+	out = append(out, t.events[t.head:]...)
+	return append(out, t.events[:t.head]...)
+}
+
+// Since returns retained events with T >= from.
+func (t *Tracer) Since(from float64) []Event {
+	evs := t.Events()
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].T >= from })
+	return evs[i:]
+}
+
+// ByKind returns retained events of one kind, in time order.
+func (t *Tracer) ByKind(kind string) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Spans returns all retained spans in creation order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// SpanByID returns a retained span by ID.
+func (t *Tracer) SpanByID(id ID) (Span, bool) {
+	if t == nil {
+		return Span{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.spanIdx[id]
+	if !ok {
+		return Span{}, false
+	}
+	return t.spans[i], true
+}
+
+// SpanNode is one node of the causal tree returned by SpanTree.
+type SpanNode struct {
+	Span     Span
+	Children []*SpanNode
+}
+
+// SpanTree assembles the retained spans into causal trees, returning
+// the roots in creation order. A span whose parent was not retained
+// becomes a root.
+func (t *Tracer) SpanTree() []*SpanNode {
+	spans := t.Spans()
+	nodes := make(map[ID]*SpanNode, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = &SpanNode{Span: s}
+	}
+	var roots []*SpanNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// Stats reports retention counters.
+type Stats struct {
+	Events        int
+	Spans         int
+	EventsEvicted uint64
+	SpansDropped  uint64
+}
+
+// Stat returns retention counters.
+func (t *Tracer) Stat() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Events: len(t.events), Spans: len(t.spans), EventsEvicted: t.evicted, SpansDropped: t.dropped}
+}
+
+// Tail formats the last n events as human-readable lines, newest last —
+// the invariant harness attaches this to every violation artifact.
+func (t *Tracer) Tail(n int) []string {
+	evs := t.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = FormatEvent(ev)
+	}
+	return out
+}
+
+// FormatEvent renders one event as a stable single-line string.
+func FormatEvent(ev Event) string {
+	s := fmt.Sprintf("[t=%8.1f] %s", ev.T, ev.Kind)
+	if ev.Name != "" {
+		s += " " + ev.Name
+	}
+	for _, f := range ev.Fields {
+		s += fmt.Sprintf(" %s=%s", f.Key, f.Value)
+	}
+	return s
+}
+
+// WellFormed verifies the span store's causal integrity: every non-zero
+// parent that is retained is a span (not self), children start no
+// earlier than their parent, and closed children end no later than a
+// closed parent. It returns the first problem found, or nil.
+func (t *Tracer) WellFormed() error {
+	return CheckWellFormed(t.Spans())
+}
+
+// CheckWellFormed implements WellFormed over an explicit span slice.
+func CheckWellFormed(spans []Span) error {
+	const eps = 1e-9
+	byID := make(map[ID]Span, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			return fmt.Errorf("trace: span %q has zero ID", s.Name)
+		}
+		if _, dup := byID[s.ID]; dup {
+			return fmt.Errorf("trace: duplicate span ID %d", s.ID)
+		}
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if !s.Open && s.End+eps < s.Start {
+			return fmt.Errorf("trace: span %d (%s) ends at %g before start %g", s.ID, s.Name, s.End, s.Start)
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		if s.Parent == s.ID {
+			return fmt.Errorf("trace: span %d (%s) is its own parent", s.ID, s.Name)
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			return fmt.Errorf("trace: span %d (%s) references missing parent %d", s.ID, s.Name, s.Parent)
+		}
+		if s.Parent >= s.ID {
+			return fmt.Errorf("trace: span %d (%s) precedes its parent %d", s.ID, s.Name, s.Parent)
+		}
+		if s.Start+eps < p.Start {
+			return fmt.Errorf("trace: span %d (%s) starts at %g before parent %d start %g", s.ID, s.Name, s.Start, p.ID, p.Start)
+		}
+		if !s.Open && !p.Open && s.End > p.End+eps {
+			return fmt.Errorf("trace: span %d (%s) ends at %g after parent %d end %g", s.ID, s.Name, s.End, p.ID, p.End)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func clock(t *float64) func() float64 { return func() float64 { return *t } }
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Emit("k", "n"); id != 0 {
+		t.Fatalf("nil Emit returned %d", id)
+	}
+	if id := tr.Begin(0, "k", "n"); id != 0 {
+		t.Fatalf("nil Begin returned %d", id)
+	}
+	tr.End(1)
+	tr.Logf("hello %d", 1)
+	ran := false
+	tr.WithCause(7, func() { ran = true })
+	if !ran {
+		t.Fatal("nil WithCause did not run fn")
+	}
+	if tr.Cause() != 0 || tr.Events() != nil || tr.Spans() != nil {
+		t.Fatal("nil queries not empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsSpansAndQueries(t *testing.T) {
+	now := 1.0
+	tr := New(clock(&now), 0, 0)
+	root := tr.Begin(0, "request", "Home", F("interaction", "Home"))
+	now = 2.0
+	fwd := tr.Begin(root, "forward", "plb1", F("replica", "tomcat1"))
+	tr.EmitIn(fwd, "hop", "queued")
+	now = 3.0
+	tr.End(fwd)
+	now = 4.0
+	tr.End(root, F("status", "ok"))
+	tr.Emit("loop.sample", "app", Ff("value", 0.5))
+
+	if got := len(tr.ByKind("loop.sample")); got != 1 {
+		t.Fatalf("ByKind loop.sample = %d", got)
+	}
+	if got := len(tr.Since(2.5)); got != 1 {
+		t.Fatalf("Since(2.5) = %d events", got)
+	}
+	roots := tr.SpanTree()
+	if len(roots) != 1 || roots[0].Span.ID != root || len(roots[0].Children) != 1 {
+		t.Fatalf("unexpected span tree: %+v", roots)
+	}
+	if err := tr.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := tr.SpanByID(root)
+	if !ok || sp.Open || sp.End != 4.0 {
+		t.Fatalf("root span wrong: %+v", sp)
+	}
+	if len(sp.Fields) != 2 {
+		t.Fatalf("End did not append fields: %+v", sp.Fields)
+	}
+}
+
+func TestWithCauseNesting(t *testing.T) {
+	now := 0.0
+	tr := New(clock(&now), 0, 0)
+	decision := tr.Begin(0, "decision", "grow")
+	var actuate ID
+	tr.WithCause(decision, func() {
+		actuate = tr.Begin(0, "actuate", "app:grow")
+	})
+	if tr.Cause() != 0 {
+		t.Fatal("cause not restored")
+	}
+	sp, _ := tr.SpanByID(actuate)
+	if sp.Parent != decision {
+		t.Fatalf("actuate parent = %d, want %d", sp.Parent, decision)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	now := 0.0
+	tr := New(clock(&now), 4, 4)
+	for i := 0; i < 10; i++ {
+		now = float64(i)
+		tr.Emit("k", "e")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].T != 6 || evs[3].T != 9 {
+		t.Fatalf("ring order wrong: first %g last %g", evs[0].T, evs[3].T)
+	}
+	st := tr.Stat()
+	if st.EventsEvicted != 6 {
+		t.Fatalf("evicted = %d, want 6", st.EventsEvicted)
+	}
+	// Span store refuses new spans when full; End of a refused span is a
+	// no-op and children of refused spans become roots (parent 0).
+	for i := 0; i < 6; i++ {
+		id := tr.Begin(0, "s", "x")
+		if i >= 4 && id != 0 {
+			t.Fatalf("span %d accepted beyond capacity", i)
+		}
+		tr.End(id)
+	}
+	if tr.Stat().SpansDropped != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Stat().SpansDropped)
+	}
+	if err := tr.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogfRecordsAndForwards(t *testing.T) {
+	now := 5.0
+	tr := New(clock(&now), 0, 0)
+	var lines []string
+	tr.SetLogSink(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	tr.Logf("deploy: %s is up (%d components)", "rubis", 4)
+	if len(lines) != 1 || lines[0] != "deploy: rubis is up (4 components)" {
+		t.Fatalf("sink got %v", lines)
+	}
+	logs := tr.ByKind("log")
+	if len(logs) != 1 || logs[0].Name != "deploy: rubis is up (4 components)" {
+		t.Fatalf("bus got %+v", logs)
+	}
+}
+
+func TestWellFormedCatchesViolations(t *testing.T) {
+	bad := []Span{
+		{ID: 1, Kind: "a", Start: 10, End: 20},
+		{ID: 2, Parent: 1, Kind: "b", Start: 5, End: 6},
+	}
+	if err := CheckWellFormed(bad); err == nil {
+		t.Fatal("child starting before parent not caught")
+	}
+	bad = []Span{
+		{ID: 1, Kind: "a", Start: 10, End: 20},
+		{ID: 2, Parent: 1, Kind: "b", Start: 12, End: 25},
+	}
+	if err := CheckWellFormed(bad); err == nil {
+		t.Fatal("child ending after parent not caught")
+	}
+	bad = []Span{{ID: 2, Parent: 9, Kind: "b", Start: 0, End: 1}}
+	if err := CheckWellFormed(bad); err == nil {
+		t.Fatal("missing parent not caught")
+	}
+	ok := []Span{
+		{ID: 1, Kind: "a", Start: 10, End: 20},
+		{ID: 2, Parent: 1, Kind: "b", Start: 10, End: 20},
+		{ID: 3, Parent: 1, Kind: "c", Start: 12, Open: true},
+	}
+	if err := CheckWellFormed(ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportsAreDeterministicAndValid(t *testing.T) {
+	build := func() *Tracer {
+		now := 0.0
+		tr := New(clock(&now), 0, 0)
+		req := tr.Begin(0, "request", "Browse", F("interaction", "Browse"))
+		now = 0.25
+		tr.Emit("arbiter.verdict", "app-sizing", F("granted", "true"), Ff("at", now))
+		fwd := tr.Begin(req, "forward", "plb1", F("replica", "tomcat2"))
+		now = 0.5
+		tr.End(fwd)
+		tr.End(req)
+		tr.Logf("selfsize: %s grew to %d replicas", "app", 2)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSONL not byte-identical:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty JSONL export")
+	}
+
+	var c1, c2 bytes.Buffer
+	if err := build().WriteChromeTrace(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("Chrome trace not byte-identical")
+	}
+	n, err := ValidateChromeTrace(c1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 {
+		t.Fatalf("only %d trace events", n)
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ValidateChromeTrace([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"foo":1}`)); err == nil {
+		t.Fatal("missing traceEvents accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"name":"x","ph":"?","ts":1,"pid":1,"tid":1}]}`)); err == nil {
+		t.Fatal("bad phase accepted")
+	}
+	if _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"name":"x","ph":"i","ts":-5,"pid":1,"tid":1}]}`)); err == nil {
+		t.Fatal("negative ts accepted")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"jade/internal/report"
 	"jade/internal/rubis"
 	"jade/internal/sim"
+	"jade/internal/trace"
 )
 
 // Re-exported core types: the platform, deployment and manager surface.
@@ -174,6 +175,25 @@ type (
 	// Query is one SQL request with its CPU demand.
 	Query = legacy.Query
 )
+
+// Re-exported telemetry types: every platform carries a structured event
+// bus recording management decisions as causal spans (see internal/trace).
+type (
+	// Tracer is the deterministic telemetry bus.
+	Tracer = trace.Tracer
+	// TraceID identifies one event or span on the bus.
+	TraceID = trace.ID
+	// TraceEvent is one instantaneous bus record.
+	TraceEvent = trace.Event
+	// TraceSpan is one interval with a causal parent.
+	TraceSpan = trace.Span
+	// TraceSpanNode is a node of the reconstructed span tree.
+	TraceSpanNode = trace.SpanNode
+)
+
+// ValidateChromeTrace checks data against the Chrome trace-event schema
+// and returns the number of trace events.
+func ValidateChromeTrace(data []byte) (int, error) { return trace.ValidateChromeTrace(data) }
 
 // NewPlatform builds a platform with the standard wrapper registry.
 func NewPlatform(opts PlatformOptions) *Platform { return core.NewPlatform(opts) }

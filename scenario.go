@@ -11,6 +11,7 @@ import (
 	"jade/internal/invariant"
 	"jade/internal/metrics"
 	"jade/internal/rubis"
+	"jade/internal/trace"
 )
 
 // ScenarioConfig describes one end-to-end evaluation run: deploy the
@@ -86,6 +87,11 @@ type ScenarioConfig struct {
 	// package does not implement and reports whether it handled them.
 	// Tests use it to inject deliberately broken actuations.
 	ChaosHandler func(res *ScenarioResult, ev invariant.Event) bool
+	// TraceRequests, when positive, opens a causal root span for every
+	// N-th client request (request -> forward -> app -> sql), bounding
+	// the span store on long runs. Decision/actuation spans and the
+	// management event stream are always recorded regardless.
+	TraceRequests int
 	// Logf receives management log lines (optional).
 	Logf func(string, ...any)
 }
@@ -162,6 +168,9 @@ type ScenarioResult struct {
 	AppManager *SizingManager
 	DBManager  *SizingManager
 }
+
+// Trace returns the run's telemetry bus (events, spans, exporters).
+func (r *ScenarioResult) Trace() *trace.Tracer { return r.Platform.Trace() }
 
 // MeanLatency returns the mean request latency over the workload, in
 // seconds.
@@ -276,6 +285,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		}
 		if cfg.Arbitrate {
 			arb = core.NewArbiter(cfg.AppSizing.InhibitSeconds)
+			arb.Trace = p.Trace()
 			appMgr.Reactor.Arbiter = arb
 			dbMgr.Reactor.Arbiter = arb
 		}
@@ -322,6 +332,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	var harness *invariant.Harness
 	if cfg.Invariants {
 		harness = invariant.NewHarness(p.Eng)
+		harness.Tail = p.Trace().Tail
 		if cfg.InvariantPeriod > 0 {
 			harness.Period = cfg.InvariantPeriod
 		}
@@ -433,6 +444,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	front := dep.MustComponent("plb1").Content().(*core.PLBWrapper).Balancer()
 	em := NewEmulator(p.Eng, front, cfg.Mix, cfg.Profile, *cfg.Dataset)
 	em.ThinkTime = cfg.ThinkTime
+	if cfg.TraceRequests > 0 {
+		em.Trace = p.Trace()
+		em.TraceEvery = cfg.TraceRequests
+	}
 	if cfg.Sessions {
 		em.Chain = rubis.DefaultTransitions()
 	}
