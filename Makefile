@@ -1,14 +1,15 @@
 # Tier-1 gate plus the simulation-testing harness.
 #
-#   make ci          - vet, race-enabled tests, chaos sweep, trace smoke
+#   make ci          - vet, race-enabled tests, chaos sweep, trace smoke, bench smoke
 #   make test        - plain test run (what the seed gate runs)
 #   make sweep       - 20-seed invariant chaos sweep at 8x compression
 #   make trace-smoke - export a managed-run trace and validate its schema
+#   make bench-smoke - measure the sim core into BENCH_core.json and sanity-check it
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke ci
 
 all: build
 
@@ -32,4 +33,8 @@ trace-smoke:
 	$(GO) run ./cmd/jadectl trace-validate $(TRACE_TMP)
 	rm -f $(TRACE_TMP)
 
-ci: vet race sweep trace-smoke
+bench-smoke:
+	$(GO) run ./cmd/jadebench -bench-core -bench-out BENCH_core.json
+	$(GO) run ./cmd/jadebench -bench-validate BENCH_core.json
+
+ci: vet race sweep trace-smoke bench-smoke

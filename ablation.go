@@ -65,16 +65,18 @@ func RunAblationSmoothing(seed int64, speedup float64) ([]AblationRow, error) {
 		{"short window (15 s)", 15, 15},
 		{"paper windows (60/90 s)", 60, 90},
 	}
-	var rows []AblationRow
-	for _, v := range variants {
+	rows := make([]AblationRow, len(variants))
+	err := forEachPar(len(variants), func(i int) error {
+		v := variants[i]
 		row, err := ablationRun(v.name, seed, speedup, func(cfg *ScenarioConfig) {
 			cfg.AppSizing.Window = v.app
 			cfg.DBSizing.Window = v.db
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -90,16 +92,18 @@ func RunAblationInhibition(seed int64, speedup float64) ([]AblationRow, error) {
 		{"no inhibition", 0.001},
 		{"paper inhibition (60 s)", 60},
 	}
-	var rows []AblationRow
-	for _, v := range variants {
+	rows := make([]AblationRow, len(variants))
+	err := forEachPar(len(variants), func(i int) error {
+		v := variants[i]
 		row, err := ablationRun(v.name, seed, speedup, func(cfg *ScenarioConfig) {
 			cfg.AppSizing.InhibitSeconds = v.inhibit
 			cfg.DBSizing.InhibitSeconds = v.inhibit
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -115,17 +119,19 @@ func RunAblationThresholds(seed int64, speedup float64) ([]AblationRow, error) {
 		{0.50, 0.90},
 		{0.10, 0.95},
 	}
-	var rows []AblationRow
-	for _, pr := range pairs {
+	rows := make([]AblationRow, len(pairs))
+	err := forEachPar(len(pairs), func(i int) error {
+		pr := pairs[i]
 		name := fmt.Sprintf("min=%.2f max=%.2f", pr.min, pr.max)
 		row, err := ablationRun(name, seed, speedup, func(cfg *ScenarioConfig) {
 			cfg.AppSizing.Min, cfg.AppSizing.Max = pr.min, pr.max
 			cfg.DBSizing.Min, cfg.DBSizing.Max = pr.min, pr.max
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -157,23 +163,29 @@ const twoBackendADL = `<?xml version="1.0"?>
 // read-heavy constant load near saturation, where least-pending's
 // queue awareness matters.
 func RunAblationBalancerPolicy(seed int64) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, policy := range []string{"least-pending", "round-robin"} {
+	policies := []string{"least-pending", "round-robin"}
+	rows := make([]AblationRow, len(policies))
+	err := forEachPar(len(policies), func(i int) error {
+		policy := policies[i]
 		cfg := DefaultScenario(seed, false)
 		cfg.ADL = fmt.Sprintf(twoBackendADL, policy)
 		cfg.Mix = BrowsingMix()
 		cfg.Profile = ConstantProfile{Clients: 420, Length: 400}
 		r, err := RunScenario(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("jade: balancer ablation %s: %w", policy, err)
+			return fmt.Errorf("jade: balancer ablation %s: %w", policy, err)
 		}
 		s := r.Stats.LatencySummary()
-		rows = append(rows, AblationRow{
+		rows[i] = AblationRow{
 			Name:          policy,
 			MeanLatencyMS: s.Mean * 1000,
 			MaxLatencyMS:  s.Max * 1000,
 			NodeSeconds:   r.NodeSeconds,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -188,80 +200,92 @@ type ReplayRow struct {
 // fresh database replica into the cluster as a function of the
 // recovery-log delta it must replay (§4.1's synchronization protocol).
 func RunAblationRecoveryLogReplay(seed int64, deltas []int) ([]ReplayRow, error) {
-	var rows []ReplayRow
-	for _, delta := range deltas {
-		p := NewPlatform(PlatformOptions{Seed: seed, Nodes: 9})
-		ds := Dataset{Regions: 3, Categories: 3, Users: 10, Items: 10, BidsPerItem: 1, CommentsPerUser: 1}
-		dump, err := ds.InitialDatabase(seed)
-		if err != nil {
-			return nil, err
-		}
-		p.RegisterDump("rubis", dump)
-		def, err := ParseADL(ThreeTierADL)
-		if err != nil {
-			return nil, err
-		}
-		var dep *Deployment
-		derr := errors.New("jade: deployment did not complete")
-		p.Deploy(def, func(d *Deployment, err error) { dep, derr = d, err })
-		p.Eng.Run()
-		if derr != nil {
-			return nil, derr
-		}
-		cw := dep.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper)
-		// Snapshot now (index 0), then push the delta of writes that the
-		// new replica will have to replay.
-		for i := 0; i < delta; i++ {
-			sql := fmt.Sprintf("INSERT INTO buy_now (id, buyer_id, item_id, qty, date) VALUES (%d, 1, 1, 1, %d)", i, i)
-			cw.Controller().ExecSQL(legacy.Query{SQL: sql, Cost: 0.002}, func(err error) {
-				if err != nil {
-					derr = err
-				}
-			})
-		}
-		derr = nil
-		p.Eng.Run()
-		if derr != nil {
-			return nil, derr
-		}
-		// Install a replica holding only the initial dump (log index 0),
-		// so its synchronization replays exactly `delta` records. (The
-		// DBTier actuator would snapshot an up-to-date backend instead —
-		// this ablation quantifies what that optimization saves.)
-		node, err := p.Pool.Allocate()
-		if err != nil {
-			return nil, err
-		}
-		comp, err := core.NewMySQLComponent(p, "mysql-sync", node)
-		if err != nil {
-			return nil, err
-		}
-		if err := comp.SetAttribute("dump", "rubis"); err != nil {
-			return nil, err
-		}
-		serr := errors.New("jade: replica start did not complete")
-		p.StartComponent(comp, func(err error) { serr = err })
-		p.Eng.Run()
-		if serr != nil {
-			return nil, serr
-		}
-		t0 := p.Eng.Now()
-		jerr := errors.New("jade: sync did not complete")
-		err = cw.JoinBackend("mysql-sync", comp.Content().(*core.MySQLWrapper), 0,
-			func(err error) { jerr = err })
-		if err != nil {
-			return nil, err
-		}
-		p.Eng.Run()
-		if jerr != nil {
-			return nil, jerr
-		}
-		rows = append(rows, ReplayRow{LogLength: int64(delta), SyncSeconds: p.Eng.Now() - t0})
-		if !cw.Controller().CheckConsistency().Consistent {
-			return nil, fmt.Errorf("jade: replicas diverged after replaying %d records", delta)
-		}
+	rows := make([]ReplayRow, len(deltas))
+	err := forEachPar(len(deltas), func(i int) error {
+		row, err := replayLogRun(seed, deltas[i])
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// replayLogRun measures one point of the replay cost curve on its own
+// platform (each run is independent, so the curve fans out in parallel).
+func replayLogRun(seed int64, delta int) (ReplayRow, error) {
+	p := NewPlatform(PlatformOptions{Seed: seed, Nodes: 9})
+	ds := Dataset{Regions: 3, Categories: 3, Users: 10, Items: 10, BidsPerItem: 1, CommentsPerUser: 1}
+	dump, err := ds.InitialDatabase(seed)
+	if err != nil {
+		return ReplayRow{}, err
+	}
+	p.RegisterDump("rubis", dump)
+	def, err := ParseADL(ThreeTierADL)
+	if err != nil {
+		return ReplayRow{}, err
+	}
+	var dep *Deployment
+	derr := errors.New("jade: deployment did not complete")
+	p.Deploy(def, func(d *Deployment, err error) { dep, derr = d, err })
+	p.Eng.Run()
+	if derr != nil {
+		return ReplayRow{}, derr
+	}
+	cw := dep.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper)
+	// Snapshot now (index 0), then push the delta of writes that the
+	// new replica will have to replay.
+	for i := 0; i < delta; i++ {
+		sql := fmt.Sprintf("INSERT INTO buy_now (id, buyer_id, item_id, qty, date) VALUES (%d, 1, 1, 1, %d)", i, i)
+		cw.Controller().ExecSQL(legacy.Query{SQL: sql, Cost: 0.002}, func(err error) {
+			if err != nil {
+				derr = err
+			}
+		})
+	}
+	derr = nil
+	p.Eng.Run()
+	if derr != nil {
+		return ReplayRow{}, derr
+	}
+	// Install a replica holding only the initial dump (log index 0),
+	// so its synchronization replays exactly `delta` records. (The
+	// DBTier actuator would snapshot an up-to-date backend instead —
+	// this ablation quantifies what that optimization saves.)
+	node, err := p.Pool.Allocate()
+	if err != nil {
+		return ReplayRow{}, err
+	}
+	comp, err := core.NewMySQLComponent(p, "mysql-sync", node)
+	if err != nil {
+		return ReplayRow{}, err
+	}
+	if err := comp.SetAttribute("dump", "rubis"); err != nil {
+		return ReplayRow{}, err
+	}
+	serr := errors.New("jade: replica start did not complete")
+	p.StartComponent(comp, func(err error) { serr = err })
+	p.Eng.Run()
+	if serr != nil {
+		return ReplayRow{}, serr
+	}
+	t0 := p.Eng.Now()
+	jerr := errors.New("jade: sync did not complete")
+	err = cw.JoinBackend("mysql-sync", comp.Content().(*core.MySQLWrapper), 0,
+		func(err error) { jerr = err })
+	if err != nil {
+		return ReplayRow{}, err
+	}
+	p.Eng.Run()
+	if jerr != nil {
+		return ReplayRow{}, jerr
+	}
+	row := ReplayRow{LogLength: int64(delta), SyncSeconds: p.Eng.Now() - t0}
+	if !cw.Controller().CheckConsistency().Consistent {
+		return ReplayRow{}, fmt.Errorf("jade: replicas diverged after replaying %d records", delta)
+	}
+	return row, nil
 }
 
 // RenderReplay formats the replay cost curve.

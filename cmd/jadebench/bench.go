@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"jade"
+	"jade/internal/sim"
+)
+
+// benchCoreSchema versions the BENCH_core.json layout; bump it when
+// fields change meaning so trajectory tooling can tell runs apart.
+const benchCoreSchema = "jade-bench-core/v1"
+
+// BenchCore is one measurement of the simulation core's throughput — the
+// perf trajectory record written to BENCH_core.json by `-bench-core` and
+// sanity-checked by `make bench-smoke`.
+type BenchCore struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// Engine hot loop: schedule + fire (and the cancel-heavy reschedule
+	// pattern cluster nodes use), measured via testing.Benchmark.
+	EventsPerSec     float64 `json:"events_per_sec"`
+	NsPerEvent       float64 `json:"ns_per_event"`
+	AllocsPerEvent   float64 `json:"allocs_per_event"`
+	CancelNsPerEvent float64 `json:"cancel_ns_per_event"`
+
+	// End-to-end fan-out: a small chaos sweep, wall-clock timed.
+	SweepSeeds      int     `json:"sweep_seeds"`
+	SweepSpeedup    float64 `json:"sweep_speedup"`
+	SweepParallel   int     `json:"sweep_parallel"`
+	SweepSeconds    float64 `json:"sweep_seconds"`
+	SeedsPerMinute  float64 `json:"sweep_seeds_per_minute"`
+	SweepViolations int     `json:"sweep_violations"`
+}
+
+// runBenchCore measures the simulation core and writes BENCH_core.json.
+func runBenchCore(outPath string, parallel int) error {
+	const eventsPerOp = 1000
+	fmt.Fprintf(os.Stderr, "jadebench: benchmarking engine hot loop...\n")
+	core := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine(1)
+			for j := 0; j < eventsPerOp; j++ {
+				e.After(e.Uniform(0, 100), "b", benchNop)
+			}
+			e.Run()
+		}
+	})
+	cancel := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine(1)
+			var h sim.Handle
+			for j := 0; j < eventsPerOp; j++ {
+				e.Cancel(h)
+				h = e.After(e.Uniform(1, 2), "b", benchNop)
+			}
+			e.Run()
+		}
+	})
+
+	const sweepSeeds, sweepSpeedup = 4, 8.0
+	if parallel <= 0 {
+		parallel = jade.Parallelism()
+	}
+	fmt.Fprintf(os.Stderr, "jadebench: timing %d-seed sweep at speedup %.0fx, parallel %d...\n",
+		sweepSeeds, sweepSpeedup, parallel)
+	t0 := time.Now()
+	res, err := jade.RunChaosSweep(sweepSeeds, sweepSpeedup, parallel, nil)
+	if err != nil {
+		return err
+	}
+	sweepSec := time.Since(t0).Seconds()
+
+	nsPerEvent := float64(core.NsPerOp()) / eventsPerOp
+	rec := BenchCore{
+		Schema:           benchCoreSchema,
+		GoVersion:        runtime.Version(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		EventsPerSec:     1e9 / nsPerEvent,
+		NsPerEvent:       nsPerEvent,
+		AllocsPerEvent:   float64(core.AllocsPerOp()) / eventsPerOp,
+		CancelNsPerEvent: float64(cancel.NsPerOp()) / eventsPerOp,
+		SweepSeeds:       sweepSeeds,
+		SweepSpeedup:     sweepSpeedup,
+		SweepParallel:    parallel,
+		SweepSeconds:     sweepSec,
+		SeedsPerMinute:   float64(sweepSeeds) / sweepSec * 60,
+	}
+	if res.Failure != nil {
+		rec.SweepViolations = 1
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-core: %.0f events/s (%.0f ns/event, %.3f allocs/event), sweep %.1f seeds/min\n",
+		rec.EventsPerSec, rec.NsPerEvent, rec.AllocsPerEvent, rec.SeedsPerMinute)
+	fmt.Printf("bench-core: wrote %s\n", outPath)
+	return nil
+}
+
+// benchNop is the scheduled callback; package-level so the benchmark
+// measures the engine, not closure allocation.
+func benchNop() {}
+
+// validateBenchCore sanity-checks a BENCH_core.json: schema fields
+// present and throughput non-zero. `make bench-smoke` runs it in CI so a
+// broken benchmark writer fails fast.
+func validateBenchCore(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec BenchCore
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema != benchCoreSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rec.Schema, benchCoreSchema)
+	}
+	if rec.EventsPerSec <= 0 || rec.NsPerEvent <= 0 {
+		return fmt.Errorf("%s: zero engine throughput (events_per_sec=%g, ns_per_event=%g)",
+			path, rec.EventsPerSec, rec.NsPerEvent)
+	}
+	if rec.AllocsPerEvent < 0 {
+		return fmt.Errorf("%s: negative allocs_per_event %g", path, rec.AllocsPerEvent)
+	}
+	if rec.SweepSeeds <= 0 || rec.SeedsPerMinute <= 0 {
+		return fmt.Errorf("%s: zero sweep throughput (seeds=%d, seeds_per_minute=%g)",
+			path, rec.SweepSeeds, rec.SeedsPerMinute)
+	}
+	if rec.SweepViolations != 0 {
+		return fmt.Errorf("%s: benchmark sweep hit %d invariant violations", path, rec.SweepViolations)
+	}
+	fmt.Printf("bench-validate: %s ok (%.0f events/s, %.1f seeds/min)\n",
+		path, rec.EventsPerSec, rec.SeedsPerMinute)
+	return nil
+}

@@ -4,11 +4,21 @@
 // Usage:
 //
 //	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME] [-trace FILE]
-//	jadebench -sweep N [-speedup X] [-artifact PATH]
+//	jadebench -sweep N [-speedup X] [-parallel N] [-artifact PATH]
 //	jadebench -replay PATH [-speedup X]
+//	jadebench -bench-core [-bench-out PATH] [-parallel N]
+//	jadebench -bench-validate PATH
 //
 // -trace writes the managed paper run's telemetry bus as a Chrome
 // trace-event file (Perfetto-loadable).
+//
+// -parallel fans independent runs (sweep seeds, ablation variants, the
+// managed/unmanaged pair) over a worker pool; 0 uses GOMAXPROCS. Results
+// are byte-identical whatever the worker count.
+//
+// -bench-core benchmarks the simulation core (events/sec, ns/event,
+// allocs/event, sweep seeds/minute) and writes BENCH_core.json;
+// -bench-validate sanity-checks such a record.
 //
 // Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, ablations,
 // summary, all (default).
@@ -37,14 +47,25 @@ func main() {
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
 	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
 	traceOut := flag.String("trace", "", "write the managed paper run's telemetry bus as a Chrome trace-event file")
+	parallel := flag.Int("parallel", 0, "worker count for fanning independent runs out (0 = GOMAXPROCS; results are deterministic regardless)")
+	benchCore := flag.Bool("bench-core", false, "benchmark the simulation core and write the perf record instead of running an experiment")
+	benchOut := flag.String("bench-out", "BENCH_core.json", "where -bench-core writes its record")
+	benchValidate := flag.String("bench-validate", "", "sanity-check a BENCH_core.json written by -bench-core")
 	flag.Parse()
 
+	if *parallel > 0 {
+		jade.SetParallelism(*parallel)
+	}
 	var err error
 	switch {
+	case *benchValidate != "":
+		err = validateBenchCore(*benchValidate)
+	case *benchCore:
+		err = runBenchCore(*benchOut, *parallel)
 	case *replay != "":
 		err = runReplay(*replay, *speedup)
 	case *sweep > 0:
-		err = runSweep(*sweep, *speedup, *artifact)
+		err = runSweep(*sweep, *speedup, *parallel, *artifact)
 	default:
 		err = run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut)
 	}
@@ -54,11 +75,11 @@ func main() {
 	}
 }
 
-func runSweep(seeds int, speedup float64, artifactPath string) error {
+func runSweep(seeds int, speedup float64, parallel int, artifactPath string) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "jadebench: "+format+"\n", args...)
 	}
-	res, err := jade.RunChaosSweep(seeds, speedup, logf)
+	res, err := jade.RunChaosSweep(seeds, speedup, parallel, logf)
 	if err != nil {
 		return err
 	}

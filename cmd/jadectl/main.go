@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"jade"
 )
@@ -206,10 +207,15 @@ func cmdScenario(args []string) error {
 		cfg.TraceRequests = 25
 	}
 	fmt.Fprintf(os.Stderr, "running %v clients for %.0fs (managed=%v)...\n", *clients, *duration, *managed)
+	t0 := time.Now()
 	r, err := jade.RunScenario(cfg)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(t0).Seconds()
+	processed := r.Platform.Eng.Processed()
+	fmt.Fprintf(os.Stderr, "sim: %d events in %.2fs wall (%.0f events/s)\n",
+		processed, wall, float64(processed)/wall)
 	s := r.Stats.LatencySummary()
 	fmt.Printf("completed: %d requests (%d failed)\n", r.Stats.Completed, r.Stats.Failed)
 	fmt.Printf("throughput: %.1f req/s\n", r.Throughput())

@@ -36,19 +36,20 @@ func RunPaperScenario(seed int64, speedup float64) (*PaperRuns, error) {
 		StepPerMinute: int(21 * speedup),
 		HoldAtPeak:    120 / speedup,
 	}
-	managedCfg := DefaultScenario(seed, true)
-	managedCfg.Profile = profile
-	managed, err := mustScenario(managedCfg)
+	// The managed and unmanaged runs are independent simulations; fan
+	// them out (each builds its own engine and platform).
+	runs := [2]*ScenarioResult{}
+	err := forEachPar(2, func(i int) error {
+		cfg := DefaultScenario(seed, i == 0)
+		cfg.Profile = profile
+		r, err := mustScenario(cfg)
+		runs[i] = r
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	unmanagedCfg := DefaultScenario(seed, false)
-	unmanagedCfg.Profile = profile
-	unmanaged, err := mustScenario(unmanagedCfg)
-	if err != nil {
-		return nil, err
-	}
-	return &PaperRuns{Managed: managed, Unmanaged: unmanaged, Speedup: speedup}, nil
+	return &PaperRuns{Managed: runs[0], Unmanaged: runs[1], Speedup: speedup}, nil
 }
 
 // relativize shifts a series so the workload start is t=0, matching the
@@ -259,15 +260,16 @@ func RunTable1(seed int64, duration float64) (*Table1Result, error) {
 			MemPercent: r.NodeMemPercent,
 		}, nil
 	}
-	with, err := row(true)
+	var rows [2]Table1Row
+	err := forEachPar(2, func(i int) error {
+		r, err := row(i == 0)
+		rows[i] = r
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	without, err := row(false)
-	if err != nil {
-		return nil, err
-	}
-	return &Table1Result{With: with, Without: without}, nil
+	return &Table1Result{With: rows[0], Without: rows[1]}, nil
 }
 
 // Render formats Table 1 as in the paper.

@@ -63,7 +63,10 @@ type Node struct {
 
 	jobs       map[*Job]struct{}
 	lastUpdate float64
-	completion *sim.Event
+	completion sim.Handle
+	// completeLabel is the completion event label, precomputed so the
+	// cancel-and-reschedule hot path does not concatenate strings.
+	completeLabel string
 
 	memUsed float64
 	util    metrics.UtilizationMeter
@@ -91,10 +94,11 @@ func NewNode(eng *sim.Engine, name string, cfg Config) *Node {
 		panic(fmt.Sprintf("cluster: node %q with non-positive memory", name))
 	}
 	return &Node{
-		eng:  eng,
-		name: name,
-		cfg:  cfg,
-		jobs: make(map[*Job]struct{}),
+		eng:           eng,
+		name:          name,
+		cfg:           cfg,
+		jobs:          make(map[*Job]struct{}),
+		completeLabel: "node:" + name + ":complete",
 	}
 }
 
@@ -138,11 +142,11 @@ func (n *Node) advance() {
 }
 
 // reschedule computes the next completion instant and (re)schedules it.
+// Canceling a zero or already-fired handle is a no-op, so no guard is
+// needed around the cancel.
 func (n *Node) reschedule() {
-	if n.completion != nil {
-		n.eng.Cancel(n.completion)
-		n.completion = nil
-	}
+	n.eng.Cancel(n.completion)
+	n.completion = sim.Handle{}
 	if len(n.jobs) == 0 || n.failed {
 		n.util.SetBusy(n.eng.Now(), 0)
 		return
@@ -158,11 +162,11 @@ func (n *Node) reschedule() {
 		minRem = 0
 	}
 	dt := minRem * float64(len(n.jobs)) / n.effectiveCapacity()
-	n.completion = n.eng.After(dt, "node:"+n.name+":complete", n.onCompletion)
+	n.completion = n.eng.After(dt, n.completeLabel, n.onCompletion)
 }
 
 func (n *Node) onCompletion() {
-	n.completion = nil
+	n.completion = sim.Handle{}
 	n.advance()
 	const eps = 1e-9
 	var finished []*Job
@@ -337,10 +341,8 @@ func (n *Node) Fail() {
 	}
 	n.advance()
 	n.failed = true
-	if n.completion != nil {
-		n.eng.Cancel(n.completion)
-		n.completion = nil
-	}
+	n.eng.Cancel(n.completion)
+	n.completion = sim.Handle{}
 	aborted := make([]*Job, 0, len(n.jobs))
 	for j := range n.jobs {
 		aborted = append(aborted, j)

@@ -60,6 +60,11 @@ type Options struct {
 	// TraceSimEvents additionally records every dispatched scheduler
 	// event on the bus (kind "sim.event"). High volume; off by default.
 	TraceSimEvents bool
+	// TraceDisabled switches the telemetry bus off: instrumentation
+	// calls become two atomic loads and log lines skip formatting unless
+	// Logf is set. Sweeps and benchmarks use it to take tracing off the
+	// hot path; it does not affect the simulation schedule.
+	TraceDisabled bool
 }
 
 // DefaultOptions mirrors the paper's testbed scale: a 9-node cluster of
@@ -119,6 +124,9 @@ func NewPlatform(opts Options) *Platform {
 	eng := sim.NewEngine(opts.Seed)
 	tracer := trace.New(eng.Now, opts.TraceEventCapacity, opts.TraceSpanCapacity)
 	tracer.SetLogSink(opts.Logf)
+	if opts.TraceDisabled {
+		tracer.SetEnabled(false)
+	}
 	p := &Platform{
 		Eng:       eng,
 		Net:       legacy.NewNetwork(),

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Kind classifies a chaos schedule event.
@@ -117,6 +119,16 @@ type SweepConfig struct {
 	// ShrinkBudget caps the number of extra runs the shrinker may spend
 	// (default 64).
 	ShrinkBudget int
+	// Parallel is the number of worker goroutines fanning seeds out
+	// (values below 2 run serially). The Runner must be safe for
+	// concurrent use when Parallel > 1 — every run must build its own
+	// engine and platform, which the scenario harness already does.
+	// Aggregation is deterministic: the reported failure is always the
+	// lowest failing seed regardless of goroutine completion order, and
+	// Passed/Checks/Failure match a serial sweep exactly. Only Runs may
+	// differ on a failing sweep, because in-flight later seeds finish
+	// instead of never starting.
+	Parallel int
 	// Logf receives progress lines (optional).
 	Logf func(format string, args ...any)
 }
@@ -130,7 +142,10 @@ type SweepResult struct {
 	// Failure is the replayable artifact of the first failing seed, or
 	// nil when every seed passed.
 	Failure *Artifact
-	// Runs counts scenario executions, including shrink reruns.
+	// Runs counts scenario executions, including shrink reruns. A
+	// parallel sweep that hits a violation may count more runs than a
+	// serial one: seeds already in flight when the failure surfaces run
+	// to completion.
 	Runs int
 	// Checks totals checker evaluations across the sweep.
 	Checks uint64
@@ -141,6 +156,10 @@ type SweepResult struct {
 // greedily shrunk — events are dropped while the same checker still
 // fails — and returned as a replayable artifact. A scenario error (as
 // opposed to an invariant violation) aborts the sweep.
+//
+// With cfg.Parallel > 1 the seeds fan out over a worker pool; the result
+// is deterministic (see SweepConfig.Parallel) and shrinking replays stay
+// single-threaded, so the artifact is byte-identical to a serial sweep's.
 func Sweep(cfg SweepConfig, seeds []int64, schedule Schedule) (*SweepResult, error) {
 	if cfg.Run == nil {
 		return nil, fmt.Errorf("invariant: SweepConfig.Run is required")
@@ -155,6 +174,9 @@ func Sweep(cfg SweepConfig, seeds []int64, schedule Schedule) (*SweepResult, err
 	}
 	res := &SweepResult{Seeds: append([]int64(nil), seeds...)}
 	sched := schedule.Sorted()
+	if cfg.Parallel > 1 && len(seeds) > 1 {
+		return sweepParallel(cfg, res, seeds, sched, logf, budget)
+	}
 	for _, seed := range seeds {
 		out, err := cfg.Run(seed, sched)
 		res.Runs++
@@ -167,26 +189,105 @@ func Sweep(cfg SweepConfig, seeds []int64, schedule Schedule) (*SweepResult, err
 			logf("sweep: seed %d ok (%d checks)", seed, out.Checks)
 			continue
 		}
-		logf("sweep: seed %d FAILED: %v", seed, out.Violation)
-		art := &Artifact{
-			Seed:       seed,
-			Schedule:   sched,
-			Violation:  out.Violation,
-			ShrunkFrom: len(sched),
-		}
-		if !cfg.NoShrink {
-			shrunk, v, runs := shrink(cfg.Run, seed, sched, out.Violation.Checker, budget)
-			res.Runs += runs
-			art.Schedule = shrunk
-			if v != nil {
-				art.Violation = v
-			}
-			logf("sweep: shrunk schedule from %d to %d events in %d runs", len(sched), len(shrunk), runs)
-		}
-		res.Failure = art
-		return res, nil
+		return sweepFail(cfg, res, seed, sched, out.Violation, logf, budget)
 	}
 	return res, nil
+}
+
+// sweepFail builds the replayable artifact for a violating seed,
+// shrinking the schedule unless disabled. Shrinking is always
+// single-threaded so its run sequence — and therefore the artifact — is
+// identical however the failing seed was found.
+func sweepFail(cfg SweepConfig, res *SweepResult, seed int64, sched Schedule, v *Violation, logf func(string, ...any), budget int) (*SweepResult, error) {
+	logf("sweep: seed %d FAILED: %v", seed, v)
+	art := &Artifact{
+		Seed:       seed,
+		Schedule:   sched,
+		Violation:  v,
+		ShrunkFrom: len(sched),
+	}
+	if !cfg.NoShrink {
+		shrunk, sv, runs := shrink(cfg.Run, seed, sched, v.Checker, budget)
+		res.Runs += runs
+		art.Schedule = shrunk
+		if sv != nil {
+			art.Violation = sv
+		}
+		logf("sweep: shrunk schedule from %d to %d events in %d runs", len(sched), len(shrunk), runs)
+	}
+	res.Failure = art
+	return res, nil
+}
+
+// sweepParallel fans the seeds out over cfg.Parallel workers. Workers
+// claim seed indexes in ascending order from a shared counter and stop
+// claiming past the lowest index known to have failed, so a low failing
+// seed cuts the sweep short just like the serial loop. Aggregation walks
+// the per-index results in seed order, which makes the outcome — passed
+// count, check totals, reported failure — independent of goroutine
+// completion order.
+func sweepParallel(cfg SweepConfig, res *SweepResult, seeds []int64, sched Schedule, logf func(string, ...any), budget int) (*SweepResult, error) {
+	type slot struct {
+		out *Outcome
+		err error
+	}
+	results := make([]slot, len(seeds))
+	workers := cfg.Parallel
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var (
+		next atomic.Int64 // next unclaimed seed index
+		stop atomic.Int64 // lowest index that errored or violated
+		runs atomic.Int64
+		wg   sync.WaitGroup
+	)
+	stop.Store(int64(len(seeds)))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				// Indexes at or past the lowest known failure cannot
+				// affect the result; don't start them. (Every index below
+				// it was claimed earlier and will complete.)
+				if i >= len(seeds) || int64(i) >= stop.Load() {
+					return
+				}
+				out, err := cfg.Run(seeds[i], sched)
+				runs.Add(1)
+				results[i] = slot{out: out, err: err}
+				if err != nil || out.Violation != nil {
+					for {
+						cur := stop.Load()
+						if int64(i) >= cur || stop.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Runs = int(runs.Load())
+	first := int(stop.Load())
+	// Every index below the first failure ran and passed; count them in
+	// seed order so logs and totals match the serial sweep.
+	for i := 0; i < first && i < len(seeds); i++ {
+		res.Checks += results[i].out.Checks
+		res.Passed++
+		logf("sweep: seed %d ok (%d checks)", seeds[i], results[i].out.Checks)
+	}
+	if first >= len(seeds) {
+		return res, nil
+	}
+	s := results[first]
+	if s.err != nil {
+		return res, fmt.Errorf("invariant: seed %d: %w", seeds[first], s.err)
+	}
+	res.Checks += s.out.Checks
+	return sweepFail(cfg, res, seeds[first], sched, s.out.Violation, logf, budget)
 }
 
 // shrink greedily removes schedule events while a run at the same seed

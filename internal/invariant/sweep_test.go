@@ -1,8 +1,12 @@
 package invariant
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // syntheticRunner violates checker "chk" iff the schedule contains both a
@@ -161,5 +165,114 @@ func TestScheduleSorted(t *testing.T) {
 	}
 	if fullSchedule().String() == "" || (Schedule{}).String() != "(empty schedule)" {
 		t.Fatal("Schedule.String misbehaves")
+	}
+}
+
+// raceRunner is a concurrency-safe Runner for the parallel-sweep tests:
+// every seed >= minSeed violates (with a seed-specific violation, so a
+// wrong aggregation picks a visibly different artifact), and low seeds
+// run slower than high ones, so under parallel execution a high
+// violating seed always completes before the lowest one.
+func raceRunner(minSeed int64, runs *atomic.Int64) Runner {
+	return func(seed int64, schedule Schedule) (*Outcome, error) {
+		runs.Add(1)
+		time.Sleep(time.Duration(16-seed) * time.Millisecond)
+		var hasA, hasB bool
+		for _, ev := range schedule {
+			if ev.Kind == Crash && ev.Target == "a" {
+				hasA = true
+			}
+			if ev.Kind == Crash && ev.Target == "b" {
+				hasB = true
+			}
+		}
+		out := &Outcome{Checks: 100}
+		if seed >= minSeed && hasA && hasB {
+			out.Violation = &Violation{
+				Time:    float64(seed),
+				Checker: "chk",
+				Event:   "tick",
+				Detail:  fmt.Sprintf("seed %d: a and b both crashed", seed),
+			}
+		}
+		return out, nil
+	}
+}
+
+// The parallel sweep must report the identical lowest failing seed — and
+// a byte-identical shrunk artifact — as the serial sweep, even though
+// higher violating seeds finish first. Run with -race this also
+// exercises the worker pool for data races.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	seeds := make([]int64, 12)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	var serialRuns, parRuns atomic.Int64
+	serial, err := Sweep(SweepConfig{Run: raceRunner(5, &serialRuns)}, seeds, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(SweepConfig{Run: raceRunner(5, &parRuns), Parallel: 8}, seeds, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Failure == nil || par.Failure == nil {
+		t.Fatalf("missing failure: serial=%v parallel=%v", serial.Failure, par.Failure)
+	}
+	if par.Failure.Seed != 5 || serial.Failure.Seed != 5 {
+		t.Fatalf("failing seeds: serial=%d parallel=%d, want 5", serial.Failure.Seed, par.Failure.Seed)
+	}
+	if par.Passed != serial.Passed {
+		t.Fatalf("Passed: serial=%d parallel=%d", serial.Passed, par.Passed)
+	}
+	if par.Checks != serial.Checks {
+		t.Fatalf("Checks: serial=%d parallel=%d", serial.Checks, par.Checks)
+	}
+	sb, err := serial.Failure.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := par.Failure.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("artifacts differ:\nserial:\n%s\nparallel:\n%s", sb, pb)
+	}
+}
+
+// A clean parallel sweep matches the serial one exactly, including Runs.
+func TestParallelSweepAllPass(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	var runs atomic.Int64
+	res, err := Sweep(SweepConfig{Run: raceRunner(1000, &runs), Parallel: 4}, seeds, fullSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != nil || res.Passed != 6 || res.Runs != 6 || res.Checks != 600 {
+		t.Fatalf("passed=%d runs=%d checks=%d failure=%v, want 6/6/600 clean",
+			res.Passed, res.Runs, res.Checks, res.Failure)
+	}
+}
+
+// A scenario error aborts a parallel sweep naming the lowest erroring
+// seed, as in the serial path.
+func TestParallelSweepErrorIsLowestSeed(t *testing.T) {
+	var runs atomic.Int64
+	run := func(seed int64, schedule Schedule) (*Outcome, error) {
+		runs.Add(1)
+		time.Sleep(time.Duration(16-seed) * time.Millisecond)
+		if seed >= 3 {
+			return nil, fmt.Errorf("boom %d", seed)
+		}
+		return &Outcome{Checks: 1}, nil
+	}
+	res, err := Sweep(SweepConfig{Run: run, Parallel: 8}, []int64{1, 2, 3, 4, 5, 6, 7, 8}, nil)
+	if err == nil || !strings.Contains(err.Error(), "seed 3") {
+		t.Fatalf("err = %v, want seed 3", err)
+	}
+	if res.Passed != 2 || res.Checks != 2 {
+		t.Fatalf("passed=%d checks=%d, want 2/2", res.Passed, res.Checks)
 	}
 }

@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Point is one (time, value) sample.
@@ -134,14 +134,22 @@ func (s *Series) Resample(t0, t1, step float64) []Point {
 	return out
 }
 
-// CSV renders the series as "t,v" lines with a header.
+// CSV renders the series as "t,v" lines with a header. Points are
+// formatted with strconv.AppendFloat into one reused buffer rather than
+// per-point fmt calls; the output is byte-identical to the old
+// "%.3f,%.6f" formatting.
 func (s *Series) CSV() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "time,%s\n", s.Name)
+	buf := make([]byte, 0, 6+len(s.Name)+22*len(s.Points))
+	buf = append(buf, "time,"...)
+	buf = append(buf, s.Name...)
+	buf = append(buf, '\n')
 	for _, p := range s.Points {
-		fmt.Fprintf(&b, "%.3f,%.6f\n", p.T, p.V)
+		buf = strconv.AppendFloat(buf, p.T, 'f', 3, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, p.V, 'f', 6, 64)
+		buf = append(buf, '\n')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // MovingAverage computes a temporal moving average over a sliding window of
@@ -149,7 +157,8 @@ func (s *Series) CSV() string {
 // application tier, 90 s for the database tier).
 type MovingAverage struct {
 	Window float64
-	buf    []Point // ring-ordered, oldest first
+	buf    []Point // buf[head:] are the retained samples, oldest first
+	head   int     // index of the oldest retained sample
 }
 
 // NewMovingAverage returns a moving average over the given window (seconds).
@@ -166,39 +175,48 @@ func (m *MovingAverage) Push(t, v float64) {
 	m.trim(t)
 }
 
+// trim expires samples older than the window by advancing the head index
+// (no per-push copying); the buffer is compacted only once the dead
+// prefix dominates, so each sample is moved at most once in its lifetime
+// and trimming stays amortized O(1).
 func (m *MovingAverage) trim(now float64) {
-	cut := 0
-	for cut < len(m.buf) && m.buf[cut].T < now-m.Window {
-		cut++
+	h := m.head
+	for h < len(m.buf) && m.buf[h].T < now-m.Window {
+		h++
 	}
-	if cut > 0 {
-		m.buf = append(m.buf[:0], m.buf[cut:]...)
+	m.head = h
+	if h > 64 && h*2 >= len(m.buf) {
+		n := copy(m.buf, m.buf[h:])
+		m.buf = m.buf[:n]
+		m.head = 0
 	}
 }
 
 // Avg returns the average of samples within the window ending at the most
 // recent sample. It returns 0 when no samples are retained.
 func (m *MovingAverage) Avg() float64 {
-	if len(m.buf) == 0 {
+	live := m.buf[m.head:]
+	if len(live) == 0 {
 		return 0
 	}
 	sum := 0.0
-	for _, p := range m.buf {
+	for _, p := range live {
 		sum += p.V
 	}
-	return sum / float64(len(m.buf))
+	return sum / float64(len(live))
 }
 
 // Count returns the number of samples currently inside the window.
-func (m *MovingAverage) Count() int { return len(m.buf) }
+func (m *MovingAverage) Count() int { return len(m.buf) - m.head }
 
 // Full reports whether the window has been populated for at least its
 // whole duration (i.e. the oldest retained sample is ~Window old).
 func (m *MovingAverage) Full() bool {
-	if len(m.buf) < 2 {
+	live := m.buf[m.head:]
+	if len(live) < 2 {
 		return false
 	}
-	return m.buf[len(m.buf)-1].T-m.buf[0].T >= m.Window*0.9
+	return live[len(live)-1].T-live[0].T >= m.Window*0.9
 }
 
 // SpatialMean averages a snapshot across nodes (the paper's "spatial
@@ -269,7 +287,8 @@ func (u *UtilizationMeter) Total(now float64) float64 {
 // Throughput counts completions and reports a windowed rate.
 type Throughput struct {
 	Window float64
-	times  []float64
+	times  []float64 // times[head:] retained, ascending
+	head   int
 	total  uint64
 }
 
@@ -281,25 +300,31 @@ func NewThroughput(window float64) *Throughput {
 	return &Throughput{Window: window}
 }
 
-// Observe records one completion at time t.
+// Observe records one completion at time t. Expiry advances a head index
+// and compacts only when the dead prefix dominates, the same amortized
+// O(1) scheme as MovingAverage.trim.
 func (tp *Throughput) Observe(t float64) {
 	tp.total++
 	tp.times = append(tp.times, t)
-	cut := 0
-	for cut < len(tp.times) && tp.times[cut] < t-tp.Window {
-		cut++
+	h := tp.head
+	for h < len(tp.times) && tp.times[h] < t-tp.Window {
+		h++
 	}
-	if cut > 0 {
-		tp.times = append(tp.times[:0], tp.times[cut:]...)
+	tp.head = h
+	if h > 64 && h*2 >= len(tp.times) {
+		n := copy(tp.times, tp.times[h:])
+		tp.times = tp.times[:n]
+		tp.head = 0
 	}
 }
 
 // Rate returns completions per second over the window ending at now.
-// times is ascending (Observe appends monotonically), so both window
-// bounds are binary searches.
+// Retained times are ascending (Observe appends monotonically), so both
+// window bounds are binary searches.
 func (tp *Throughput) Rate(now float64) float64 {
-	lo := sort.SearchFloat64s(tp.times, now-tp.Window)
-	hi := sort.Search(len(tp.times), func(i int) bool { return tp.times[i] > now })
+	live := tp.times[tp.head:]
+	lo := sort.SearchFloat64s(live, now-tp.Window)
+	hi := sort.Search(len(live), func(i int) bool { return live[i] > now })
 	n := hi - lo
 	if n < 0 {
 		n = 0

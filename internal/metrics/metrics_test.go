@@ -408,7 +408,7 @@ func TestPropertyThroughputRateMatchesLinear(t *testing.T) {
 			now += float64(r%7) / 3
 			tp.Observe(now)
 		}
-		kept = append(kept, tp.times...)
+		kept = append(kept, tp.times[tp.head:]...)
 		q := float64(probe) / 4
 		n := 0
 		for _, tt := range kept {

@@ -6,67 +6,73 @@
 // randomness flows through a single seeded source. Two runs with the same
 // seed produce identical traces, which makes the control-loop behaviour of
 // the Jade managers testable.
+//
+// The event loop is the hot path of every sweep and figure run, so it is
+// written for throughput: the priority queue is a specialized binary heap
+// over event pointers (no container/heap interface boxing), event structs
+// are batch-allocated and recycled through a freelist, and Cancel is a
+// lazy mark — canceled events are discarded when they surface at the top
+// of the heap (with a compaction pass when they pile up) instead of an
+// O(log n) removal per cancel.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
 )
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
-type Event struct {
+// event is a scheduled callback. Events are engine-owned and recycled
+// after they fire or are discarded; callers refer to them through the
+// generation-checked Handle returned by the scheduling methods.
+type event struct {
 	time     float64
 	seq      uint64
-	index    int // position in the heap, -1 once removed
-	canceled bool
 	fn       func()
 	label    string
+	canceled bool
+	queued   bool
+	next     *event // freelist link
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() float64 { return e.time }
+// Handle refers to a scheduled event. It is a value (pointer plus the
+// event's scheduling generation), so a handle kept after its event fired
+// — or after the engine recycled the event struct for a new schedule —
+// is simply stale: Cancel on it is a no-op and Pending reports false.
+// The zero Handle is valid and refers to nothing.
+type Handle struct {
+	ev  *event
+	seq uint64
+}
 
-// Label returns the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
+// live reports whether the handle still names the event it was minted
+// for (the struct has not been recycled for a newer schedule).
+func (h Handle) live() bool { return h.ev != nil && h.ev.seq == h.seq }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// Time returns the virtual time at which the event fires (or fired). It
+// returns 0 for a zero or recycled handle.
+func (h Handle) Time() float64 {
+	if !h.live() {
+		return 0
 	}
-	return q[i].seq < q[j].seq
+	return h.ev.time
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Label returns the diagnostic label given at scheduling time, or "" for
+// a zero or recycled handle.
+func (h Handle) Label() string {
+	if !h.live() {
+		return ""
+	}
+	return h.ev.label
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
+// Pending reports whether the event is still queued to fire.
+func (h Handle) Pending() bool { return h.live() && h.ev.queued && !h.ev.canceled }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
+// Canceled reports whether Cancel was called on the event before it
+// fired.
+func (h Handle) Canceled() bool { return h.live() && h.ev.canceled }
 
 // Engine is a single-threaded discrete-event executor with a virtual clock
 // measured in seconds. The zero value is not usable; construct one with
@@ -74,7 +80,9 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     float64
 	seq     uint64
-	queue   eventQueue
+	queue   []*event // binary min-heap on (time, seq)
+	nCancel int      // canceled events still sitting in the queue
+	free    *event   // freelist of recycled event structs
 	rng     *rand.Rand
 	stopped bool
 	fault   error
@@ -103,40 +111,159 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events waiting in the queue (including
-// canceled ones not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events waiting to fire. Canceled
+// events still parked in the queue are not counted.
+func (e *Engine) Pending() int { return len(e.queue) - e.nCancel }
+
+// PendingRaw returns the raw queue length, including canceled events not
+// yet discarded by the lazy-cancel machinery. Tests use it to bound the
+// queue's bookkeeping overhead.
+func (e *Engine) PendingRaw() int { return len(e.queue) }
+
+// eventBatch is how many event structs one freelist refill allocates;
+// amortizes allocation to ~1/eventBatch per scheduled event.
+const eventBatch = 128
+
+func (e *Engine) alloc() *event {
+	if e.free == nil {
+		batch := make([]event, eventBatch)
+		for i := range batch[:eventBatch-1] {
+			batch[i].next = &batch[i+1]
+		}
+		e.free = &batch[0]
+	}
+	ev := e.free
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// release returns a fired or discarded event to the freelist. The seq is
+// left in place so stale handles keep failing their generation check
+// only once the struct is reused; fn is dropped so the closure can be
+// collected.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.label = ""
+	ev.queued = false
+	ev.next = e.free
+	e.free = ev
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past (t < Now) panics: it would silently reorder causality.
-func (e *Engine) At(t float64, label string, fn func()) *Event {
+func (e *Engine) At(t float64, label string, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %.9f, before now %.9f", label, t, e.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling %q at non-finite time %v", label, t))
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn, label: label}
+	ev := e.alloc()
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	ev.time, ev.seq, ev.fn, ev.label = t, e.seq, fn, label
+	ev.canceled, ev.queued = false, true
+	e.push(ev)
+	return Handle{ev: ev, seq: ev.seq}
 }
 
 // After schedules fn to run delay seconds from now. Negative delays panic.
-func (e *Engine) After(delay float64, label string, fn func()) *Event {
+func (e *Engine) After(delay float64, label string, fn func()) Handle {
 	return e.At(e.now+delay, label, fn)
 }
 
-// Cancel prevents a pending event from firing. Canceling an event that has
-// already fired or been canceled is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled {
+// Cancel prevents a pending event from firing. Canceling a zero handle,
+// an event that has already fired or been canceled, or a stale handle
+// whose event struct was recycled, is a no-op. The event is only marked:
+// it is discarded when it reaches the top of the heap, or by a
+// compaction pass once canceled events dominate the queue.
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.seq != h.seq || !ev.queued || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-		ev.index = -1
+	e.nCancel++
+	if e.nCancel > 64 && e.nCancel*2 > len(e.queue) {
+		e.compact()
+	}
+}
+
+// compact removes every canceled event from the queue in one pass and
+// restores the heap property, bounding queue growth under cancel-heavy
+// workloads (each canceled event is touched at most once here, so the
+// cost stays amortized O(1) per cancel).
+func (e *Engine) compact() {
+	q := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.canceled {
+			e.release(ev)
+		} else {
+			q = append(q, ev)
+		}
+	}
+	for i := len(q); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = q
+	e.nCancel = 0
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+func less(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	e.queue = q
+}
+
+func (e *Engine) pop() *event {
+	q := e.queue
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	ev.queued = false
+	return ev
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && less(q[r], q[l]) {
+			m = r
+		}
+		if !less(q[m], q[i]) {
+			return
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
 	}
 }
 
@@ -150,16 +277,24 @@ func (e *Engine) SetEventHook(hook func(t float64, label string)) { e.hook = hoo
 // whether an event was executed.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.pop()
 		if ev.canceled {
+			e.nCancel--
+			e.release(ev)
 			continue
 		}
 		e.now = ev.time
 		e.processed++
+		fn := ev.fn
 		if e.hook != nil {
 			e.hook(ev.time, ev.label)
 		}
-		ev.fn()
+		fn()
+		// Recycle only after fn returns: handles to the firing event stay
+		// generation-valid during the callback (a ticker canceling itself
+		// from inside its own tick must remain a no-op, not hit a reused
+		// struct).
+		e.release(ev)
 		return true
 	}
 	return false
@@ -180,14 +315,8 @@ func (e *Engine) RunUntil(t float64) {
 	}
 	e.stopped = e.fault != nil
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
 		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.time > t {
+		if next == nil || next.time > t {
 			break
 		}
 		e.Step()
@@ -199,13 +328,15 @@ func (e *Engine) RunUntil(t float64) {
 	}
 }
 
-func (e *Engine) peek() *Event {
+func (e *Engine) peek() *event {
 	for len(e.queue) > 0 {
-		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
-			continue
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
 		}
-		return e.queue[0]
+		e.pop()
+		e.nCancel--
+		e.release(ev)
 	}
 	return nil
 }
@@ -235,7 +366,7 @@ type Ticker struct {
 	eng    *Engine
 	period float64
 	fn     func(now float64)
-	ev     *Event
+	ev     Handle
 	label  string
 	done   bool
 }

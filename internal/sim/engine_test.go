@@ -55,6 +55,9 @@ func TestCancelPreventsFiring(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
 	ev := e.After(1, "never", func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("Pending() = false for a freshly scheduled event")
+	}
 	e.Cancel(ev)
 	e.Run()
 	if fired {
@@ -63,9 +66,12 @@ func TestCancelPreventsFiring(t *testing.T) {
 	if !ev.Canceled() {
 		t.Fatal("Canceled() = false after Cancel")
 	}
-	// Double cancel and nil cancel must be safe.
+	if ev.Pending() {
+		t.Fatal("Pending() = true after Cancel")
+	}
+	// Double cancel and zero-handle cancel must be safe.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 func TestCancelFromWithinEarlierEvent(t *testing.T) {
@@ -307,7 +313,7 @@ func TestPropertyCancellation(t *testing.T) {
 	f := func(raw []uint16, mask []bool) bool {
 		e := NewEngine(7)
 		fired := map[int]bool{}
-		evs := make([]*Event, len(raw))
+		evs := make([]Handle, len(raw))
 		for i, r := range raw {
 			i := i
 			evs[i] = e.After(float64(r)/50, "p", func() { fired[i] = true })
@@ -336,12 +342,144 @@ func TestPropertyCancellation(t *testing.T) {
 	}
 }
 
+// TestPendingCountsLiveEvents: Pending excludes canceled events parked in
+// the queue; PendingRaw exposes the raw queue length.
+func TestPendingCountsLiveEvents(t *testing.T) {
+	e := NewEngine(1)
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, e.After(float64(i+1), "p", func() {}))
+	}
+	if e.Pending() != 10 || e.PendingRaw() != 10 {
+		t.Fatalf("Pending/PendingRaw = %d/%d, want 10/10", e.Pending(), e.PendingRaw())
+	}
+	for _, h := range hs[:4] {
+		e.Cancel(h)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d after 4 cancels, want 6", e.Pending())
+	}
+	if e.PendingRaw() != 10 {
+		t.Fatalf("PendingRaw = %d after lazy cancels, want 10", e.PendingRaw())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.PendingRaw() != 0 {
+		t.Fatalf("Pending/PendingRaw = %d/%d after drain, want 0/0", e.Pending(), e.PendingRaw())
+	}
+}
+
+// TestStaleHandleIsInert: a handle kept after its event fired (and the
+// struct was recycled for a new schedule) must not cancel the new event.
+func TestStaleHandleIsInert(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.After(1, "old", func() {})
+	e.Run()
+	if stale.Pending() || stale.Canceled() {
+		t.Fatal("fired event still reports pending/canceled")
+	}
+	// The freelist hands the same struct back to the next schedule.
+	fired := false
+	fresh := e.After(1, "new", func() { fired = true })
+	e.Cancel(stale) // must be a no-op even though the struct was reused
+	e.Run()
+	if !fired {
+		t.Fatal("canceling a stale handle killed an unrelated event")
+	}
+	if fresh.Canceled() {
+		t.Fatal("fresh event reports canceled")
+	}
+}
+
+// TestLazyCancelDoesNotLeak: a cancel-heavy workload (every scheduled
+// event is canceled and replaced, the node-reschedule pattern) must not
+// accumulate canceled events in the queue.
+func TestLazyCancelDoesNotLeak(t *testing.T) {
+	e := NewEngine(1)
+	// Keep a standing population of live events while churning cancels.
+	var live []Handle
+	for i := 0; i < 100; i++ {
+		live = append(live, e.At(1e6+float64(i), "live", func() {}))
+	}
+	for i := 0; i < 100000; i++ {
+		h := e.After(1000, "churn", func() {})
+		e.Cancel(h)
+	}
+	if got := e.Pending(); got != 100 {
+		t.Fatalf("Pending = %d, want the 100 live events", got)
+	}
+	// The raw queue must stay within the compaction bound, not grow with
+	// the number of cancels.
+	if raw := e.PendingRaw(); raw > 300 {
+		t.Fatalf("PendingRaw = %d after 100k cancels; lazy cancel leaks", raw)
+	}
+	for _, h := range live {
+		e.Cancel(h)
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
+}
+
+// nop is a package-level callback so the alloc tests measure the engine,
+// not closure capture at the call site.
+func nop() {}
+
+// TestScheduleFireAllocs locks in the freelist: once warm, a
+// schedule+fire cycle performs zero heap allocations.
+func TestScheduleFireAllocs(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 4096; i++ {
+		e.After(1, "warm", nop)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.After(1, "x", nop)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+fire allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestScheduleCancelAllocs locks in lazy cancel: a warm schedule+cancel
+// cycle (including the amortized compaction) allocates nothing.
+func TestScheduleCancelAllocs(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 4096; i++ {
+		e.After(1, "warm", nop)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		h := e.After(1, "x", nop)
+		e.Cancel(h)
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+cancel allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := NewEngine(1)
 		for j := 0; j < 1000; j++ {
-			e.After(e.Uniform(0, 100), "b", func() {})
+			e.After(e.Uniform(0, 100), "b", nop)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineCancelHeavy exercises the reschedule pattern the cluster
+// nodes use: every completion event is canceled and replaced.
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		var h Handle
+		for j := 0; j < 1000; j++ {
+			e.Cancel(h)
+			h = e.After(e.Uniform(1, 2), "b", nop)
 		}
 		e.Run()
 	}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // ID identifies an event or span. The zero ID means "none"; IDs are
@@ -96,19 +97,24 @@ const DefaultSpanCapacity = 65536
 // Tracer is the telemetry bus. Construct with New; methods are
 // nil-receiver-safe.
 type Tracer struct {
-	mu       sync.Mutex
-	now      func() float64
-	nextID   uint64
-	events   []Event // ring of capEvents entries once full
-	head     int     // index of the oldest event when the ring is full
-	capEv    int
-	spans    []Span
-	spanIdx  map[ID]int
-	capSp    int
-	dropped  uint64 // spans refused because the store was full
-	evicted  uint64 // events evicted from the ring
-	cause    ID     // ambient causal parent, managed by WithCause
-	sink     func(string, ...any)
+	mu      sync.Mutex
+	now     func() float64
+	nextID  uint64
+	events  []Event // ring of capEvents entries once full
+	head    int     // index of the oldest event when the ring is full
+	capEv   int
+	spans   []Span
+	spanIdx map[ID]int
+	capSp   int
+	dropped uint64 // spans refused because the store was full
+	evicted uint64 // events evicted from the ring
+	cause   ID     // ambient causal parent, managed by WithCause
+	sink    func(string, ...any)
+	// disabled and hasSink are read lock-free on every instrumentation
+	// call so a switched-off tracer costs two atomic loads and nothing
+	// else — no lock, no formatting, no record.
+	disabled atomic.Bool
+	hasSink  atomic.Bool
 }
 
 // New builds a tracer on the given virtual clock. Non-positive
@@ -135,7 +141,23 @@ func (t *Tracer) SetLogSink(sink func(string, ...any)) {
 	t.mu.Lock()
 	t.sink = sink
 	t.mu.Unlock()
+	t.hasSink.Store(sink != nil)
 }
+
+// SetEnabled switches recording on or off. While disabled, Emit, Begin
+// and friends return zero IDs without taking the lock or copying
+// anything, and Logf skips formatting entirely unless a log sink still
+// needs the line. Sweeps and benchmarks disable tracing to take the bus
+// off the hot path; the default is enabled.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.disabled.Store(!on)
+}
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t != nil && !t.disabled.Load() }
 
 func (t *Tracer) id() ID {
 	t.nextID++
@@ -155,7 +177,7 @@ func (t *Tracer) pushEvent(ev Event) {
 // Emit records an instantaneous event under the ambient cause (if any)
 // and returns its ID.
 func (t *Tracer) Emit(kind, name string, fields ...Field) ID {
-	if t == nil {
+	if t == nil || t.disabled.Load() {
 		return 0
 	}
 	t.mu.Lock()
@@ -165,7 +187,7 @@ func (t *Tracer) Emit(kind, name string, fields ...Field) ID {
 
 // EmitIn records an instantaneous event inside an explicit span.
 func (t *Tracer) EmitIn(span ID, kind, name string, fields ...Field) ID {
-	if t == nil {
+	if t == nil || t.disabled.Load() {
 		return 0
 	}
 	t.mu.Lock()
@@ -183,7 +205,7 @@ func (t *Tracer) emitLocked(span ID, kind, name string, fields []Field) ID {
 // WithCause), so actuators opened from a reactor's decision nest under
 // it without explicit plumbing.
 func (t *Tracer) Begin(parent ID, kind, name string, fields ...Field) ID {
-	if t == nil {
+	if t == nil || t.disabled.Load() {
 		return 0
 	}
 	t.mu.Lock()
@@ -205,7 +227,7 @@ func (t *Tracer) Begin(parent ID, kind, name string, fields ...Field) ID {
 // End closes a span, appending any final fields. Ending an unknown or
 // already-closed span is a no-op.
 func (t *Tracer) End(id ID, fields ...Field) {
-	if t == nil || id == 0 {
+	if t == nil || id == 0 || t.disabled.Load() {
 		return
 	}
 	t.mu.Lock()
@@ -224,7 +246,7 @@ func (t *Tracer) End(id ID, fields ...Field) {
 // parent of whatever the actuator records during its synchronous entry,
 // without changing actuator signatures.
 func (t *Tracer) WithCause(id ID, fn func()) {
-	if t == nil {
+	if t == nil || t.disabled.Load() {
 		fn()
 		return
 	}
@@ -250,14 +272,22 @@ func (t *Tracer) Cause() ID {
 }
 
 // Logf records a formatted log line as a "log" event and forwards it to
-// the sink, so verbose output and the trace can never disagree.
+// the sink, so verbose output and the trace can never disagree. When
+// recording is disabled and no sink is attached, it returns before
+// formatting — the call does no work at all.
 func (t *Tracer) Logf(format string, args ...any) {
 	if t == nil {
 		return
 	}
+	off := t.disabled.Load()
+	if off && !t.hasSink.Load() {
+		return
+	}
 	msg := fmt.Sprintf(format, args...)
 	t.mu.Lock()
-	t.emitLocked(t.cause, "log", msg, nil)
+	if !off {
+		t.emitLocked(t.cause, "log", msg, nil)
+	}
 	sink := t.sink
 	t.mu.Unlock()
 	if sink != nil {

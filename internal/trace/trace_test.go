@@ -229,3 +229,84 @@ func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
 		t.Fatal("negative ts accepted")
 	}
 }
+
+func TestSetEnabledDropsRecords(t *testing.T) {
+	now := 0.0
+	tr := New(clock(&now), 0, 0)
+	if !tr.Enabled() {
+		t.Fatal("new tracer not enabled")
+	}
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Fatal("Enabled after SetEnabled(false)")
+	}
+	if id := tr.Emit("k", "n"); id != 0 {
+		t.Fatalf("disabled Emit returned %d", id)
+	}
+	if id := tr.Begin(0, "k", "n"); id != 0 {
+		t.Fatalf("disabled Begin returned %d", id)
+	}
+	ran := false
+	tr.WithCause(7, func() { ran = true })
+	if !ran {
+		t.Fatal("disabled WithCause skipped fn")
+	}
+	tr.Logf("dropped %d", 1)
+	if st := tr.Stat(); st.Events != 0 || st.Spans != 0 {
+		t.Fatalf("disabled tracer recorded: %+v", st)
+	}
+
+	// Re-enabling resumes recording.
+	tr.SetEnabled(true)
+	sp := tr.Begin(0, "k", "n")
+	tr.Emit("k", "n")
+	tr.End(sp)
+	if st := tr.Stat(); st.Events != 1 || st.Spans != 1 {
+		t.Fatalf("re-enabled tracer state: %+v", st)
+	}
+}
+
+func TestDisabledLogfStillReachesSink(t *testing.T) {
+	now := 0.0
+	tr := New(clock(&now), 0, 0)
+	var got []string
+	tr.SetLogSink(func(f string, args ...any) { got = append(got, fmt.Sprintf(f, args...)) })
+	tr.SetEnabled(false)
+	tr.Logf("line %d", 42)
+	if len(got) != 1 || got[0] != "line 42" {
+		t.Fatalf("sink got %q", got)
+	}
+	if st := tr.Stat(); st.Events != 0 {
+		t.Fatalf("disabled Logf recorded an event: %+v", st)
+	}
+}
+
+// Locked-in allocation budgets: a switched-off tracer with no sink must
+// cost nothing on the instrumentation paths.
+func TestDisabledTracerAllocs(t *testing.T) {
+	now := 0.0
+	tr := New(clock(&now), 0, 0)
+	tr.SetEnabled(false)
+	if n := testing.AllocsPerRun(1000, func() { tr.Logf("probe line") }); n != 0 {
+		t.Fatalf("disabled Logf: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { tr.Emit("kind", "name") }); n != 0 {
+		t.Fatalf("disabled Emit: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(0, "kind", "name")
+		tr.End(id)
+	}); n != 0 {
+		t.Fatalf("disabled Begin/End: %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkDisabledLogf(b *testing.B) {
+	now := 0.0
+	tr := New(clock(&now), 0, 0)
+	tr.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Logf("probe line")
+	}
+}

@@ -92,6 +92,11 @@ type ScenarioConfig struct {
 	// the span store on long runs. Decision/actuation spans and the
 	// management event stream are always recorded regardless.
 	TraceRequests int
+	// TraceOff disables the telemetry bus for this run. Sweeps and
+	// benchmarks use it: instrumentation becomes near-free and the
+	// simulation schedule is unchanged, but the result carries no trace
+	// (violation artifacts lose their event tail).
+	TraceOff bool
 	// Logf receives management log lines (optional).
 	Logf func(string, ...any)
 }
@@ -232,6 +237,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.Logf != nil {
 		popts.Logf = cfg.Logf
 	}
+	popts.TraceDisabled = cfg.TraceOff
 	p := NewPlatform(popts)
 
 	dump, err := cfg.Dataset.InitialDatabase(cfg.Seed)
