@@ -5,11 +5,12 @@
 #   make sweep       - 20-seed invariant chaos sweep at 8x compression
 #   make trace-smoke - export a managed-run trace and validate its schema
 #   make bench-smoke - measure the sim core into BENCH_core.json and sanity-check it
+#   make obs-smoke   - scrape a live run's admin endpoint and validate the exposition
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke bench-smoke ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke ci
 
 all: build
 
@@ -37,4 +38,7 @@ bench-smoke:
 	$(GO) run ./cmd/jadebench -bench-core -bench-out BENCH_core.json
 	$(GO) run ./cmd/jadebench -bench-validate BENCH_core.json
 
-ci: vet race sweep trace-smoke bench-smoke
+obs-smoke:
+	$(GO) run ./cmd/jadectl scenario -clients 200 -duration 300 -managed -http 127.0.0.1:0 -scrape-check
+
+ci: vet race sweep trace-smoke bench-smoke obs-smoke

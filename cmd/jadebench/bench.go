@@ -14,7 +14,7 @@ import (
 
 // benchCoreSchema versions the BENCH_core.json layout; bump it when
 // fields change meaning so trajectory tooling can tell runs apart.
-const benchCoreSchema = "jade-bench-core/v1"
+const benchCoreSchema = "jade-bench-core/v2"
 
 // BenchCore is one measurement of the simulation core's throughput — the
 // perf trajectory record written to BENCH_core.json by `-bench-core` and
@@ -38,6 +38,11 @@ type BenchCore struct {
 	SweepSeconds    float64 `json:"sweep_seconds"`
 	SeedsPerMinute  float64 `json:"sweep_seeds_per_minute"`
 	SweepViolations int     `json:"sweep_violations"`
+
+	// Client-perceived request latency of a short managed reference run,
+	// from the scenario's exact-quantile histogram (v2).
+	RequestLatencyP50Ms float64 `json:"request_latency_p50_ms"`
+	RequestLatencyP99Ms float64 `json:"request_latency_p99_ms"`
 }
 
 // runBenchCore measures the simulation core and writes BENCH_core.json.
@@ -80,6 +85,14 @@ func runBenchCore(outPath string, parallel int) error {
 	}
 	sweepSec := time.Since(t0).Seconds()
 
+	fmt.Fprintf(os.Stderr, "jadebench: measuring reference-run request latency...\n")
+	refCfg := jade.DefaultScenario(1, true)
+	refCfg.Profile = jade.ConstantProfile{Clients: 200, Length: 300}
+	ref, err := jade.RunScenario(refCfg)
+	if err != nil {
+		return err
+	}
+
 	nsPerEvent := float64(core.NsPerOp()) / eventsPerOp
 	rec := BenchCore{
 		Schema:           benchCoreSchema,
@@ -94,6 +107,9 @@ func runBenchCore(outPath string, parallel int) error {
 		SweepParallel:    parallel,
 		SweepSeconds:     sweepSec,
 		SeedsPerMinute:   float64(sweepSeeds) / sweepSec * 60,
+
+		RequestLatencyP50Ms: 1000 * ref.RequestLatency.Quantile(0.50),
+		RequestLatencyP99Ms: 1000 * ref.RequestLatency.Quantile(0.99),
 	}
 	if res.Failure != nil {
 		rec.SweepViolations = 1
@@ -108,6 +124,8 @@ func runBenchCore(outPath string, parallel int) error {
 	}
 	fmt.Printf("bench-core: %.0f events/s (%.0f ns/event, %.3f allocs/event), sweep %.1f seeds/min\n",
 		rec.EventsPerSec, rec.NsPerEvent, rec.AllocsPerEvent, rec.SeedsPerMinute)
+	fmt.Printf("bench-core: request latency p50 %.0f ms, p99 %.0f ms (reference run)\n",
+		rec.RequestLatencyP50Ms, rec.RequestLatencyP99Ms)
 	fmt.Printf("bench-core: wrote %s\n", outPath)
 	return nil
 }
@@ -144,6 +162,10 @@ func validateBenchCore(path string) error {
 	}
 	if rec.SweepViolations != 0 {
 		return fmt.Errorf("%s: benchmark sweep hit %d invariant violations", path, rec.SweepViolations)
+	}
+	if rec.RequestLatencyP50Ms <= 0 || rec.RequestLatencyP99Ms < rec.RequestLatencyP50Ms {
+		return fmt.Errorf("%s: implausible request latency (p50=%g ms, p99=%g ms)",
+			path, rec.RequestLatencyP50Ms, rec.RequestLatencyP99Ms)
 	}
 	fmt.Printf("bench-validate: %s ok (%.0f events/s, %.1f seeds/min)\n",
 		path, rec.EventsPerSec, rec.SeedsPerMinute)

@@ -9,6 +9,8 @@
 //	jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
 //	jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]
 //	                 [-trace FILE] [-trace-jsonl FILE] [-trace-requests N]
+//	                 [-metrics-dir DIR] [-metrics-interval SECONDS]
+//	                 [-http ADDR] [-scrape-check] [-serve]
 //	jadectl trace-validate FILE
 //
 // Without -adl, the built-in three-tier RUBiS architecture is used.
@@ -16,12 +18,21 @@
 // (load it at ui.perfetto.dev); -trace-jsonl exports the raw events and
 // spans one JSON object per line. trace-validate checks an exported
 // Chrome trace against the trace-event schema.
+//
+// -metrics-dir writes periodic metrics snapshots (Prometheus text +
+// JSON). -http serves the live admin endpoint (/metrics, /metrics.json,
+// /healthz, /components, /loops) while the scenario runs; -serve keeps it
+// up afterwards, and -scrape-check makes jadectl scrape and validate its
+// own endpoint after the run (the CI smoke check).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"jade"
@@ -62,6 +73,8 @@ func usage() {
   jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
   jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]
                    [-trace FILE] [-trace-jsonl FILE] [-trace-requests N]
+                   [-metrics-dir DIR] [-metrics-interval SECONDS]
+                   [-http ADDR] [-scrape-check] [-serve]
   jadectl trace-validate FILE`)
 }
 
@@ -194,8 +207,16 @@ func cmdScenario(args []string) error {
 	traceOut := fs.String("trace", "", "write the telemetry bus as a Chrome trace-event file (Perfetto-loadable)")
 	traceJSONL := fs.String("trace-jsonl", "", "write the telemetry bus as JSONL (one event/span per line)")
 	traceReqs := fs.Int("trace-requests", 0, "open a causal span for every N-th client request (0 = default 25 when tracing)")
+	metricsDir := fs.String("metrics-dir", "", "write periodic metrics snapshots (Prometheus text + JSON) into this directory")
+	metricsInterval := fs.Float64("metrics-interval", 60, "snapshot period in simulated seconds")
+	httpAddr := fs.String("http", "", "serve the live admin endpoint on this address (e.g. :8080 or 127.0.0.1:0)")
+	scrapeCheck := fs.Bool("scrape-check", false, "after the run, scrape the admin endpoint and validate the exposition (requires -http)")
+	serve := fs.Bool("serve", false, "keep the admin endpoint serving the final pages after the run (requires -http; ctrl-C to exit)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*scrapeCheck || *serve) && *httpAddr == "" {
+		return fmt.Errorf("-scrape-check and -serve require -http")
 	}
 	cfg := jade.DefaultScenario(*seed, *managed)
 	cfg.Profile = jade.ConstantProfile{Clients: *clients, Length: *duration}
@@ -205,6 +226,14 @@ func cmdScenario(args []string) error {
 	cfg.TraceRequests = *traceReqs
 	if cfg.TraceRequests == 0 && (*traceOut != "" || *traceJSONL != "") {
 		cfg.TraceRequests = 25
+	}
+	cfg.MetricsDir = *metricsDir
+	cfg.MetricsInterval = *metricsInterval
+	cfg.HTTPAddr = *httpAddr
+	if *httpAddr != "" {
+		cfg.AdminReady = func(addr string) {
+			fmt.Fprintf(os.Stderr, "admin endpoint: http://%s/metrics\n", addr)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "running %v clients for %.0fs (managed=%v)...\n", *clients, *duration, *managed)
 	t0 := time.Now()
@@ -229,7 +258,85 @@ func cmdScenario(args []string) error {
 		fmt.Printf("churn: %d crashes injected, %d repairs completed\n",
 			r.InjectedFailures, r.Repairs)
 	}
-	return writeTraces(r, *traceOut, *traceJSONL)
+	fmt.Printf("\nSLO compliance:\n%s", r.SLOReport.Render())
+	if err := writeTraces(r, *traceOut, *traceJSONL); err != nil {
+		return err
+	}
+	if r.Admin != nil {
+		defer r.Admin.Close()
+	}
+	if *scrapeCheck {
+		if err := scrapeAdmin(r); err != nil {
+			return err
+		}
+	}
+	if *serve {
+		fmt.Fprintf(os.Stderr, "serving final pages on http://%s (ctrl-C to exit)\n", r.AdminAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+	return nil
+}
+
+// scrapeAdmin fetches the run's own admin endpoint and validates every
+// exposition format plus the SLO report — the CI smoke check.
+func scrapeAdmin(r *jade.ScenarioResult) error {
+	get := func(path string) ([]byte, error) {
+		resp, err := http.Get("http://" + r.AdminAddr + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+		}
+		return body, nil
+	}
+	prom, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	n, err := jade.ValidatePrometheusText(prom)
+	if err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	js, err := get("/metrics.json")
+	if err != nil {
+		return err
+	}
+	series, err := jade.ValidateMetricsJSON(js)
+	if err != nil {
+		return fmt.Errorf("/metrics.json: %w", err)
+	}
+	comp, err := get("/components")
+	if err != nil {
+		return err
+	}
+	nodes, err := jade.ValidateComponentsJSON(comp)
+	if err != nil {
+		return fmt.Errorf("/components: %w", err)
+	}
+	if _, err := get("/healthz"); err != nil {
+		return err
+	}
+	if _, err := get("/loops"); err != nil {
+		return err
+	}
+	evaluated := 0
+	for _, o := range r.SLOReport.Objectives {
+		evaluated += o.Intervals
+	}
+	if evaluated == 0 {
+		return fmt.Errorf("scrape-check: SLO report has no evaluated intervals")
+	}
+	fmt.Printf("scrape-check: %d samples (/metrics), %d series (/metrics.json), %d components, %d SLO intervals — ok\n",
+		n, series, nodes, evaluated)
+	return nil
 }
 
 // writeTraces exports the run's telemetry bus in the requested formats.

@@ -7,6 +7,7 @@ import (
 
 	"jade/internal/cluster"
 	"jade/internal/legacy"
+	"jade/internal/obs"
 	"jade/internal/sim"
 	"jade/internal/sqlengine"
 	"jade/internal/trace"
@@ -138,6 +139,9 @@ type Controller struct {
 	// queries carrying a TraceSpan, a "sql" child span with the chosen
 	// backend. All Tracer methods are nil-receiver safe.
 	Trace *trace.Tracer
+	// Obs, when set, records per-query counters and latency for the
+	// controller instance. Nil-safe like Trace.
+	Obs *obs.TierMetrics
 }
 
 // New creates a stopped controller on node.
@@ -469,9 +473,18 @@ func (c *Controller) pickReader() *backend {
 // active backend chosen by policy, with one retry on backend failure.
 func (c *Controller) ExecSQL(q legacy.Query, done func(error)) {
 	if !c.running {
+		c.Obs.Drop()
 		c.failures++
 		done(fmt.Errorf("%w: %s", ErrNotRunning, c.name))
 		return
+	}
+	if c.Obs != nil {
+		start := c.Obs.Begin()
+		orig := done
+		done = func(err error) {
+			c.Obs.End(start, err)
+			orig(err)
+		}
 	}
 	if q.TraceSpan != 0 {
 		span := c.Trace.Begin(q.TraceSpan, "sql", c.name)

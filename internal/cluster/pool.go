@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"jade/internal/obs"
 	"jade/internal/sim"
 )
 
@@ -16,6 +17,15 @@ type Pool struct {
 	free      []*Node
 	allocated map[string]*Node
 	all       map[string]*Node
+
+	// Metrics, when set, tracks allocations, releases, failed allocation
+	// attempts and pool occupancy. Nil-safe; unit tests leave it unset.
+	Metrics *obs.PoolMetrics
+}
+
+// observe refreshes the occupancy gauges after any pool mutation.
+func (p *Pool) observe() {
+	p.Metrics.SetSizes(p.FreeCount(), len(p.allocated))
 }
 
 // NewPool creates a pool of count identically configured nodes named
@@ -41,6 +51,7 @@ func (p *Pool) Add(n *Node) {
 	}
 	p.all[n.Name()] = n
 	p.free = append(p.free, n)
+	p.observe()
 }
 
 // Allocate removes and returns a healthy free node, lowest name first (for
@@ -53,7 +64,14 @@ func (p *Pool) Allocate() (*Node, error) {
 		}
 		p.free = append(p.free[:i], p.free[i+1:]...)
 		p.allocated[n.Name()] = n
+		if p.Metrics != nil {
+			p.Metrics.Allocs.Inc()
+			p.observe()
+		}
 		return n, nil
+	}
+	if p.Metrics != nil {
+		p.Metrics.AllocFailed.Inc()
 	}
 	return nil, ErrPoolExhausted
 }
@@ -64,10 +82,17 @@ func (p *Pool) AllocateNamed(name string) (*Node, error) {
 	for i, n := range p.free {
 		if n.Name() == name {
 			if n.Failed() {
+				if p.Metrics != nil {
+					p.Metrics.AllocFailed.Inc()
+				}
 				return nil, fmt.Errorf("cluster: pinned node %s has failed", name)
 			}
 			p.free = append(p.free[:i], p.free[i+1:]...)
 			p.allocated[n.Name()] = n
+			if p.Metrics != nil {
+				p.Metrics.Allocs.Inc()
+				p.observe()
+			}
 			return n, nil
 		}
 	}
@@ -84,6 +109,10 @@ func (p *Pool) Release(n *Node) error {
 	}
 	delete(p.allocated, n.Name())
 	p.free = append(p.free, n)
+	if p.Metrics != nil {
+		p.Metrics.Releases.Inc()
+		p.observe()
+	}
 	return nil
 }
 
@@ -98,6 +127,7 @@ func (p *Pool) Discard(n *Node) {
 		}
 	}
 	delete(p.all, n.Name())
+	p.observe()
 }
 
 // FreeCount returns the number of free healthy nodes.

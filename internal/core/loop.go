@@ -6,6 +6,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/fractal"
 	"jade/internal/metrics"
+	"jade/internal/obs"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -43,6 +44,10 @@ type ControlLoop struct {
 	// lastSample is the bus event recording the most recent valid
 	// sample; reactors link their decisions back to it.
 	lastSample trace.ID
+
+	// Introspection-plane instruments (nil-safe).
+	samplesCtr *obs.Counter
+	valueGauge *obs.Gauge
 }
 
 // NewControlLoop builds a loop (stopped). Period is in seconds; the paper
@@ -52,6 +57,10 @@ func NewControlLoop(p *Platform, name string, period float64, sensor Sensor, rea
 		return nil, fmt.Errorf("jade: control loop %s with period %v", name, period)
 	}
 	l := &ControlLoop{p: p, name: name, period: period, sensor: sensor, reactor: reactor}
+	l.samplesCtr = p.Metrics().Counter("jade_loop_samples_total",
+		"Sensor samples taken per control loop.", obs.L("loop", name))
+	l.valueGauge = p.Metrics().Gauge("jade_loop_value",
+		"Most recent valid sensor reading per control loop.", obs.L("loop", name))
 	comp, err := fractal.NewPrimitive(name, l)
 	if err != nil {
 		return nil, err
@@ -69,6 +78,9 @@ func (l *ControlLoop) Component() *fractal.Component { return l.comp }
 
 // Samples returns the number of sensor samples taken.
 func (l *ControlLoop) Samples() uint64 { return l.samples }
+
+// Period returns the loop's execution interval in seconds.
+func (l *ControlLoop) Period() float64 { return l.period }
 
 // Running reports whether the loop ticks.
 func (l *ControlLoop) Running() bool { return l.ticker != nil }
@@ -103,11 +115,13 @@ func (l *ControlLoop) LastSampleEvent() trace.ID { return l.lastSample }
 
 func (l *ControlLoop) tick(now float64) {
 	l.samples++
+	l.samplesCtr.Inc()
 	v, ok := l.sensor.Sample(now)
 	if !ok {
 		return
 	}
 	l.LastValue = v
+	l.valueGauge.Set(v)
 	l.lastSample = l.p.tracer.Emit("loop.sample", l.name, trace.Ff("value", v))
 	l.reactor.React(now, v)
 }
@@ -186,6 +200,13 @@ func (s *CPUSensor) Sample(now float64) (float64, bool) {
 	return smoothed, s.count >= s.WarmupSamples
 }
 
+// WindowState exposes the moving-average window for introspection:
+// its duration in seconds, the number of samples currently retained, and
+// whether a full window's worth of history has accumulated.
+func (s *CPUSensor) WindowState() (seconds float64, count int, full bool) {
+	return s.window.Window, s.window.Count(), s.window.Full()
+}
+
 // ResponseTimeSensor observes client-perceived latency through a
 // user-supplied reader (e.g. the RUBiS emulator's windowed mean). The
 // paper notes such a sensor can replace the CPU probe when latency is the
@@ -218,6 +239,10 @@ type Inhibitor struct {
 
 // Inhibited reports whether reconfigurations are currently suppressed.
 func (i *Inhibitor) Inhibited(now float64) bool { return now < i.until }
+
+// Until returns the virtual time at which the current inhibition ends
+// (0 before any trigger).
+func (i *Inhibitor) Until() float64 { return i.until }
 
 // Trigger suppresses reconfigurations for d seconds from now.
 func (i *Inhibitor) Trigger(now, d float64) {

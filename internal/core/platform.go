@@ -25,6 +25,7 @@ import (
 	"jade/internal/config"
 	"jade/internal/fractal"
 	"jade/internal/legacy"
+	"jade/internal/obs"
 	"jade/internal/sim"
 	"jade/internal/sqlengine"
 	"jade/internal/trace"
@@ -99,6 +100,11 @@ type Platform struct {
 	// original Options.Logf becomes its onward sink.
 	tracer *trace.Tracer
 
+	// metrics is the introspection-plane registry. Always present, clocked
+	// on the engine's virtual time; every tier server, the cluster pool
+	// and every control loop register their instruments in it.
+	metrics *obs.Registry
+
 	// mgmtRoot is the composite holding Jade's own management
 	// components (the control loops): Jade administrates itself with
 	// the same component model it manages applications with (§3.4).
@@ -127,6 +133,7 @@ func NewPlatform(opts Options) *Platform {
 	if opts.TraceDisabled {
 		tracer.SetEnabled(false)
 	}
+	metrics := obs.NewRegistry(eng.Now)
 	p := &Platform{
 		Eng:       eng,
 		Net:       legacy.NewNetwork(),
@@ -138,17 +145,24 @@ func NewPlatform(opts Options) *Platform {
 		logf:      tracer.Logf, // every log line is also a bus event
 		mgmtNodes: make(map[string]bool),
 		tracer:    tracer,
+		metrics:   metrics,
 	}
+	p.Pool.Metrics = obs.NewPoolMetrics(metrics)
+	p.Pool.Metrics.SetSizes(p.Pool.FreeCount(), p.Pool.AllocatedCount())
 	if opts.TraceSimEvents {
 		eng.SetEventHook(func(t float64, label string) {
 			tracer.Emit("sim.event", label)
 		})
 	}
+	nodeFails := metrics.Counter("jade_node_failures_total", "Node crashes observed by the platform.")
+	nodeReboots := metrics.Counter("jade_node_reboots_total", "Node reboots observed by the platform.")
 	for _, n := range p.Pool.Nodes() {
 		n.OnFail(func(n *cluster.Node) {
+			nodeFails.Inc()
 			tracer.Emit("node.fail", n.Name())
 		})
 		n.OnReboot(func(n *cluster.Node) {
+			nodeReboots.Inc()
 			tracer.Emit("node.reboot", n.Name())
 		})
 	}
@@ -165,8 +179,11 @@ func NewPlatform(opts Options) *Platform {
 
 // Env returns the legacy environment view of the platform.
 func (p *Platform) Env() *legacy.Env {
-	return &legacy.Env{Eng: p.Eng, Net: p.Net, FS: p.FS, Trace: p.tracer}
+	return &legacy.Env{Eng: p.Eng, Net: p.Net, FS: p.FS, Trace: p.tracer, Obs: p.metrics}
 }
+
+// Metrics returns the platform's introspection-plane registry.
+func (p *Platform) Metrics() *obs.Registry { return p.metrics }
 
 // Logf writes a management-layer log line. Lines are recorded on the
 // telemetry bus (kind "log") and forwarded to Options.Logf, so verbose

@@ -3,11 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"jade/internal/cjdbc"
 	"jade/internal/cluster"
 	"jade/internal/fractal"
 	"jade/internal/metrics"
+	"jade/internal/obs"
 	"jade/internal/trace"
 )
 
@@ -563,6 +565,22 @@ type ThresholdReactor struct {
 
 	// Grows and Shrinks count completed reconfigurations.
 	Grows, Shrinks uint64
+
+	// Introspection-plane instruments (nil-safe), registered by
+	// NewSizingManager: completed resize decisions, current replica
+	// count, signed distance from the smoothed value to the nearest
+	// threshold (negative outside the band), and hysteresis state.
+	GrowsCtr       *obs.Counter
+	ShrinksCtr     *obs.Counter
+	ReplicasGauge  *obs.Gauge
+	DistanceGauge  *obs.Gauge
+	InhibitedGauge *obs.Gauge
+}
+
+// thresholdDistance is the signed distance from v to the nearest edge of
+// the [min,max] band: positive inside, negative outside.
+func thresholdDistance(v, min, max float64) float64 {
+	return math.Min(max-v, v-min)
 }
 
 func (r *ThresholdReactor) gate() gate {
@@ -609,6 +627,9 @@ func (r *ThresholdReactor) decisionSpan(direction string, v, threshold float64) 
 
 // React implements Reactor.
 func (r *ThresholdReactor) React(now float64, v float64) {
+	r.DistanceGauge.Set(thresholdDistance(v, r.Min, r.Max))
+	r.InhibitedGauge.SetBool(r.Inhibit != nil && r.Inhibit.Inhibited(now))
+	r.ReplicasGauge.Set(float64(r.tier.ReplicaCount()))
 	tr := r.p.tracer
 	switch {
 	case v > r.Max && r.tier.CanGrow():
@@ -621,6 +642,7 @@ func (r *ThresholdReactor) React(now float64, v float64) {
 			r.tier.Grow(func(err error) {
 				if err == nil {
 					r.Grows++
+					r.GrowsCtr.Inc()
 					r.notify()
 				}
 				tr.End(dec, outcomeField(err))
@@ -636,6 +658,7 @@ func (r *ThresholdReactor) React(now float64, v float64) {
 			r.tier.Shrink(func(err error) {
 				if err == nil {
 					r.Shrinks++
+					r.ShrinksCtr.Inc()
 					r.notify()
 				}
 				tr.End(dec, outcomeField(err))
@@ -705,6 +728,18 @@ func NewSizingManager(p *Platform, name string, tier TierActuator, cfg SizingCon
 		return nil, err
 	}
 	reactor.SampleEvent = loop.LastSampleEvent
+	tl := obs.L("tier", tier.TierName())
+	reactor.GrowsCtr = p.Metrics().Counter("jade_sizing_grows_total",
+		"Completed tier-grow reconfigurations per sizing manager.", tl)
+	reactor.ShrinksCtr = p.Metrics().Counter("jade_sizing_shrinks_total",
+		"Completed tier-shrink reconfigurations per sizing manager.", tl)
+	reactor.ReplicasGauge = p.Metrics().Gauge("jade_sizing_replicas",
+		"Current replica count per managed tier.", tl)
+	reactor.DistanceGauge = p.Metrics().Gauge("jade_sizing_threshold_distance",
+		"Signed distance from the smoothed CPU value to the nearest threshold (negative outside the band).", tl)
+	reactor.InhibitedGauge = p.Metrics().Gauge("jade_sizing_inhibited",
+		"1 while the shared reconfiguration inhibitor suppresses this tier's resizes.", tl)
+	reactor.ReplicasGauge.Set(float64(tier.ReplicaCount()))
 	m := &SizingManager{
 		Loop:     loop,
 		Sensor:   sensor,
@@ -717,6 +752,36 @@ func NewSizingManager(p *Platform, name string, tier TierActuator, cfg SizingCon
 		m.Replicas.Add(now, float64(replicas))
 	}
 	return m, nil
+}
+
+// Status captures the manager's live state for the admin endpoint's
+// /loops page: loop identity and sampling progress, the sensor's
+// moving-average window, the reactor's thresholds and hysteresis state,
+// and the decision tally.
+func (m *SizingManager) Status(now float64) obs.LoopStatus {
+	ws, wc, wf := m.Sensor.WindowState()
+	st := obs.LoopStatus{
+		Name:              m.Loop.Name(),
+		Tier:              m.Tier.TierName(),
+		Running:           m.Loop.Running(),
+		PeriodSeconds:     m.Loop.Period(),
+		Samples:           int(m.Loop.Samples()),
+		LastValue:         m.Loop.LastValue,
+		WindowSeconds:     ws,
+		WindowCount:       wc,
+		WindowFull:        wf,
+		MinThreshold:      m.Reactor.Min,
+		MaxThreshold:      m.Reactor.Max,
+		ThresholdDistance: thresholdDistance(m.Loop.LastValue, m.Reactor.Min, m.Reactor.Max),
+		Grows:             int(m.Reactor.Grows),
+		Shrinks:           int(m.Reactor.Shrinks),
+		Replicas:          m.Tier.ReplicaCount(),
+	}
+	if m.Reactor.Inhibit != nil {
+		st.Inhibited = m.Reactor.Inhibit.Inhibited(now)
+		st.InhibitedUntil = m.Reactor.Inhibit.Until()
+	}
+	return st
 }
 
 // setMax lets SizingConfig.MaxReplicas reach the embedded tierBase.

@@ -11,6 +11,7 @@ import (
 	"jade/internal/fractal"
 	"jade/internal/l4"
 	"jade/internal/legacy"
+	"jade/internal/obs"
 	"jade/internal/plb"
 )
 
@@ -539,6 +540,7 @@ func (w *CJDBCWrapper) StartManaged(done func(error)) {
 	opts.ReadPolicy = policy
 	w.ctl = cjdbc.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
 	w.ctl.Trace = w.p.Trace()
+	w.ctl.Obs = obs.NewTierMetrics(w.p.Metrics(), "cjdbc", w.comp.Name())
 	if err := w.ctl.Start(); err != nil {
 		done(err)
 		return
@@ -685,6 +687,7 @@ func (w *PLBWrapper) StartManaged(done func(error)) {
 	opts.Port = port
 	w.b = plb.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
 	w.b.Trace = w.p.Trace()
+	w.b.Obs = obs.NewTierMetrics(w.p.Metrics(), "plb", w.comp.Name())
 	if err := w.b.Start(); err != nil {
 		done(err)
 		return
@@ -797,6 +800,7 @@ func (w *L4Wrapper) StartManaged(done func(error)) {
 	opts.Port = port
 	w.sw = l4.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
 	w.sw.Trace = w.p.Trace()
+	w.sw.Obs = obs.NewTierMetrics(w.p.Metrics(), "l4", w.comp.Name())
 	if err := w.sw.Start(); err != nil {
 		done(err)
 		return

@@ -1,0 +1,68 @@
+package fractal
+
+import "sort"
+
+// View is the JSON-serializable introspection shape of a component
+// subtree, served by the admin endpoint's /components page. Orderings
+// are deterministic: attributes sorted by name, interfaces in declaration
+// order, children in addition order — so rendering the same tree twice
+// yields identical bytes.
+type View struct {
+	Name       string          `json:"name"`
+	Kind       string          `json:"kind"` // "composite" or "primitive"
+	State      string          `json:"state"`
+	Attributes []AttributeView `json:"attributes,omitempty"`
+	Interfaces []InterfaceView `json:"interfaces,omitempty"`
+	Children   []View          `json:"children,omitempty"`
+}
+
+// AttributeView is one name=value attribute.
+type AttributeView struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// InterfaceView is one interface, with its current bindings for client
+// roles.
+type InterfaceView struct {
+	Name       string   `json:"name"`
+	Signature  string   `json:"signature"`
+	Role       string   `json:"role"`
+	Collection bool     `json:"collection,omitempty"`
+	Dynamic    bool     `json:"dynamic,omitempty"`
+	BoundTo    []string `json:"bound_to,omitempty"`
+}
+
+// View renders the component subtree rooted at c.
+func (c *Component) View() View {
+	kind := "primitive"
+	if c.composite {
+		kind = "composite"
+	}
+	v := View{Name: c.name, Kind: kind, State: c.state.String()}
+	attrs := append([]string(nil), c.attrOrder...)
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		v.Attributes = append(v.Attributes, AttributeView{Name: a, Value: c.attrs[a]})
+	}
+	for _, n := range c.itfOrder {
+		itf := c.itfs[n]
+		iv := InterfaceView{
+			Name:       n,
+			Signature:  itf.signature,
+			Role:       itf.role.String(),
+			Collection: itf.collection,
+			Dynamic:    itf.dynamic,
+		}
+		if itf.role == Client {
+			for _, bd := range c.bindings[n] {
+				iv.BoundTo = append(iv.BoundTo, bd.ServerItf.String())
+			}
+		}
+		v.Interfaces = append(v.Interfaces, iv)
+	}
+	for _, n := range c.childSeq {
+		v.Children = append(v.Children, c.children[n].View())
+	}
+	return v
+}

@@ -12,6 +12,7 @@ import (
 
 	"jade/internal/cluster"
 	"jade/internal/legacy"
+	"jade/internal/obs"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -68,6 +69,9 @@ type Switch struct {
 	// requests carrying a TraceSpan, a "forward" child span naming the
 	// chosen server. All Tracer methods are nil-receiver safe.
 	Trace *trace.Tracer
+	// Obs, when set, records per-request counters and forward latency for
+	// the switch instance. Nil-safe like Trace.
+	Obs *obs.TierMetrics
 }
 
 // New creates a stopped switch on node.
@@ -193,9 +197,18 @@ func (s *Switch) pick() *realServer {
 // HandleHTTP forwards a connection to a real server.
 func (s *Switch) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 	if !s.running {
+		s.Obs.Drop()
 		s.dropped++
 		done(fmt.Errorf("%w: %s", ErrNotRunning, s.name))
 		return
+	}
+	if s.Obs != nil {
+		start := s.Obs.Begin()
+		orig := done
+		done = func(err error) {
+			s.Obs.End(start, err)
+			orig(err)
+		}
 	}
 	s.node.Submit(s.opts.SwitchCost, func() {
 		r := s.pick()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jade/internal/cluster"
+	"jade/internal/obs"
 )
 
 // Apache simulates an Apache 1.3/mod_jk web server. At startup it parses
@@ -56,6 +57,7 @@ func NewApache(env *Env, name string, node *cluster.Node, opts ApacheOptions) *A
 		confPath:    node.Name() + "/" + name + "/httpd.conf",
 		workersPath: node.Name() + "/" + name + "/worker.properties",
 	}
+	a.obs = obs.NewTierMetrics(env.Obs, "web", name)
 	a.watchNode()
 	return a
 }
@@ -122,9 +124,18 @@ func (a *Apache) Routes() []string {
 // across resolved workers, as mod_jk's lb worker does).
 func (a *Apache) HandleHTTP(req *WebRequest, done func(error)) {
 	if a.state != Running {
+		a.obs.Drop()
 		a.failed++
 		done(fmt.Errorf("%w: apache %s is %s", ErrNotRunning, a.name, a.state))
 		return
+	}
+	if a.obs != nil {
+		start := a.obs.Begin()
+		orig := done
+		done = func(err error) {
+			a.obs.End(start, err)
+			orig(err)
+		}
 	}
 	a.node.Submit(req.WebCost, func() {
 		if req.Static {

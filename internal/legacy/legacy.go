@@ -19,6 +19,7 @@ import (
 
 	"jade/internal/cluster"
 	"jade/internal/config"
+	"jade/internal/obs"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -160,6 +161,10 @@ type Env struct {
 	// carry a TraceSpan. All Tracer methods are nil-receiver safe, so the
 	// field may stay unset (the standalone unit tests do).
 	Trace *trace.Tracer
+	// Obs, when set, is the metrics registry servers register their
+	// per-instance request instruments in. Like Trace, it may stay unset:
+	// a nil registry hands out nil instruments whose methods no-op.
+	Obs *obs.Registry
 }
 
 // process holds state common to the three server kinds.
@@ -172,6 +177,7 @@ type process struct {
 	startDelay float64
 	stopDelay  float64
 	listenAddr string
+	obs        *obs.TierMetrics
 
 	served uint64
 	failed uint64

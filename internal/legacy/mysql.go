@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jade/internal/cluster"
+	"jade/internal/obs"
 	"jade/internal/sqlengine"
 )
 
@@ -45,6 +46,7 @@ func NewMySQL(env *Env, name string, node *cluster.Node, opts MySQLOptions) *MyS
 		confPath: node.Name() + "/" + name + "/my.cnf",
 		db:       sqlengine.New(),
 	}
+	m.obs = obs.NewTierMetrics(env.Obs, "db", name)
 	m.watchNode()
 	return m
 }
@@ -95,9 +97,18 @@ func (m *MySQL) Stop(done func(error)) { m.end(done) }
 // the database.
 func (m *MySQL) ExecSQL(q Query, done func(error)) {
 	if m.state != Running {
+		m.obs.Drop()
 		m.failed++
 		done(fmt.Errorf("%w: mysql %s is %s", ErrNotRunning, m.name, m.state))
 		return
+	}
+	if m.obs != nil {
+		start := m.obs.Begin()
+		orig := done
+		done = func(err error) {
+			m.obs.End(start, err)
+			orig(err)
+		}
 	}
 	m.node.Submit(q.Cost, func() {
 		if _, err := m.db.Exec(q.SQL); err != nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"jade/internal/cluster"
+	"jade/internal/obs"
 	"jade/internal/trace"
 )
 
@@ -48,6 +49,7 @@ func NewTomcat(env *Env, name string, node *cluster.Node, opts TomcatOptions) *T
 		},
 		confPath: node.Name() + "/" + name + "/server.xml",
 	}
+	t.obs = obs.NewTierMetrics(env.Obs, "app", name)
 	t.watchNode()
 	return t
 }
@@ -121,9 +123,18 @@ func (t *Tomcat) Stop(done func(error)) { t.end(done) }
 // SQL statements sequentially through the JDBC connection.
 func (t *Tomcat) HandleHTTP(req *WebRequest, done func(error)) {
 	if t.state != Running {
+		t.obs.Drop()
 		t.failed++
 		done(fmt.Errorf("%w: tomcat %s is %s", ErrNotRunning, t.name, t.state))
 		return
+	}
+	if t.obs != nil {
+		start := t.obs.Begin()
+		orig := done
+		done = func(err error) {
+			t.obs.End(start, err)
+			orig(err)
+		}
 	}
 	var span trace.ID
 	if req.TraceSpan != 0 {

@@ -150,6 +150,31 @@ func TestSummarizeAndPercentileEdges(t *testing.T) {
 	}
 }
 
+func TestPercentileSingleAndDuplicates(t *testing.T) {
+	// A single sample is every quantile.
+	one := []float64{7}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := Percentile(one, p); got != 7 {
+			t.Fatalf("Percentile([7], %v) = %v, want 7", p, got)
+		}
+	}
+	// Duplicates: the interpolated quantile stays on the plateau until
+	// the position crosses into the outlier.
+	dup := []float64{2, 2, 2, 2, 5}
+	if got := Percentile(dup, 0); got != 2 {
+		t.Fatalf("Percentile(dup, 0) = %v, want 2", got)
+	}
+	if got := Percentile(dup, 0.75); got != 2 { // position 3, on the plateau
+		t.Fatalf("Percentile(dup, 0.75) = %v, want 2", got)
+	}
+	if got := Percentile(dup, 0.9); math.Abs(got-3.8) > 1e-12 { // position 3.6 blends 2 and 5
+		t.Fatalf("Percentile(dup, 0.9) = %v, want 3.8", got)
+	}
+	if got := Percentile(dup, 1); got != 5 {
+		t.Fatalf("Percentile(dup, 1) = %v, want 5", got)
+	}
+}
+
 func TestThroughputWindowEdges(t *testing.T) {
 	tp := NewThroughput(10)
 	if r := tp.Rate(0); r != 0 || math.IsNaN(r) {

@@ -342,7 +342,8 @@ type Summary struct {
 	P50, P90, P99  float64
 }
 
-// Summarize computes a Summary; it copies and sorts the input.
+// Summarize computes a Summary; it copies and sorts the input. Empty
+// input yields the zero Summary (all fields 0).
 func Summarize(vs []float64) Summary {
 	if len(vs) == 0 {
 		return Summary{}
@@ -364,8 +365,12 @@ func Summarize(vs []float64) Summary {
 	}
 }
 
-// Percentile returns the p-quantile (0 <= p <= 1) of a sorted sample using
-// nearest-rank interpolation. An empty slice yields 0.
+// Percentile returns the p-quantile (0 <= p <= 1) of a sorted sample
+// using linear interpolation between the two closest ranks (the same
+// convention as numpy's default): the quantile position is
+// p*(len-1), and a fractional position blends the two neighboring
+// samples. p <= 0 yields the minimum, p >= 1 the maximum, and an empty
+// slice yields 0.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Publisher is the bridge between the simulation goroutine and HTTP
+// readers: the sim thread renders immutable byte pages at snapshot ticks
+// and Sets them; handlers only Get. Readers therefore never touch live
+// sim structures and cannot perturb the trajectory.
+type Publisher struct {
+	mu    sync.RWMutex
+	pages map[string][]byte
+}
+
+// NewPublisher returns an empty publisher.
+func NewPublisher() *Publisher {
+	return &Publisher{pages: make(map[string][]byte)}
+}
+
+// Set stores the current page for path. The caller must not mutate page
+// afterwards.
+func (p *Publisher) Set(path string, page []byte) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.pages[path] = page
+	p.mu.Unlock()
+}
+
+// Get returns the current page for path.
+func (p *Publisher) Get(path string) ([]byte, bool) {
+	if p == nil {
+		return nil, false
+	}
+	p.mu.RLock()
+	page, ok := p.pages[path]
+	p.mu.RUnlock()
+	return page, ok
+}
+
+// AdminServer serves the published introspection pages over HTTP:
+//
+//	/metrics       Prometheus text exposition (0.0.4)
+//	/metrics.json  the same snapshot as JSON
+//	/healthz       liveness + run summary JSON
+//	/components    Fractal component tree with lifecycle/binding state
+//	/loops         control-loop internals (sensor, thresholds, hysteresis)
+type AdminServer struct {
+	pub  *Publisher
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+var pageContentTypes = map[string]string{
+	"/metrics":      "text/plain; version=0.0.4; charset=utf-8",
+	"/metrics.json": "application/json",
+	"/healthz":      "application/json",
+	"/components":   "application/json",
+	"/loops":        "application/json",
+}
+
+// StartAdmin listens on addr (e.g. ":8080" or "127.0.0.1:0" for an
+// ephemeral port) and serves pub's pages. It returns once the listener
+// is bound, so Addr() is immediately valid.
+func StartAdmin(addr string, pub *Publisher) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	a := &AdminServer{pub: pub, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	for path, ctype := range pageContentTypes {
+		path, ctype := path, ctype
+		mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+			page, ok := a.pub.Get(path)
+			if !ok {
+				http.Error(w, "snapshot not yet published", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", ctype)
+			w.Write(page)
+		})
+	}
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		a.srv.Serve(ln)
+		close(a.done)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (a *AdminServer) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the listener and waits for the serve loop to exit.
+func (a *AdminServer) Close() error {
+	if a == nil {
+		return nil
+	}
+	err := a.srv.Close()
+	<-a.done
+	return err
+}
+
+// LoopStatus is the /loops wire shape for one control loop: identity,
+// sensor state, thresholds and hysteresis, and the decision tally.
+type LoopStatus struct {
+	Name          string  `json:"name"`
+	Tier          string  `json:"tier"`
+	Running       bool    `json:"running"`
+	PeriodSeconds float64 `json:"period_seconds"`
+	Samples       int     `json:"samples"`
+	LastValue     float64 `json:"last_value"`
+	WindowSeconds float64 `json:"window_seconds"`
+	WindowCount   int     `json:"window_count"`
+	WindowFull    bool    `json:"window_full"`
+	MinThreshold  float64 `json:"min_threshold"`
+	MaxThreshold  float64 `json:"max_threshold"`
+	// Distance from the smoothed value to the nearest threshold;
+	// negative when outside the band.
+	ThresholdDistance float64 `json:"threshold_distance"`
+	Inhibited         bool    `json:"inhibited"`
+	InhibitedUntil    float64 `json:"inhibited_until"`
+	Grows             int     `json:"grows"`
+	Shrinks           int     `json:"shrinks"`
+	Replicas          int     `json:"replicas"`
+}

@@ -13,6 +13,7 @@ import (
 
 	"jade/internal/cluster"
 	"jade/internal/legacy"
+	"jade/internal/obs"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -92,6 +93,9 @@ type Balancer struct {
 	// chosen worker. All Tracer methods are nil-receiver safe, so the
 	// field may stay unset.
 	Trace *trace.Tracer
+	// Obs, when set, records per-request counters and forward latency for
+	// the balancer instance. Nil-safe like Trace.
+	Obs *obs.TierMetrics
 }
 
 // New creates a stopped balancer on node.
@@ -228,9 +232,18 @@ func (b *Balancer) pick() *worker {
 // the proxy cost on the balancer node first.
 func (b *Balancer) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 	if !b.running {
+		b.Obs.Drop()
 		b.dropped++
 		done(fmt.Errorf("%w: %s", ErrNotRunning, b.name))
 		return
+	}
+	if b.Obs != nil {
+		start := b.Obs.Begin()
+		orig := done
+		done = func(err error) {
+			b.Obs.End(start, err)
+			orig(err)
+		}
 	}
 	b.node.Submit(b.opts.ProxyCost, func() {
 		w := b.pick()

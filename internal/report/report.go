@@ -59,7 +59,7 @@ func (c *Chart) Render() string {
 	tMin, tMax := math.Inf(1), math.Inf(-1)
 	yMax := c.YMax
 	for _, s := range c.Series {
-		for _, p := range s.Points {
+		for _, p := range finitePoints(s.Points) {
 			tMin = math.Min(tMin, p.T)
 			tMax = math.Max(tMax, p.T)
 			if c.YMax == 0 && p.V > yMax {
@@ -69,7 +69,7 @@ func (c *Chart) Render() string {
 	}
 	if c.YMax == 0 {
 		for _, h := range c.HLines {
-			if h.Value > yMax {
+			if isFinite(h.Value) && h.Value > yMax {
 				yMax = h.Value
 			}
 		}
@@ -100,6 +100,9 @@ func (c *Chart) Render() string {
 		return r
 	}
 	for _, h := range c.HLines {
+		if !isFinite(h.Value) {
+			continue
+		}
 		r := row(h.Value)
 		g := h.Glyph
 		if g == 0 {
@@ -110,7 +113,8 @@ func (c *Chart) Render() string {
 		}
 	}
 	for _, s := range c.Series {
-		if len(s.Points) == 0 {
+		pts := finitePoints(s.Points)
+		if len(pts) == 0 {
 			continue
 		}
 		g := s.Glyph
@@ -119,14 +123,14 @@ func (c *Chart) Render() string {
 		}
 		// Step-interpolated sampling at each column.
 		idx := 0
-		last := s.Points[0].V
+		last := pts[0].V
 		for x := 0; x < width; x++ {
 			t := tMin + (tMax-tMin)*float64(x)/float64(width-1)
-			for idx < len(s.Points) && s.Points[idx].T <= t {
-				last = s.Points[idx].V
+			for idx < len(pts) && pts[idx].T <= t {
+				last = pts[idx].V
 				idx++
 			}
-			if s.Points[0].T > t {
+			if pts[0].T > t {
 				continue
 			}
 			grid[row(last)][x] = g
@@ -154,6 +158,10 @@ func (c *Chart) Render() string {
 		strings.Repeat(" ", maxInt(1, width-24)), tMax)
 	var legend []string
 	for _, s := range c.Series {
+		if len(finitePoints(s.Points)) == 0 {
+			legend = append(legend, fmt.Sprintf("! %s (no data)", s.Name))
+			continue
+		}
 		g := s.Glyph
 		if g == 0 {
 			g = '*'
@@ -172,6 +180,30 @@ func (c *Chart) Render() string {
 	}
 	return b.String()
 }
+
+// finitePoints drops NaN/Inf samples; a series with no finite point at
+// all is left off the plot and flagged with '!' in the legend.
+func finitePoints(pts []metrics.Point) []metrics.Point {
+	clean := true
+	for _, p := range pts {
+		if !isFinite(p.T) || !isFinite(p.V) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return pts
+	}
+	f := make([]metrics.Point, 0, len(pts))
+	for _, p := range pts {
+		if isFinite(p.T) && isFinite(p.V) {
+			f = append(f, p)
+		}
+	}
+	return f
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func maxInt(a, b int) int {
 	if a > b {

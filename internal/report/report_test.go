@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -51,6 +52,47 @@ func TestChartEmptySeries(t *testing.T) {
 	// No panic is the main contract; axis should still render.
 	if !strings.Contains(out, "+") {
 		t.Fatal("axis missing")
+	}
+}
+
+func TestChartGuardsNaNAndEmptySeries(t *testing.T) {
+	good := metrics.NewSeries("good")
+	good.Add(0, 1)
+	good.Add(10, 3)
+	poisoned := metrics.NewSeries("poisoned")
+	poisoned.Add(0, math.NaN())
+	poisoned.Add(5, math.Inf(1))
+	c := &Chart{
+		Series: []ChartSeries{
+			FromSeries(good, '*'),
+			FromSeries(poisoned, 'p'),
+			{Name: "empty", Glyph: 'e'},
+		},
+		HLines: []HLine{{Name: "bad-line", Value: math.NaN(), Glyph: '='}},
+	}
+	out := c.Render()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked into the chart:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("finite series not drawn:\n%s", out)
+	}
+	for _, g := range []string{"p", "="} {
+		if strings.Contains(strings.SplitN(out, "legend:", 2)[0], g) {
+			t.Fatalf("glyph %q drawn for non-finite data:\n%s", g, out)
+		}
+	}
+	if !strings.Contains(out, "! poisoned (no data)") || !strings.Contains(out, "! empty (no data)") {
+		t.Fatalf("legend should flag data-less series:\n%s", out)
+	}
+	// A NaN sample inside an otherwise healthy series is just skipped.
+	mixed := metrics.NewSeries("mixed")
+	mixed.Add(0, 1)
+	mixed.Add(1, math.NaN())
+	mixed.Add(2, 2)
+	out = (&Chart{Series: []ChartSeries{FromSeries(mixed, 'm')}}).Render()
+	if !strings.Contains(out, "m") || strings.Contains(out, "(no data)") {
+		t.Fatalf("mixed series should plot its finite points:\n%s", out)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"jade/internal/legacy"
 	"jade/internal/metrics"
+	"jade/internal/obs"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -197,6 +198,10 @@ type Emulator struct {
 	Trace      *trace.Tracer
 	TraceEvery int
 
+	// Obs, when set, records the client-perceived end-to-end request
+	// latency and outcome counters (tier "client"). Nil-safe.
+	Obs *obs.TierMetrics
+
 	issued   uint64
 	ds       Dataset
 	counters *Counters
@@ -352,6 +357,7 @@ func (c *client) issue() {
 		if span != 0 {
 			em.Trace.End(span, trace.Outcome(err))
 		}
+		em.Obs.End(t0, err)
 		em.stats.record(it.Name, now, now-t0, err)
 		c.think()
 	})

@@ -45,6 +45,7 @@ import (
 	"jade/internal/fractal"
 	"jade/internal/legacy"
 	"jade/internal/metrics"
+	"jade/internal/obs"
 	"jade/internal/report"
 	"jade/internal/rubis"
 	"jade/internal/sim"
@@ -194,6 +195,55 @@ type (
 // ValidateChromeTrace checks data against the Chrome trace-event schema
 // and returns the number of trace events.
 func ValidateChromeTrace(data []byte) (int, error) { return trace.ValidateChromeTrace(data) }
+
+// Re-exported observability types: every platform carries a deterministic
+// metrics registry clocked on virtual time (see internal/obs), exposed
+// through snapshot files and the live admin endpoint.
+type (
+	// MetricsRegistry is the platform's deterministic metrics registry.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of every registered series.
+	MetricsSnapshot = obs.Snapshot
+	// Histogram is a log-bucketed latency histogram with exact quantiles.
+	Histogram = obs.Histogram
+	// SLObjective is one service-level objective under evaluation.
+	SLObjective = obs.Objective
+	// SLObjectiveKind names an objective family.
+	SLObjectiveKind = obs.ObjectiveKind
+	// SLOReport is the post-run compliance report.
+	SLOReport = obs.SLOReport
+	// SLObjectiveReport is one objective's line in the report.
+	SLObjectiveReport = obs.ObjectiveReport
+	// AdminServer is the live introspection HTTP endpoint.
+	AdminServer = obs.AdminServer
+	// LoopStatus is a control loop's introspection document.
+	LoopStatus = obs.LoopStatus
+	// ComponentView is the JSON introspection view of a Fractal component.
+	ComponentView = fractal.View
+)
+
+// Objective kinds for SLObjective.Kind.
+const (
+	SLOLatencyPercentile = obs.LatencyPercentile
+	SLOAbandonRate       = obs.AbandonRate
+	SLOCPUBand           = obs.CPUBand
+)
+
+// Unbounded is the NaN sentinel for an SLObjective bound that doesn't
+// apply.
+func Unbounded() float64 { return obs.Unbounded() }
+
+// ValidatePrometheusText checks a page against the Prometheus text
+// exposition format 0.0.4 and returns the number of samples.
+func ValidatePrometheusText(page []byte) (int, error) { return obs.ValidatePrometheusText(page) }
+
+// ValidateMetricsJSON checks a jade-metrics/v1 document and returns the
+// number of series.
+func ValidateMetricsJSON(doc []byte) (int, error) { return obs.ValidateMetricsJSON(doc) }
+
+// ValidateComponentsJSON checks a jade-components/v1 document and returns
+// the number of component nodes.
+func ValidateComponentsJSON(doc []byte) (int, error) { return obs.ValidateComponentsJSON(doc) }
 
 // NewPlatform builds a platform with the standard wrapper registry.
 func NewPlatform(opts PlatformOptions) *Platform { return core.NewPlatform(opts) }

@@ -1,0 +1,183 @@
+package jade
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func shortObsScenario(seed int64) ScenarioConfig {
+	cfg := DefaultScenario(seed, true)
+	cfg.Profile = ConstantProfile{Clients: 60, Length: 120}
+	return cfg
+}
+
+// readSnapshots returns filename -> contents for every metrics snapshot
+// in dir.
+func readSnapshots(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+func sameSnapshots(t *testing.T, a, b map[string][]byte) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, data := range a {
+		other, ok := b[name]
+		if !ok {
+			t.Fatalf("snapshot %s missing from second run", name)
+		}
+		if !bytes.Equal(data, other) {
+			t.Fatalf("snapshot %s differs between runs", name)
+		}
+	}
+}
+
+// TestMetricsSnapshotDeterminism: two same-seed runs write byte-identical
+// snapshot files, and every file validates against its exposition format.
+func TestMetricsSnapshotDeterminism(t *testing.T) {
+	run := func() map[string][]byte {
+		dir := t.TempDir()
+		cfg := shortObsScenario(11)
+		cfg.MetricsDir = dir
+		cfg.MetricsInterval = 30
+		if _, err := RunScenario(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return readSnapshots(t, dir)
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no snapshot files written")
+	}
+	sameSnapshots(t, a, b)
+	for name, data := range a {
+		switch {
+		case strings.HasSuffix(name, ".prom"):
+			if _, err := ValidatePrometheusText(data); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		case strings.HasSuffix(name, ".json"):
+			if _, err := ValidateMetricsJSON(data); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		default:
+			t.Fatalf("unexpected snapshot file %s", name)
+		}
+	}
+}
+
+// TestLiveScraperDoesNotPerturbRun: a same-seed run with concurrent HTTP
+// scrapers hammering the admin endpoint produces the same trajectory —
+// request counts, processed events, SLO report, and byte-identical
+// snapshot files — as a run with no endpoint at all. Run under -race this
+// also proves the reader/simulation isolation.
+func TestLiveScraperDoesNotPerturbRun(t *testing.T) {
+	run := func(scrape bool) (*ScenarioResult, map[string][]byte) {
+		dir := t.TempDir()
+		cfg := shortObsScenario(12)
+		cfg.MetricsDir = dir
+		cfg.MetricsInterval = 30
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		if scrape {
+			cfg.HTTPAddr = "127.0.0.1:0"
+			cfg.AdminReady = func(addr string) {
+				for i := 0; i < 4; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							for _, p := range []string{"/metrics", "/metrics.json", "/components", "/loops", "/healthz"} {
+								resp, err := http.Get("http://" + addr + p)
+								if err != nil {
+									continue
+								}
+								io.Copy(io.Discard, resp.Body)
+								resp.Body.Close()
+							}
+						}
+					}()
+				}
+			}
+		}
+		res, err := RunScenario(cfg)
+		close(stop)
+		wg.Wait()
+		if res != nil && res.Admin != nil {
+			res.Admin.Close()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, readSnapshots(t, dir)
+	}
+	plain, plainSnaps := run(false)
+	scraped, scrapedSnaps := run(true)
+
+	if plain.Stats.Completed != scraped.Stats.Completed || plain.Stats.Failed != scraped.Stats.Failed {
+		t.Fatalf("request counts differ: (%d, %d) vs (%d, %d)",
+			plain.Stats.Completed, plain.Stats.Failed, scraped.Stats.Completed, scraped.Stats.Failed)
+	}
+	if p1, p2 := plain.Platform.Eng.Processed(), scraped.Platform.Eng.Processed(); p1 != p2 {
+		t.Fatalf("processed event counts differ: %d vs %d", p1, p2)
+	}
+	if r1, r2 := plain.SLOReport.Render(), scraped.SLOReport.Render(); r1 != r2 {
+		t.Fatalf("SLO reports differ:\n%s\nvs\n%s", r1, r2)
+	}
+	sameSnapshots(t, plainSnaps, scrapedSnaps)
+}
+
+// TestScenarioSLOReportPopulated: the default objectives evaluate against
+// a healthy run and report full compliance with real intervals.
+func TestScenarioSLOReportPopulated(t *testing.T) {
+	cfg := shortObsScenario(13)
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.SLOReport
+	if rep == nil || len(rep.Objectives) != len(DefaultSLOs()) {
+		t.Fatalf("SLO report = %+v", rep)
+	}
+	evaluated := 0
+	for _, o := range rep.Objectives {
+		evaluated += o.Intervals
+	}
+	if evaluated == 0 {
+		t.Fatal("no SLO intervals evaluated")
+	}
+	if !rep.Compliant() {
+		t.Fatalf("healthy run should be compliant:\n%s", rep.Render())
+	}
+	if res.RequestLatency == nil || res.RequestLatency.Count() == 0 {
+		t.Fatal("request latency histogram empty")
+	}
+	if p50, p99 := res.RequestLatency.Quantile(0.5), res.RequestLatency.Quantile(0.99); p50 <= 0 || p99 < p50 {
+		t.Fatalf("implausible latency quantiles: p50=%g p99=%g", p50, p99)
+	}
+}

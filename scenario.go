@@ -1,8 +1,13 @@
 package jade
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"jade/internal/cjdbc"
 	"jade/internal/cluster"
@@ -10,6 +15,7 @@ import (
 	"jade/internal/fractal"
 	"jade/internal/invariant"
 	"jade/internal/metrics"
+	"jade/internal/obs"
 	"jade/internal/rubis"
 	"jade/internal/trace"
 )
@@ -97,8 +103,69 @@ type ScenarioConfig struct {
 	// simulation schedule is unchanged, but the result carries no trace
 	// (violation artifacts lose their event tail).
 	TraceOff bool
+	// MetricsDir, when set, writes a metrics snapshot in Prometheus text
+	// and JSON format (metrics-t<time>.prom/.json) every MetricsInterval
+	// virtual seconds, plus a final snapshot at run end.
+	MetricsDir string
+	// MetricsInterval is the snapshot period in virtual seconds (60 by
+	// default). The snapshot ticker runs in every scenario regardless of
+	// MetricsDir/HTTPAddr, so the event schedule never depends on whether
+	// anyone is watching; page rendering is skipped when unused.
+	MetricsInterval float64
+	// HTTPAddr, when set (e.g. ":8080" or "127.0.0.1:0"), serves the live
+	// admin endpoint for the duration of the run: /metrics, /metrics.json,
+	// /healthz, /components and /loops. Handlers read only immutable pages
+	// published by the simulation at snapshot ticks, so a scraper can
+	// never perturb the run. The server stays up after RunScenario
+	// returns (final pages published); close it via ScenarioResult.Admin.
+	HTTPAddr string
+	// AdminReady, when set with HTTPAddr, receives the bound address as
+	// soon as the listener is up (useful with ephemeral ports).
+	AdminReady func(addr string)
+	// SLOs overrides the evaluated service-level objectives
+	// (DefaultSLOs() when nil). Objectives without a Probe get the
+	// standard scenario probe for their Kind/Tier.
+	SLOs []SLObjective
+	// SLOInterval is the objective evaluation window in virtual seconds
+	// (10 by default).
+	SLOInterval float64
 	// Logf receives management log lines (optional).
 	Logf func(string, ...any)
+}
+
+// DefaultSLOs returns the paper scenario's service-level objectives:
+// client p95 latency under 2 s, client abandon rate under 1%, and both
+// managed tiers' smoothed CPU under 0.90 (just above the reactors' 0.80
+// grow threshold, so sustained saturation shows up as non-compliance).
+func DefaultSLOs() []SLObjective {
+	return []SLObjective{
+		{Name: "client-latency-p95", Tier: "client", Kind: obs.LatencyPercentile,
+			Percentile: 0.95, Max: 2.0, Min: obs.Unbounded()},
+		{Name: "client-abandon-rate", Tier: "client", Kind: obs.AbandonRate,
+			Max: 0.01, Min: obs.Unbounded()},
+		{Name: "app-cpu-band", Tier: "app", Kind: obs.CPUBand,
+			Max: 0.90, Min: obs.Unbounded()},
+		{Name: "db-cpu-band", Tier: "db", Kind: obs.CPUBand,
+			Max: 0.90, Min: obs.Unbounded()},
+	}
+}
+
+// windowValues returns the series values with timestamps in [t0, t1),
+// using binary search over the time-ordered points.
+func windowValues(s *metrics.Series, t0, t1 float64) []float64 {
+	if s == nil || len(s.Points) == 0 {
+		return nil
+	}
+	pts := s.Points
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= t0 })
+	var out []float64
+	for _, p := range pts[lo:] {
+		if p.T >= t1 {
+			break
+		}
+		out = append(out, p.V)
+	}
+	return out
 }
 
 // DefaultScenario returns the paper's §5.2 configuration.
@@ -166,6 +233,19 @@ type ScenarioResult struct {
 	InvariantViolation *invariant.Violation
 	// InvariantChecks counts individual checker evaluations performed.
 	InvariantChecks uint64
+
+	// SLOReport is the post-run compliance report over the evaluated
+	// objectives.
+	SLOReport *obs.SLOReport
+	// RequestLatency is the client-perceived end-to-end latency
+	// histogram (exact quantiles via RequestLatency.Quantile).
+	RequestLatency *obs.Histogram
+	// Admin is the live admin endpoint, still serving the final published
+	// pages (nil without HTTPAddr). Callers own closing it.
+	Admin *obs.AdminServer
+	// AdminAddr is the admin endpoint's bound address ("" without
+	// HTTPAddr).
+	AdminAddr string
 
 	// Platform and Deployment stay accessible for inspection.
 	Platform   *Platform
@@ -462,6 +542,76 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	res.WorkloadStart = p.Eng.Now()
 
+	// Introspection plane: client latency histogram, SLO engine and the
+	// snapshot publisher. Both tickers run unconditionally so the event
+	// schedule is identical whether or not anyone watches the run.
+	reg := p.Metrics()
+	em.Obs = obs.NewTierMetrics(reg, "client", "emulator")
+	res.RequestLatency = em.Obs.Latency
+
+	objs := cfg.SLOs
+	if objs == nil {
+		objs = DefaultSLOs()
+	}
+	for i := range objs {
+		if objs[i].Probe == nil {
+			objs[i].Probe = scenarioProbe(&objs[i], em, res)
+		}
+	}
+	sloInterval := cfg.SLOInterval
+	if sloInterval <= 0 {
+		sloInterval = 10
+	}
+	slo := obs.NewSLOEngine(reg, sloInterval, objs)
+	p.Eng.Every(sloInterval, "slo-eval", slo.Evaluate)
+
+	if cfg.MetricsDir != "" {
+		if err := os.MkdirAll(cfg.MetricsDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	pub := obs.NewPublisher()
+	if cfg.HTTPAddr != "" {
+		admin, aerr := obs.StartAdmin(cfg.HTTPAddr, pub)
+		if aerr != nil {
+			return nil, aerr
+		}
+		res.Admin = admin
+		res.AdminAddr = admin.Addr()
+		if cfg.AdminReady != nil {
+			cfg.AdminReady(admin.Addr())
+		}
+	}
+	metricsInterval := cfg.MetricsInterval
+	if metricsInterval <= 0 {
+		metricsInterval = 60
+	}
+	var snapErr error
+	snapshot := func(now float64) {
+		if res.Admin == nil && cfg.MetricsDir == "" {
+			return // nobody watching: skip rendering, keep the schedule
+		}
+		snap := reg.Snapshot()
+		prom := obs.PrometheusText(snap)
+		js := obs.MetricsJSON(snap)
+		pub.Set("/metrics", prom)
+		pub.Set("/metrics.json", js)
+		pub.Set("/components", componentsPage(now, dep, p))
+		pub.Set("/loops", loopsPage(now, res))
+		pub.Set("/healthz", healthPage(now, p, dep, harness))
+		if cfg.MetricsDir != "" {
+			base := filepath.Join(cfg.MetricsDir, fmt.Sprintf("metrics-t%08d", int64(math.Round(now))))
+			if err := os.WriteFile(base+".prom", prom, 0o644); err != nil && snapErr == nil {
+				snapErr = err
+			}
+			if err := os.WriteFile(base+".json", js, 0o644); err != nil && snapErr == nil {
+				snapErr = err
+			}
+		}
+	}
+	snapshot(p.Eng.Now())
+	p.Eng.Every(metricsInterval, "obs-snapshot", snapshot)
+
 	if cfg.FailComponent != "" {
 		p.Eng.After(cfg.FailAt, "inject-failure", func() {
 			if node, err := dep.NodeOf(cfg.FailComponent); err == nil {
@@ -585,7 +735,109 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		res.Reconfigurations = int(res.AppManager.Reactor.Grows + res.AppManager.Reactor.Shrinks +
 			res.DBManager.Reactor.Grows + res.DBManager.Reactor.Shrinks)
 	}
+	res.SLOReport = slo.Report()
+	snapshot(p.Eng.Now())
+	if snapErr != nil {
+		return nil, snapErr
+	}
 	return res, nil
+}
+
+// scenarioProbe returns the standard probe for an objective's Kind/Tier,
+// reading the scenario's own measurement streams over [t0, t1).
+func scenarioProbe(obj *SLObjective, em *Emulator, res *ScenarioResult) func(t0, t1 float64) (float64, bool) {
+	switch obj.Kind {
+	case obs.LatencyPercentile:
+		pct := obj.Percentile
+		return func(t0, t1 float64) (float64, bool) {
+			vs := windowValues(em.Stats().Latency, t0, t1)
+			if len(vs) == 0 {
+				return 0, false
+			}
+			sort.Float64s(vs)
+			return metrics.Percentile(vs, pct), true
+		}
+	case obs.AbandonRate:
+		var prevC, prevF uint64
+		return func(t0, t1 float64) (float64, bool) {
+			st := em.Stats()
+			dc, df := st.Completed-prevC, st.Failed-prevF
+			prevC, prevF = st.Completed, st.Failed
+			if dc+df == 0 {
+				return 0, false
+			}
+			return float64(df) / float64(dc+df), true
+		}
+	case obs.CPUBand:
+		var s *Series
+		switch obj.Tier {
+		case "app":
+			s = res.App.CPUSmoothed
+		case "db":
+			s = res.DB.CPUSmoothed
+		}
+		return func(t0, t1 float64) (float64, bool) {
+			vs := windowValues(s, t0, t1)
+			if len(vs) == 0 {
+				return 0, false
+			}
+			return metrics.SpatialMean(vs), true
+		}
+	}
+	return func(float64, float64) (float64, bool) { return 0, false }
+}
+
+// Introspection document schemas.
+const (
+	// ComponentsSchema identifies the /components Fractal-tree document.
+	ComponentsSchema = "jade-components/v1"
+	// LoopsSchema identifies the /loops control-loop status document.
+	LoopsSchema = "jade-loops/v1"
+)
+
+// componentsPage renders the deployed application and management trees.
+func componentsPage(now float64, dep *Deployment, p *Platform) []byte {
+	doc := struct {
+		Schema string         `json:"schema"`
+		Time   float64        `json:"time"`
+		Roots  []fractal.View `json:"roots"`
+	}{ComponentsSchema, now, []fractal.View{dep.Root.View(), p.ManagementRoot().View()}}
+	b, _ := json.MarshalIndent(doc, "", "  ")
+	return append(b, '\n')
+}
+
+// loopsPage renders the sizing control loops' live status.
+func loopsPage(now float64, res *ScenarioResult) []byte {
+	loops := []obs.LoopStatus{}
+	if res.AppManager != nil {
+		loops = append(loops, res.AppManager.Status(now))
+	}
+	if res.DBManager != nil {
+		loops = append(loops, res.DBManager.Status(now))
+	}
+	doc := struct {
+		Schema string           `json:"schema"`
+		Time   float64          `json:"time"`
+		Loops  []obs.LoopStatus `json:"loops"`
+	}{LoopsSchema, now, loops}
+	b, _ := json.MarshalIndent(doc, "", "  ")
+	return append(b, '\n')
+}
+
+// healthPage renders the liveness document.
+func healthPage(now float64, p *Platform, dep *Deployment, harness *invariant.Harness) []byte {
+	status := "ok"
+	if harness != nil && harness.Violation() != nil {
+		status = "invariant-violation"
+	}
+	doc := struct {
+		Status     string  `json:"status"`
+		Time       float64 `json:"time"`
+		Events     uint64  `json:"events_processed"`
+		Components int     `json:"components"`
+	}{status, now, p.Eng.Processed(), len(dep.ComponentNames())}
+	b, _ := json.MarshalIndent(doc, "", "  ")
+	return append(b, '\n')
 }
 
 // mustScenario is a helper for the experiment runners.
