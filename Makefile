@@ -1,16 +1,19 @@
 # Tier-1 gate plus the simulation-testing harness.
 #
-#   make ci          - vet, race-enabled tests, chaos sweep, trace smoke, bench smoke
-#   make test        - plain test run (what the seed gate runs)
-#   make sweep       - 20-seed invariant chaos sweep at 8x compression
-#   make trace-smoke - export a managed-run trace and validate its schema
-#   make bench-smoke - measure the sim core into BENCH_core.json and sanity-check it
-#   make obs-smoke   - scrape a live run's admin endpoint and validate the exposition
+#   make ci           - vet, race-enabled tests, chaos sweep, smokes, api check
+#   make test         - plain test run (what the seed gate runs)
+#   make sweep        - 20-seed invariant chaos sweep at 8x compression
+#   make trace-smoke  - export a managed-run trace and validate its schema
+#   make bench-smoke  - measure the sim core into BENCH_core.json and sanity-check it
+#   make obs-smoke    - scrape a live run's admin endpoint and validate the exposition
+#   make netsim-smoke - run the partition scenario from examples/netfault.json
+#                       end to end (invariant-checked; nonzero exit on violation)
+#   make api-check    - diff the facade's exported surface against testdata/api_surface.txt
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke api-check ci
 
 all: build
 
@@ -30,7 +33,7 @@ sweep:
 	$(GO) run ./cmd/jadebench -sweep 20 -speedup 8
 
 trace-smoke:
-	$(GO) run ./cmd/jadectl scenario -clients 300 -duration 300 -managed -trace $(TRACE_TMP)
+	$(GO) run ./cmd/jadectl scenario -clients 300 -duration 300 -managed -trace.chrome $(TRACE_TMP)
 	$(GO) run ./cmd/jadectl trace-validate $(TRACE_TMP)
 	rm -f $(TRACE_TMP)
 
@@ -39,6 +42,12 @@ bench-smoke:
 	$(GO) run ./cmd/jadebench -bench-validate BENCH_core.json
 
 obs-smoke:
-	$(GO) run ./cmd/jadectl scenario -clients 200 -duration 300 -managed -http 127.0.0.1:0 -scrape-check
+	$(GO) run ./cmd/jadectl scenario -clients 200 -duration 300 -managed -metrics.http 127.0.0.1:0 -metrics.scrape-check
 
-ci: vet race sweep trace-smoke bench-smoke obs-smoke
+netsim-smoke:
+	$(GO) run ./cmd/jadectl scenario -config examples/netfault.json
+
+api-check:
+	$(GO) test -run TestAPISurface .
+
+ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke api-check

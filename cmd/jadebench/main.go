@@ -3,14 +3,15 @@
 //
 // Usage:
 //
-//	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME] [-trace FILE]
+//	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME] [-trace.chrome FILE]
 //	jadebench -sweep N [-speedup X] [-parallel N] [-artifact PATH]
 //	jadebench -replay PATH [-speedup X]
 //	jadebench -bench-core [-bench-out PATH] [-parallel N]
 //	jadebench -bench-validate PATH
 //
-// -trace writes the managed paper run's telemetry bus as a Chrome
-// trace-event file (Perfetto-loadable).
+// -trace.chrome writes the managed paper run's telemetry bus as a Chrome
+// trace-event file (Perfetto-loadable); the old -trace spelling still
+// parses as a hidden deprecated alias that warns once.
 //
 // -parallel fans independent runs (sweep seeds, ablation variants, the
 // managed/unmanaged pair) over a worker pool; 0 uses GOMAXPROCS. Results
@@ -20,8 +21,10 @@
 // allocs/event, sweep seeds/minute) and writes BENCH_core.json;
 // -bench-validate sanity-checks such a record.
 //
-// Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, ablations,
-// summary, all (default).
+// Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, churn,
+// netfault, ablations, summary, all (default). netfault compares the
+// φ-accrual failure detector and self-recovery under message loss,
+// heartbeat partitions and real crashes on the simulated network.
 //
 // -sweep runs the invariant-checked chaos sweep (the Fig. 5 scenario under
 // a crash/reboot/slow schedule) over N seeds, writing a replayable artifact
@@ -36,21 +39,28 @@ import (
 	"strings"
 
 	"jade"
+	"jade/internal/cliutil"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|ablations|summary|all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|ablations|summary|all")
 	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
 	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
-	traceOut := flag.String("trace", "", "write the managed paper run's telemetry bus as a Chrome trace-event file")
+	traceOut := flag.String("trace.chrome", "", "write the managed paper run's telemetry bus as a Chrome trace-event file")
 	parallel := flag.Int("parallel", 0, "worker count for fanning independent runs out (0 = GOMAXPROCS; results are deterministic regardless)")
 	benchCore := flag.Bool("bench-core", false, "benchmark the simulation core and write the perf record instead of running an experiment")
 	benchOut := flag.String("bench-out", "BENCH_core.json", "where -bench-core writes its record")
 	benchValidate := flag.String("bench-validate", "", "sanity-check a BENCH_core.json written by -bench-core")
+	cliutil.Warnings = os.Stderr
+	cliutil.Alias(flag.CommandLine, "trace.chrome", "trace")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: jadebench [flags]")
+		cliutil.PrintDefaults(flag.CommandLine, os.Stderr)
+	}
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -223,6 +233,14 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string) error
 				"  availability:      %.4f\n",
 				r.InjectedFailures, r.Repairs, r.Stats.Completed, r.Stats.Failed,
 				float64(r.Stats.Completed)/total))
+	}
+
+	if want("netfault") {
+		_, table, err := jade.RunNetFault(seed)
+		if err != nil {
+			return err
+		}
+		section("Managed recovery under network faults — loss, partitions, crashes", table)
 	}
 
 	if want("table1") {

@@ -7,23 +7,42 @@
 //
 //	jadectl validate [-adl FILE]
 //	jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
-//	jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]
-//	                 [-trace FILE] [-trace-jsonl FILE] [-trace-requests N]
-//	                 [-metrics-dir DIR] [-metrics-interval SECONDS]
-//	                 [-http ADDR] [-scrape-check] [-serve]
+//	jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS]
+//	                 [-managed] [-sessions] [-recovery] [-fault.mtbf SECONDS]
+//	                 [-net.enable] [-net.latency MS] [-net.jitter MS] [-net.loss P]
+//	                 [-trace.chrome FILE] [-trace.jsonl FILE] [-trace.requests N]
+//	                 [-metrics.dir DIR] [-metrics.interval SECONDS]
+//	                 [-metrics.http ADDR] [-metrics.scrape-check] [-metrics.serve]
 //	jadectl trace-validate FILE
 //
 // Without -adl, the built-in three-tier RUBiS architecture is used.
-// -trace exports the run's telemetry bus in Chrome trace-event format
-// (load it at ui.perfetto.dev); -trace-jsonl exports the raw events and
-// spans one JSON object per line. trace-validate checks an exported
-// Chrome trace against the trace-event schema.
 //
-// -metrics-dir writes periodic metrics snapshots (Prometheus text +
-// JSON). -http serves the live admin endpoint (/metrics, /metrics.json,
-// /healthz, /components, /loops) while the scenario runs; -serve keeps it
-// up afterwards, and -scrape-check makes jadectl scrape and validate its
-// own endpoint after the run (the CI smoke check).
+// scenario flags are namespaced by concern (fault.*, net.*, trace.*,
+// metrics.*); the pre-namespace spellings (-mtbf, -trace, -trace-jsonl,
+// -trace-requests, -metrics-dir, -metrics-interval, -http, -scrape-check,
+// -serve) still parse as hidden deprecated aliases that warn once.
+//
+// -config loads a grouped run spec (JSON, the jade.Spec schema — see
+// examples/netfault.json); flags set explicitly on the command line
+// override the file. A run whose spec enables invariant checking exits
+// nonzero on the first violation.
+//
+// -net.enable routes every inter-tier call and heartbeat over the
+// simulated network (per-link latency/jitter/loss, injectable
+// partitions); with -recovery it also replaces the recovery manager's
+// failure oracle with the φ-accrual heartbeat detector.
+//
+// -trace.chrome exports the run's telemetry bus in Chrome trace-event
+// format (load it at ui.perfetto.dev); -trace.jsonl exports the raw
+// events and spans one JSON object per line. trace-validate checks an
+// exported Chrome trace against the trace-event schema.
+//
+// -metrics.dir writes periodic metrics snapshots (Prometheus text +
+// JSON). -metrics.http serves the live admin endpoint (/metrics,
+// /metrics.json, /healthz, /components, /loops) while the scenario runs;
+// -metrics.serve keeps it up afterwards, and -metrics.scrape-check makes
+// jadectl scrape and validate its own endpoint after the run (the CI
+// smoke check).
 package main
 
 import (
@@ -36,9 +55,11 @@ import (
 	"time"
 
 	"jade"
+	"jade/internal/cliutil"
 )
 
 func main() {
+	cliutil.Warnings = os.Stderr
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -71,10 +92,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jadectl validate [-adl FILE]
   jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
-  jadectl scenario [-seed N] [-clients N] [-duration SECONDS] [-managed] [-sessions] [-recovery] [-mtbf SECONDS]
-                   [-trace FILE] [-trace-jsonl FILE] [-trace-requests N]
-                   [-metrics-dir DIR] [-metrics-interval SECONDS]
-                   [-http ADDR] [-scrape-check] [-serve]
+  jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS]
+                   [-managed] [-sessions] [-recovery] [-fault.mtbf SECONDS]
+                   [-net.enable] [-net.latency MS] [-net.jitter MS] [-net.loss P]
+                   [-trace.chrome FILE] [-trace.jsonl FILE] [-trace.requests N]
+                   [-metrics.dir DIR] [-metrics.interval SECONDS]
+                   [-metrics.http ADDR] [-metrics.scrape-check] [-metrics.serve]
   jadectl trace-validate FILE`)
 }
 
@@ -197,45 +220,108 @@ func max1(v float64) float64 {
 
 func cmdScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	configPath := fs.String("config", "", "grouped run spec (JSON, the jade.Spec schema); explicit flags override the file")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	clients := fs.Int("clients", 200, "constant client population")
 	duration := fs.Float64("duration", 600, "workload duration (simulated seconds)")
 	managed := fs.Bool("managed", true, "arm the self-optimization managers")
 	sessions := fs.Bool("sessions", false, "use Markov sessions instead of i.i.d. interaction sampling")
 	recovery := fs.Bool("recovery", false, "arm the self-recovery manager")
-	mtbf := fs.Float64("mtbf", 0, "inject node crashes with this mean time between failures (seconds; 0 = none)")
-	traceOut := fs.String("trace", "", "write the telemetry bus as a Chrome trace-event file (Perfetto-loadable)")
-	traceJSONL := fs.String("trace-jsonl", "", "write the telemetry bus as JSONL (one event/span per line)")
-	traceReqs := fs.Int("trace-requests", 0, "open a causal span for every N-th client request (0 = default 25 when tracing)")
-	metricsDir := fs.String("metrics-dir", "", "write periodic metrics snapshots (Prometheus text + JSON) into this directory")
-	metricsInterval := fs.Float64("metrics-interval", 60, "snapshot period in simulated seconds")
-	httpAddr := fs.String("http", "", "serve the live admin endpoint on this address (e.g. :8080 or 127.0.0.1:0)")
-	scrapeCheck := fs.Bool("scrape-check", false, "after the run, scrape the admin endpoint and validate the exposition (requires -http)")
-	serve := fs.Bool("serve", false, "keep the admin endpoint serving the final pages after the run (requires -http; ctrl-C to exit)")
+	mtbf := fs.Float64("fault.mtbf", 0, "inject node crashes with this mean time between failures (seconds; 0 = none)")
+	netEnable := fs.Bool("net.enable", false, "route inter-tier calls and heartbeats over the simulated network")
+	netLatency := fs.Float64("net.latency", 0.3, "default link latency (milliseconds)")
+	netJitter := fs.Float64("net.jitter", 0, "default link jitter (milliseconds)")
+	netLoss := fs.Float64("net.loss", 0, "default link loss probability, in [0,1)")
+	traceOut := fs.String("trace.chrome", "", "write the telemetry bus as a Chrome trace-event file (Perfetto-loadable)")
+	traceJSONL := fs.String("trace.jsonl", "", "write the telemetry bus as JSONL (one event/span per line)")
+	traceReqs := fs.Int("trace.requests", 0, "open a causal span for every N-th client request (0 = default 25 when tracing)")
+	metricsDir := fs.String("metrics.dir", "", "write periodic metrics snapshots (Prometheus text + JSON) into this directory")
+	metricsInterval := fs.Float64("metrics.interval", 60, "snapshot period in simulated seconds")
+	httpAddr := fs.String("metrics.http", "", "serve the live admin endpoint on this address (e.g. :8080 or 127.0.0.1:0)")
+	scrapeCheck := fs.Bool("metrics.scrape-check", false, "after the run, scrape the admin endpoint and validate the exposition (requires -metrics.http)")
+	serve := fs.Bool("metrics.serve", false, "keep the admin endpoint serving the final pages after the run (requires -metrics.http; ctrl-C to exit)")
+	cliutil.Alias(fs, "fault.mtbf", "mtbf")
+	cliutil.Alias(fs, "trace.chrome", "trace")
+	cliutil.Alias(fs, "trace.jsonl", "trace-jsonl")
+	cliutil.Alias(fs, "trace.requests", "trace-requests")
+	cliutil.Alias(fs, "metrics.dir", "metrics-dir")
+	cliutil.Alias(fs, "metrics.interval", "metrics-interval")
+	cliutil.Alias(fs, "metrics.http", "http")
+	cliutil.Alias(fs, "metrics.scrape-check", "scrape-check")
+	cliutil.Alias(fs, "metrics.serve", "serve")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: jadectl scenario [flags]")
+		cliutil.PrintDefaults(fs, os.Stderr)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*scrapeCheck || *serve) && *httpAddr == "" {
-		return fmt.Errorf("-scrape-check and -serve require -http")
+		return fmt.Errorf("-metrics.scrape-check and -metrics.serve require -metrics.http")
 	}
-	cfg := jade.DefaultScenario(*seed, *managed)
-	cfg.Profile = jade.ConstantProfile{Clients: *clients, Length: *duration}
-	cfg.Sessions = *sessions
-	cfg.Recovery = *recovery
-	cfg.MTBFSeconds = *mtbf
-	cfg.TraceRequests = *traceReqs
-	if cfg.TraceRequests == 0 && (*traceOut != "" || *traceJSONL != "") {
-		cfg.TraceRequests = 25
+
+	spec := jade.DefaultSpec(*seed, *managed)
+	spec.Workload.Profile = jade.ProfileSpec{Kind: "constant", Clients: *clients, DurationSeconds: *duration}
+	apply := func(name string) {
+		switch name {
+		case "seed":
+			spec.Seed = *seed
+		case "managed":
+			spec.Managed = *managed
+		case "clients", "duration":
+			spec.Workload.Profile = jade.ProfileSpec{Kind: "constant", Clients: *clients, DurationSeconds: *duration}
+		case "sessions":
+			spec.Workload.Sessions = *sessions
+		case "recovery":
+			spec.Recovery = *recovery
+		case "fault.mtbf":
+			spec.Faults.MTBFSeconds = *mtbf
+		case "net.enable":
+			spec.Faults.Network.Enabled = *netEnable
+		case "net.latency":
+			spec.Faults.Network.Default.LatencyMS = *netLatency
+		case "net.jitter":
+			spec.Faults.Network.Default.JitterMS = *netJitter
+		case "net.loss":
+			spec.Faults.Network.Default.Loss = *netLoss
+		case "trace.requests":
+			spec.Telemetry.TraceRequests = *traceReqs
+		case "metrics.dir":
+			spec.Telemetry.MetricsDir = *metricsDir
+		case "metrics.interval":
+			spec.Telemetry.MetricsIntervalSeconds = *metricsInterval
+		case "metrics.http":
+			spec.Telemetry.HTTPAddr = *httpAddr
+		}
 	}
-	cfg.MetricsDir = *metricsDir
-	cfg.MetricsInterval = *metricsInterval
-	cfg.HTTPAddr = *httpAddr
-	if *httpAddr != "" {
+	if *configPath != "" {
+		loaded, err := jade.LoadSpec(*configPath)
+		if err != nil {
+			return err
+		}
+		spec = loaded
+		cliutil.SetVisited(fs, apply)
+	} else {
+		for _, name := range []string{"sessions", "recovery", "fault.mtbf",
+			"net.enable", "net.latency", "net.jitter", "net.loss", "trace.requests",
+			"metrics.dir", "metrics.interval", "metrics.http"} {
+			apply(name)
+		}
+	}
+	if spec.Telemetry.TraceRequests == 0 && (*traceOut != "" || *traceJSONL != "") {
+		spec.Telemetry.TraceRequests = 25
+	}
+	cfg, err := spec.Flatten()
+	if err != nil {
+		return err
+	}
+	if cfg.HTTPAddr != "" {
 		cfg.AdminReady = func(addr string) {
 			fmt.Fprintf(os.Stderr, "admin endpoint: http://%s/metrics\n", addr)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "running %v clients for %.0fs (managed=%v)...\n", *clients, *duration, *managed)
+	fmt.Fprintf(os.Stderr, "running %s for %.0fs (managed=%v, network=%v)...\n",
+		describeProfile(spec.Workload.Profile), cfg.Profile.Duration(), cfg.Managed, cfg.Net.Enabled)
 	t0 := time.Now()
 	r, err := jade.RunScenario(cfg)
 	if err != nil {
@@ -258,9 +344,29 @@ func cmdScenario(args []string) error {
 		fmt.Printf("churn: %d crashes injected, %d repairs completed\n",
 			r.InjectedFailures, r.Repairs)
 	}
+	if cfg.Net.Enabled {
+		fmt.Printf("network: %d messages, %d delivered (dropped: %d loss, %d partition), %d RPCs (%d retransmits, %d abandoned), %d partitions injected\n",
+			r.Net.Messages, r.Net.Delivered, r.Net.DroppedLoss, r.Net.DroppedPartition,
+			r.Net.RPCs, r.Net.Retransmits, r.Net.Abandoned, r.Net.Partitions)
+	}
+	if r.Detector != nil {
+		fmt.Printf("detector: %d suspicions (%d true, %d false, %d healed)",
+			r.Detector.Suspicions, r.Detector.TruePositives, r.Detector.FalsePositives, r.Detector.Heals)
+		if r.Detector.TruePositives > 0 {
+			fmt.Printf(", mean detection latency %.1f s", r.Detector.MeanDetectionLatency())
+		}
+		fmt.Println()
+	}
+	if cfg.Invariants {
+		fmt.Printf("invariants: %d checks, %d repair discards (%d confirmed legal)\n",
+			r.InvariantChecks, r.RepairDiscards, r.RepairsConfirmedLegal)
+	}
 	fmt.Printf("\nSLO compliance:\n%s", r.SLOReport.Render())
 	if err := writeTraces(r, *traceOut, *traceJSONL); err != nil {
 		return err
+	}
+	if v := r.InvariantViolation; v != nil {
+		return fmt.Errorf("invariant %q violated at t=%.1f (%s): %s", v.Checker, v.Time, v.Event, v.Detail)
 	}
 	if r.Admin != nil {
 		defer r.Admin.Close()
@@ -277,6 +383,17 @@ func cmdScenario(args []string) error {
 		<-ch
 	}
 	return nil
+}
+
+// describeProfile renders a workload profile spec for the progress line.
+func describeProfile(ps jade.ProfileSpec) string {
+	switch ps.Kind {
+	case "constant":
+		return fmt.Sprintf("%d clients", ps.Clients)
+	case "", "paper-ramp":
+		return "the paper ramp"
+	}
+	return ps.Kind + " profile"
 }
 
 // scrapeAdmin fetches the run's own admin endpoint and validates every

@@ -93,6 +93,34 @@ func Example_selfSizing() {
 	// Output: replicas after overload: 2
 }
 
+// ExampleRunSpec demonstrates the grouped configuration API and the
+// simulated network: heartbeats from the Tomcat replica to the Jade
+// management node are partitioned mid-run, the φ-accrual detector
+// wrongly suspects the live replica, and the self-recovery manager
+// repairs it — legally, as the double-repair invariant confirms the
+// discarded survivor was really terminated.
+func ExampleRunSpec() {
+	spec := jade.DefaultSpec(1, true)
+	spec.Recovery = true
+	spec.Workload.Profile = jade.ProfileSpec{Kind: "constant", Clients: 40, DurationSeconds: 240}
+	spec.Checks.Invariants = true
+	spec.Faults.Network.Enabled = true
+	spec.Faults.Partition = []jade.PartitionSpec{
+		{At: 60, DurationSeconds: 30, A: []string{"tomcat1"}, B: []string{jade.ManagementEndpoint}},
+	}
+	r, err := jade.RunSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("false-positive suspicions:", r.Detector.FalsePositives)
+	fmt.Println("repairs confirmed legal:", r.RepairsConfirmedLegal)
+	fmt.Println("invariant violation:", r.InvariantViolation)
+	// Output:
+	// false-positive suspicions: 2
+	// repairs confirmed legal: 2
+	// invariant violation: <nil>
+}
+
 // ExampleRunScenario runs a short managed evaluation and reports the
 // outcome (deterministic per seed).
 func ExampleRunScenario() {

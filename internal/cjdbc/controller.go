@@ -395,7 +395,7 @@ func (c *Controller) pump(b *backend) {
 		return
 	}
 	b.busy = true
-	b.srv.ExecSQL(rec.Query, func(err error) {
+	c.net.ForwardSQL(c.node.Name(), "sql", b.srv, rec.Query, func(err error) {
 		b.busy = false
 		if err != nil {
 			c.markDead(b, err)
@@ -545,7 +545,7 @@ func (c *Controller) execRead(q legacy.Query, done func(error), attempts int) {
 	if q.TraceSpan != 0 {
 		c.Trace.EmitIn(q.TraceSpan, "sql.read", c.name, trace.F("backend", b.name))
 	}
-	b.srv.ExecSQL(q, func(err error) {
+	c.net.ForwardSQL(c.node.Name(), "sql", b.srv, q, func(err error) {
 		b.reads--
 		if err != nil {
 			c.markDead(b, err)

@@ -1,0 +1,104 @@
+// Package cliutil backs the command-line front ends: namespaced flags
+// keep their old spellings alive as hidden deprecated aliases that
+// forward to the canonical flag and warn once on first use.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// deprecatedPrefix marks an alias flag's usage string; the canonical
+// flag's name follows it (never rendered — aliases are hidden).
+const deprecatedPrefix = "\x00alias:"
+
+// Warnings receives the one-shot deprecation warnings (os.Stderr in the
+// commands; swapped out in tests).
+var Warnings io.Writer = io.Discard
+
+// aliasValue proxies an old flag spelling onto the canonical flag's
+// value, warning once on first use.
+type aliasValue struct {
+	target         flag.Value
+	old, canonical string
+	warned         *bool
+}
+
+func (a aliasValue) String() string {
+	if a.target == nil {
+		return ""
+	}
+	return a.target.String()
+}
+
+func (a aliasValue) Set(s string) error {
+	if !*a.warned {
+		fmt.Fprintf(Warnings, "warning: -%s is deprecated; use -%s\n", a.old, a.canonical)
+		*a.warned = true
+	}
+	return a.target.Set(s)
+}
+
+// IsBoolFlag keeps `-alias` (no value) working for boolean canonicals.
+func (a aliasValue) IsBoolFlag() bool {
+	b, ok := a.target.(interface{ IsBoolFlag() bool })
+	return ok && b.IsBoolFlag()
+}
+
+// Alias registers old as a hidden deprecated spelling of the already
+// registered canonical flag. Parsing -old sets the canonical flag's
+// value and prints a one-time deprecation warning to Warnings.
+func Alias(fs *flag.FlagSet, canonical, old string) {
+	f := fs.Lookup(canonical)
+	if f == nil {
+		panic("cliutil.Alias: unknown canonical flag -" + canonical)
+	}
+	fs.Var(aliasValue{target: f.Value, old: old, canonical: canonical, warned: new(bool)},
+		old, deprecatedPrefix+canonical)
+}
+
+// CanonicalName resolves a flag name that may be a deprecated alias to
+// its canonical name (names that aren't aliases pass through).
+func CanonicalName(fs *flag.FlagSet, name string) string {
+	f := fs.Lookup(name)
+	if f != nil && strings.HasPrefix(f.Usage, deprecatedPrefix) {
+		return strings.TrimPrefix(f.Usage, deprecatedPrefix)
+	}
+	return name
+}
+
+// SetVisited calls fn once per canonical flag that was set on the
+// command line, resolving deprecated aliases to their canonical names
+// (and deduplicating when both spellings appear).
+func SetVisited(fs *flag.FlagSet, fn func(name string)) {
+	seen := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		name := CanonicalName(fs, f.Name)
+		if !seen[name] {
+			seen[name] = true
+			fn(name)
+		}
+	})
+}
+
+// PrintDefaults writes fs's flag listing to w, hiding deprecated
+// aliases (flag.FlagSet.PrintDefaults would render them).
+func PrintDefaults(fs *flag.FlagSet, w io.Writer) {
+	fs.VisitAll(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Usage, deprecatedPrefix) {
+			return
+		}
+		name, usage := flag.UnquoteUsage(f)
+		line := "  -" + f.Name
+		if name != "" {
+			line += " " + name
+		}
+		fmt.Fprintf(w, "%s\n    \t%s", line, usage)
+		if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+			fmt.Fprintf(w, " (default %v)", f.DefValue)
+		}
+		fmt.Fprintln(w)
+	})
+}

@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func newSet() (*flag.FlagSet, *float64, *bool) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	mtbf := fs.Float64("fault.mtbf", 0, "mean time between failures")
+	serve := fs.Bool("metrics.serve", false, "keep serving")
+	Alias(fs, "fault.mtbf", "mtbf")
+	Alias(fs, "metrics.serve", "serve")
+	return fs, mtbf, serve
+}
+
+func TestAliasForwardsAndWarnsOnce(t *testing.T) {
+	var warnings bytes.Buffer
+	old := Warnings
+	Warnings = &warnings
+	defer func() { Warnings = old }()
+
+	fs, mtbf, serve := newSet()
+	if err := fs.Parse([]string{"-mtbf", "300", "-mtbf", "200", "-serve"}); err != nil {
+		t.Fatal(err)
+	}
+	if *mtbf != 200 {
+		t.Fatalf("alias did not forward: mtbf = %v", *mtbf)
+	}
+	if !*serve {
+		t.Fatal("boolean alias without value did not forward")
+	}
+	if n := strings.Count(warnings.String(), "-mtbf is deprecated"); n != 1 {
+		t.Fatalf("want exactly 1 warning for repeated -mtbf, got %d:\n%s", n, warnings.String())
+	}
+	if !strings.Contains(warnings.String(), "use -fault.mtbf") {
+		t.Fatalf("warning does not name the canonical flag:\n%s", warnings.String())
+	}
+}
+
+func TestCanonicalFlagDoesNotWarn(t *testing.T) {
+	var warnings bytes.Buffer
+	old := Warnings
+	Warnings = &warnings
+	defer func() { Warnings = old }()
+
+	fs, mtbf, _ := newSet()
+	if err := fs.Parse([]string{"-fault.mtbf", "60"}); err != nil {
+		t.Fatal(err)
+	}
+	if *mtbf != 60 || warnings.Len() != 0 {
+		t.Fatalf("mtbf=%v warnings=%q", *mtbf, warnings.String())
+	}
+}
+
+func TestSetVisitedResolvesAliases(t *testing.T) {
+	fs, _, _ := newSet()
+	if err := fs.Parse([]string{"-mtbf", "300", "-metrics.serve"}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	SetVisited(fs, func(name string) { got[name] = true })
+	if !got["fault.mtbf"] || !got["metrics.serve"] || len(got) != 2 {
+		t.Fatalf("visited = %v", got)
+	}
+}
+
+func TestPrintDefaultsHidesAliases(t *testing.T) {
+	fs, _, _ := newSet()
+	var out bytes.Buffer
+	PrintDefaults(fs, &out)
+	s := out.String()
+	if !strings.Contains(s, "-fault.mtbf") || !strings.Contains(s, "-metrics.serve") {
+		t.Fatalf("canonical flags missing:\n%s", s)
+	}
+	if strings.Contains(s, "  -mtbf") || strings.Contains(s, "  -serve") {
+		t.Fatalf("deprecated aliases leaked into usage:\n%s", s)
+	}
+}

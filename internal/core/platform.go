@@ -114,6 +114,12 @@ type Platform struct {
 	// (deployment, grow, shrink, repair discard). The invariant harness
 	// subscribes here to check the architecture at every boundary.
 	reconfigHooks []func(now float64, event string)
+
+	// repairDiscardHooks fire when a repair discards a replica. alive
+	// probes whether the discarded identity is still being served — the
+	// DoubleRepair invariant records it to rule out split-brain after
+	// false-positive repairs.
+	repairDiscardHooks []func(now float64, tier, replica string, alive func() (bool, string))
 }
 
 // NewPlatform builds a platform with the standard wrapper registry.
@@ -258,6 +264,18 @@ func (p *Platform) detachManagement(n *cluster.Node) {
 // the boundary (e.g. "application-servers:grow").
 func (p *Platform) OnReconfiguration(fn func(now float64, event string)) {
 	p.reconfigHooks = append(p.reconfigHooks, fn)
+}
+
+// OnRepairDiscard subscribes to replica discards performed by repairs.
+func (p *Platform) OnRepairDiscard(fn func(now float64, tier, replica string, alive func() (bool, string))) {
+	p.repairDiscardHooks = append(p.repairDiscardHooks, fn)
+}
+
+// repairDiscarded notifies the repair-discard subscribers.
+func (p *Platform) repairDiscarded(tier, replica string, alive func() (bool, string)) {
+	for _, fn := range p.repairDiscardHooks {
+		fn(p.Eng.Now(), tier, replica, alive)
+	}
 }
 
 // reconfigured notifies the reconfiguration subscribers.

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 
+	"jade/internal/cluster"
 	"jade/internal/fractal"
+	"jade/internal/legacy"
 	"jade/internal/trace"
 )
 
@@ -17,11 +19,53 @@ type RepairableTier interface {
 	Repair(name string, done func(error))
 }
 
-// discardFailedReplica removes a dead replica from the architecture and
-// the bookkeeping. detach runs first to unhook balancer bindings.
+// terminator is implemented by wrappers whose legacy process can be
+// hard-killed without a graceful stop (STONITH).
+type terminator interface {
+	TerminateManaged()
+}
+
+// serving reports whether the component's legacy process is still alive
+// and able to serve its identity (the double-repair invariant's probe).
+func serving(comp *fractal.Component) (bool, string) {
+	type stateful interface{ State() legacy.State }
+	var st legacy.State
+	switch w := comp.Content().(type) {
+	case *TomcatWrapper:
+		st = w.srv.State()
+	case *MySQLWrapper:
+		st = w.srv.State()
+	case *ApacheWrapper:
+		st = w.srv.State()
+	default:
+		if s, ok := comp.Content().(stateful); ok {
+			st = s.State()
+		} else {
+			return false, ""
+		}
+	}
+	if st == legacy.Running || st == legacy.Starting {
+		return true, "legacy process " + st.String()
+	}
+	return false, ""
+}
+
+// discardFailedReplica removes a suspected-dead replica from the
+// architecture and the bookkeeping. detach runs first to unhook balancer
+// bindings. When the node is actually alive — a false-positive
+// suspicion — the legacy process is terminated before the identity is
+// handed back, so the repaired tier can never end up with two live
+// replicas claiming one name (the split-brain the DoubleRepair invariant
+// checks for).
 func (t *tierBase) discardFailedReplica(name string, comp *fractal.Component, detach func() error) error {
 	if err := detach(); err != nil {
 		return err
+	}
+	node, _ := t.d.NodeOf(name)
+	if node != nil && !node.Failed() {
+		if tw, ok := comp.Content().(terminator); ok {
+			tw.TerminateManaged()
+		}
 	}
 	if comp.State() == fractal.Started {
 		if err := comp.Stop(); err != nil {
@@ -31,7 +75,6 @@ func (t *tierBase) discardFailedReplica(name string, comp *fractal.Component, de
 	if _, err := t.composite.Remove(name); err != nil {
 		return err
 	}
-	node, _ := t.d.NodeOf(name)
 	t.d.unregister(name)
 	t.dropReplica(name)
 	if node != nil {
@@ -40,6 +83,7 @@ func (t *tierBase) discardFailedReplica(name string, comp *fractal.Component, de
 		// nodes until an operator reboots them.
 		_ = t.p.Pool.Release(node)
 	}
+	t.p.repairDiscarded(t.name, name, func() (bool, string) { return serving(comp) })
 	t.p.reconfigured(t.name + ":discard")
 	return nil
 }
@@ -140,6 +184,18 @@ func (t *DBTier) Repair(name string, done func(error)) {
 	})
 }
 
+// Suspector is a pluggable failure detector for the recovery manager
+// (implemented by netsim.Detector). Monitor puts a replica under watch,
+// Forget drops it, Suspected reports the current suspicion verdict.
+// Unlike the default oracle, a Suspector may be late or wrong: the
+// manager repairs whatever it suspects, and the DoubleRepair invariant
+// checks that acting on a false positive stays legal.
+type Suspector interface {
+	Monitor(name string, node *cluster.Node)
+	Forget(name string)
+	Suspected(name string) bool
+}
+
 // RecoveryManager is the self-recovery autonomic manager: a heartbeat
 // failure detector driving repair actuators, one replica at a time. It is
 // both the loop's sensor (counting failed replica nodes) and its reactor.
@@ -148,6 +204,13 @@ type RecoveryManager struct {
 	Loop  *ControlLoop
 	tiers []RepairableTier
 	busy  bool
+
+	// Suspector, when set, replaces the perfect node-state oracle with a
+	// heartbeat suspicion detector; membership is reconciled on every
+	// sensor pass. When nil the manager reads node state directly (the
+	// pre-netsim behavior).
+	Suspector Suspector
+	monitored map[string]bool
 
 	// Arbiter, when set, gates repairs through the arbitration manager
 	// with Priority (default PriorityRecovery: repairs preempt
@@ -184,6 +247,9 @@ type failedReplica struct {
 }
 
 func (m *RecoveryManager) failedReplicas() []failedReplica {
+	if m.Suspector != nil {
+		return m.suspectedReplicas()
+	}
 	var out []failedReplica
 	for _, t := range m.tiers {
 		names := t.ReplicaNames()
@@ -194,6 +260,34 @@ func (m *RecoveryManager) failedReplicas() []failedReplica {
 			}
 		}
 	}
+	return out
+}
+
+// suspectedReplicas reconciles the detector's membership with the tiers'
+// current replicas and returns those the detector suspects.
+func (m *RecoveryManager) suspectedReplicas() []failedReplica {
+	var out []failedReplica
+	current := make(map[string]bool)
+	for _, t := range m.tiers {
+		names := t.ReplicaNames()
+		nodes := t.Nodes()
+		for i, name := range names {
+			if i >= len(nodes) || nodes[i] == nil {
+				continue
+			}
+			current[name] = true
+			m.Suspector.Monitor(name, nodes[i])
+			if m.Suspector.Suspected(name) {
+				out = append(out, failedReplica{tier: t, name: name})
+			}
+		}
+	}
+	for name := range m.monitored {
+		if !current[name] {
+			m.Suspector.Forget(name)
+		}
+	}
+	m.monitored = current
 	return out
 }
 

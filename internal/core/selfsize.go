@@ -679,16 +679,17 @@ func (r *ThresholdReactor) notify() {
 // SizingConfig parameterizes one self-optimization manager instance.
 type SizingConfig struct {
 	// Period is the control loop execution interval (1 s in the paper).
-	Period float64
+	Period float64 `json:"period,omitempty"`
 	// Window is the CPU moving-average span (60 s app tier, 90 s db
 	// tier in the paper).
-	Window float64
+	Window float64 `json:"window,omitempty"`
 	// Min and Max are the CPU thresholds.
-	Min, Max float64
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
 	// InhibitSeconds is the post-reconfiguration quiet period (60 s).
-	InhibitSeconds float64
+	InhibitSeconds float64 `json:"inhibit_seconds,omitempty"`
 	// MaxReplicas caps the tier (0 = pool-bounded).
-	MaxReplicas int
+	MaxReplicas int `json:"max_replicas,omitempty"`
 }
 
 // AppSizingDefaults mirrors the paper's application-tier loop.

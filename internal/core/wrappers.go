@@ -214,6 +214,10 @@ func (w *ApacheWrapper) StartManaged(done func(error)) { w.srv.Start(done) }
 // StopManaged runs the Apache stop script.
 func (w *ApacheWrapper) StopManaged(done func(error)) { w.srv.Stop(done) }
 
+// TerminateManaged hard-kills the Apache process (repair of a replica
+// that may still be alive).
+func (w *ApacheWrapper) TerminateManaged() { w.srv.Terminate() }
+
 // --- Tomcat wrapper ---
 
 // TomcatWrapper manages a Tomcat servlet server: attributes "ajp-port"
@@ -329,6 +333,10 @@ func (w *TomcatWrapper) StartManaged(done func(error)) { w.srv.Start(done) }
 // StopManaged runs Tomcat's stop script.
 func (w *TomcatWrapper) StopManaged(done func(error)) { w.srv.Stop(done) }
 
+// TerminateManaged hard-kills the Tomcat process (repair of a replica
+// that may still be alive).
+func (w *TomcatWrapper) TerminateManaged() { w.srv.Terminate() }
+
 // --- MySQL wrapper ---
 
 // MySQLWrapper manages a MySQL server: attribute "port" edits my.cnf;
@@ -414,6 +422,10 @@ func (w *MySQLWrapper) StartManaged(done func(error)) {
 
 // StopManaged runs the MySQL stop script.
 func (w *MySQLWrapper) StopManaged(done func(error)) { w.srv.Stop(done) }
+
+// TerminateManaged hard-kills the MySQL process (repair of a replica
+// that may still be alive).
+func (w *MySQLWrapper) TerminateManaged() { w.srv.Terminate() }
 
 // --- C-JDBC wrapper ---
 

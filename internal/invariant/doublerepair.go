@@ -1,0 +1,61 @@
+package invariant
+
+import "fmt"
+
+// discardRecord remembers one replica discarded by a repair, with a live
+// probe into the architecture.
+type discardRecord struct {
+	t       float64
+	tier    string
+	replica string
+	alive   func() (bool, string)
+}
+
+// DoubleRepair guards the split-brain hazard a fallible failure detector
+// introduces: when the recovery manager repairs a replica on a
+// false-positive suspicion, the "failed" instance is actually alive, and
+// a buggy repair path would leave two live replicas claiming one
+// identity (the old one still serving, the replacement started under the
+// same tier). The checker records every repair discard together with a
+// probe of the discarded identity and fails if any discarded replica is
+// ever observed serving again — so a repair acting on a wrong suspicion
+// passes exactly when the discard really terminated the survivor.
+type DoubleRepair struct {
+	records []discardRecord
+	checked uint64
+}
+
+// NewDoubleRepair returns an empty checker; feed it via Record (the
+// scenario wires it to Platform.OnRepairDiscard).
+func NewDoubleRepair() *DoubleRepair { return &DoubleRepair{} }
+
+// Record notes that a repair discarded the replica at time t. alive must
+// probe, at call time, whether the discarded identity is still being
+// served, returning a short explanation when it is.
+func (d *DoubleRepair) Record(t float64, tier, replica string, alive func() (bool, string)) {
+	d.records = append(d.records, discardRecord{t: t, tier: tier, replica: replica, alive: alive})
+}
+
+// Discards returns how many repair discards have been recorded.
+func (d *DoubleRepair) Discards() int { return len(d.records) }
+
+// Confirmed returns how many discard records have been verified dead at
+// least once — the count of repairs the invariant confirmed legal.
+func (d *DoubleRepair) Confirmed() uint64 { return d.checked }
+
+// Name implements Checker.
+func (d *DoubleRepair) Name() string { return "double-repair" }
+
+// Check implements Checker: every replica a repair discarded must stay
+// gone.
+func (d *DoubleRepair) Check(now float64, boundary bool) error {
+	for _, r := range d.records {
+		stillAlive, why := r.alive()
+		if stillAlive {
+			return fmt.Errorf("replica %s (%s), discarded by repair at t=%.1f, is still serving (%s): split-brain",
+				r.replica, r.tier, r.t, why)
+		}
+	}
+	d.checked = uint64(len(d.records))
+	return nil
+}

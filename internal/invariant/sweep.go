@@ -21,6 +21,15 @@ const (
 	// Slow saturates the target's node with a CPU hog for Duration
 	// seconds, degrading every job sharing the processor.
 	Slow Kind = "slow"
+	// Partition cuts the simulated network between the event's A and B
+	// endpoint groups (B empty: A against everyone else) for Duration
+	// seconds (default: until a matching Heal). Requires a scenario with
+	// the network fabric enabled.
+	Partition Kind = "partition"
+	// Heal removes the partitions installed by earlier Partition events
+	// (all of them; per-partition healing uses Duration on the Partition
+	// event itself).
+	Heal Kind = "heal"
 )
 
 // Event is one declarative chaos action at a virtual time (relative to
@@ -32,17 +41,28 @@ type Event struct {
 	// Kind is the action.
 	Kind Kind `json:"kind"`
 	// Target is a component name (resolved to its node at fire time) or
-	// a node name.
-	Target string `json:"target"`
-	// Duration parameterizes Slow events (seconds; default 60).
+	// a node name. Unused by Partition/Heal events.
+	Target string `json:"target,omitempty"`
+	// Duration parameterizes Slow events (seconds; default 60) and, when
+	// positive, auto-heals a Partition after that many seconds.
 	Duration float64 `json:"duration,omitempty"`
+	// A and B are the two endpoint groups of a Partition event. Entries
+	// are component names (resolved to nodes at fire time), node names,
+	// or the pseudo-endpoints "client" and "jade". An empty B cuts A off
+	// from everyone else.
+	A []string `json:"a,omitempty"`
+	B []string `json:"b,omitempty"`
 }
 
 func (e Event) String() string {
-	if e.Duration > 0 {
-		return fmt.Sprintf("%s %s at t=%.0f for %.0f s", e.Kind, e.Target, e.At, e.Duration)
+	target := e.Target
+	if e.Kind == Partition {
+		target = fmt.Sprintf("%v|%v", e.A, e.B)
 	}
-	return fmt.Sprintf("%s %s at t=%.0f", e.Kind, e.Target, e.At)
+	if e.Duration > 0 {
+		return fmt.Sprintf("%s %s at t=%.0f for %.0f s", e.Kind, target, e.At, e.Duration)
+	}
+	return fmt.Sprintf("%s %s at t=%.0f", e.Kind, target, e.At)
 }
 
 // Schedule is a declarative failure schedule, applied in At order.

@@ -225,7 +225,7 @@ func (s *Switch) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 			span = s.Trace.Begin(parent, "forward", s.name, trace.F("server", r.name))
 			req.TraceSpan = span
 		}
-		r.target.HandleHTTP(req, func(err error) {
+		s.net.ForwardHTTP(s.node.Name(), "web", r.target, req, func(err error) {
 			r.pending--
 			if err == nil {
 				r.served++

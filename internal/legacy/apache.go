@@ -150,7 +150,7 @@ func (a *Apache) HandleHTTP(req *WebRequest, done func(error)) {
 		}
 		r := a.routes[a.rrNext%len(a.routes)]
 		a.rrNext++
-		r.target.HandleHTTP(req, func(err error) {
+		a.env.Net.ForwardHTTP(a.node.Name(), "app", r.target, req, func(err error) {
 			if err != nil {
 				a.failed++
 			} else {

@@ -96,13 +96,94 @@ type SQLExecutor interface {
 	ExecSQL(q Query, done func(err error))
 }
 
+// Transport, when installed on a Network, carries inter-tier calls as
+// simulated messages with latency, loss, retries and partitions instead
+// of direct function calls (implemented by netsim.Fabric). Endpoints are
+// node names; pseudo-endpoints like "client" name off-cluster parties.
+type Transport interface {
+	// Call performs one RPC from endpoint from to endpoint to for tier
+	// class tier: attempt runs on the callee side each time a request
+	// message arrives (possibly more than once under retries) and must
+	// route its result through reply; done fires exactly once with the
+	// final outcome, which may be a timeout error.
+	Call(from, to, tier string, attempt func(reply func(error)), done func(error))
+}
+
 // Network is the simulated LAN: a registry of listeners by "host:port".
+// Without a Transport installed, calls between listeners are direct and
+// instantaneous; with one, every forward traverses the simulated fabric.
 type Network struct {
 	listeners map[string]any
+	transport Transport
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network { return &Network{listeners: make(map[string]any)} }
+
+// SetTransport installs (or, with nil, removes) the message transport.
+func (n *Network) SetTransport(t Transport) { n.transport = t }
+
+// Transport returns the installed transport (nil when calls are direct).
+func (n *Network) Transport() Transport { return n.transport }
+
+// endpointName extracts the network endpoint of a handler: the name of
+// the node it runs on, or "" for handlers not tied to a node (an empty
+// endpoint is still subject to default latency and loss, but cannot be
+// partitioned).
+func endpointName(target any) string {
+	if nn, ok := target.(interface{ Node() *cluster.Node }); ok {
+		if node := nn.Node(); node != nil {
+			return node.Name()
+		}
+	}
+	return ""
+}
+
+// ForwardHTTP delivers req to target on behalf of the endpoint from,
+// over the transport when one is installed and directly otherwise. tier
+// names the RPC budget class ("front", "web", "app").
+func (n *Network) ForwardHTTP(from, tier string, target HTTPHandler, req *WebRequest, done func(error)) {
+	if n.transport == nil {
+		target.HandleHTTP(req, done)
+		return
+	}
+	n.transport.Call(from, endpointName(target), tier, func(reply func(error)) {
+		target.HandleHTTP(req, reply)
+	}, done)
+}
+
+// ForwardSQL delivers q to target on behalf of the endpoint from, over
+// the transport when one is installed and directly otherwise.
+func (n *Network) ForwardSQL(from, tier string, target SQLExecutor, q Query, done func(error)) {
+	if n.transport == nil {
+		target.ExecSQL(q, done)
+		return
+	}
+	n.transport.Call(from, endpointName(target), tier, func(reply func(error)) {
+		target.ExecSQL(q, reply)
+	}, done)
+}
+
+// remoteHTTP adapts ForwardHTTP to the HTTPHandler interface.
+type remoteHTTP struct {
+	n          *Network
+	from, tier string
+	target     HTTPHandler
+}
+
+func (r remoteHTTP) HandleHTTP(req *WebRequest, done func(error)) {
+	r.n.ForwardHTTP(r.from, r.tier, r.target, req, done)
+}
+
+// RemoteHTTP wraps target so every request traverses the network from
+// the named endpoint (used to put the client emulator behind the fabric).
+// Without a transport it returns target unchanged.
+func (n *Network) RemoteHTTP(from, tier string, target HTTPHandler) HTTPHandler {
+	if n.transport == nil {
+		return target
+	}
+	return remoteHTTP{n: n, from: from, tier: tier, target: target}
+}
 
 // Register binds a listener object to an address.
 func (n *Network) Register(addr string, srv any) error {
@@ -260,6 +341,22 @@ func (p *process) end(done func(error)) {
 		p.node.FreeMemory(p.memMB)
 		finish(nil)
 	})
+}
+
+// Terminate hard-kills the process — the management plane's STONITH for
+// a replica it no longer trusts (e.g. a live server being discarded
+// after a false-positive failure suspicion). The listener disappears and
+// memory is reclaimed immediately, with no graceful stop delay; jobs
+// already submitted to the node's CPU run to completion.
+func (p *process) Terminate() {
+	if p.listenAddr != "" {
+		p.env.Net.Unregister(p.listenAddr)
+		p.listenAddr = ""
+	}
+	if p.state == Running || p.state == Starting {
+		p.node.FreeMemory(p.memMB)
+	}
+	p.state = Stopped
 }
 
 func (p *process) listen(addr string, self any) error {

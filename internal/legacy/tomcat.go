@@ -166,7 +166,7 @@ func (t *Tomcat) runQueries(req *WebRequest, span trace.ID, i int, done func(err
 	}
 	q := req.Queries[i]
 	q.TraceSpan = span
-	t.jdbc.ExecSQL(q, func(err error) {
+	t.env.Net.ForwardSQL(t.node.Name(), "sql", t.jdbc, q, func(err error) {
 		if err != nil {
 			t.failed++
 			done(fmt.Errorf("tomcat %s: query %d: %w", t.name, i, err))

@@ -1,0 +1,374 @@
+// Package netsim is a deterministic simulated network layered on the
+// virtual clock of internal/sim. The paper's testbed runs every
+// inter-tier call and heartbeat over a real 100 Mbps LAN; netsim gives
+// the reproduction the same property in simulation: messages take time,
+// jitter, get lost, and can be cut off by injectable partitions, so the
+// autonomic managers above are exercised against suspicion and timeout
+// dynamics instead of a perfect oracle.
+//
+// The Fabric carries two kinds of traffic:
+//
+//   - Send: one-way datagrams (heartbeats). Lost or partitioned
+//     messages silently disappear.
+//   - Call: tier RPCs with a per-tier budget of timeout, retries and
+//     backoff. The request and the response each traverse the network;
+//     when every attempt times out the call is abandoned with
+//     ErrRPCTimeout instead of hanging forever.
+//
+// Endpoints are plain node names ("node3"); the pseudo-endpoints
+// "client" and "jade" stand for the load injectors and the management
+// node. All randomness comes from the Fabric's own seeded source, so a
+// run is byte-identical given the same seed even with loss enabled.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"jade/internal/obs"
+	"jade/internal/sim"
+	"jade/internal/trace"
+)
+
+// ErrRPCTimeout is the final outcome of a Call whose every attempt timed
+// out; callers account it as an error instead of hanging.
+var ErrRPCTimeout = errors.New("netsim: rpc timed out")
+
+// Well-known pseudo-endpoints.
+const (
+	// ClientEndpoint is the network name of the load injectors.
+	ClientEndpoint = "client"
+	// ManagementEndpoint is the network name of the management node that
+	// hosts the failure detector (heartbeat sink).
+	ManagementEndpoint = "jade"
+)
+
+// Link is the quality of one directed link (or of the whole fabric when
+// used as the default): zero values fall back to a LAN-like default when
+// the fabric is enabled.
+type Link struct {
+	// LatencyMS is the one-way delivery latency in milliseconds.
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	// JitterMS adds a uniform [0, JitterMS) milliseconds to each message.
+	JitterMS float64 `json:"jitter_ms,omitempty"`
+	// Loss is the probability in [0,1) that a message disappears.
+	Loss float64 `json:"loss,omitempty"`
+}
+
+// RPCBudget bounds one tier's RPC attempts.
+type RPCBudget struct {
+	// TimeoutSeconds is the per-attempt patience (default 30 s).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Attempts is the total number of tries (default 3).
+	Attempts int `json:"attempts,omitempty"`
+	// BackoffSeconds is the pause before the first retry, doubling each
+	// further retry (default 2 s).
+	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
+}
+
+// Config configures the simulated network. The zero value is a disabled
+// fabric (calls stay direct and instantaneous, the pre-netsim behavior).
+type Config struct {
+	// Enabled turns the fabric on.
+	Enabled bool `json:"enabled,omitempty"`
+	// Default is the link quality used when no per-link rule matches.
+	Default Link `json:"default,omitempty"`
+	// Links overrides link quality per directed pair, keyed "from->to".
+	Links map[string]Link `json:"links,omitempty"`
+	// RPC holds per-tier budgets keyed by tier class ("front", "web",
+	// "app", "sql"); missing tiers use the budget defaults.
+	RPC map[string]RPCBudget `json:"rpc,omitempty"`
+	// Heartbeat configures the suspicion detector fed by this fabric.
+	Heartbeat HeartbeatConfig `json:"heartbeat,omitempty"`
+	// Seed offsets the fabric's private random source so network noise
+	// can be varied independently of the workload (default 0: derived
+	// from the scenario seed alone).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Stats are the fabric's cumulative message counters.
+type Stats struct {
+	Messages         uint64 `json:"messages"`
+	Delivered        uint64 `json:"delivered"`
+	DroppedLoss      uint64 `json:"dropped_loss"`
+	DroppedPartition uint64 `json:"dropped_partition"`
+	Retransmits      uint64 `json:"retransmits"`
+	RPCs             uint64 `json:"rpcs"`
+	Abandoned        uint64 `json:"abandoned"`
+	Partitions       uint64 `json:"partitions"`
+}
+
+// partition is one active two-sided cut: messages between a member of a
+// and a member of b are dropped. An empty b means "everyone else".
+type partition struct {
+	id   int
+	a, b map[string]bool
+}
+
+func (p *partition) blocks(from, to string) bool {
+	if len(p.b) == 0 {
+		return p.a[from] != p.a[to]
+	}
+	return (p.a[from] && p.b[to]) || (p.a[to] && p.b[from])
+}
+
+// Fabric is the simulated network. A nil *Fabric is valid and inert:
+// Send delivers immediately and Call runs the attempt directly, so call
+// sites need no guards.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+
+	parts  []*partition
+	nextID int
+
+	tr *trace.Tracer
+
+	mMessages    *obs.Counter
+	mDelivered   *obs.Counter
+	mDropLoss    *obs.Counter
+	mDropPart    *obs.Counter
+	mRetransmits *obs.Counter
+	mAbandoned   *obs.Counter
+	gPartitions  *obs.Gauge
+}
+
+// New builds a fabric over the engine. seed is mixed with cfg.Seed so the
+// fabric draws from its own stream, decoupled from workload randomness.
+func New(eng *sim.Engine, cfg Config, seed int64) *Fabric {
+	return &Fabric{
+		eng: eng,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed ^ cfg.Seed ^ 0x6e657473696d)), // "netsim"
+	}
+}
+
+// Instrument attaches the tracer and registers the fabric's metrics. Both
+// arguments may be nil.
+func (f *Fabric) Instrument(tr *trace.Tracer, reg *obs.Registry) {
+	if f == nil {
+		return
+	}
+	f.tr = tr
+	if reg == nil {
+		return
+	}
+	f.mMessages = reg.Counter("jade_net_messages_total", "Messages offered to the simulated network.")
+	f.mDelivered = reg.Counter("jade_net_delivered_total", "Messages delivered by the simulated network.")
+	f.mDropLoss = reg.Counter("jade_net_dropped_total", "Messages dropped by the simulated network.", obs.L("reason", "loss"))
+	f.mDropPart = reg.Counter("jade_net_dropped_total", "Messages dropped by the simulated network.", obs.L("reason", "partition"))
+	f.mRetransmits = reg.Counter("jade_net_retransmits_total", "RPC attempts retried after a timeout.")
+	f.mAbandoned = reg.Counter("jade_net_rpc_abandoned_total", "RPCs abandoned after exhausting their retry budget.")
+	f.gPartitions = reg.Gauge("jade_net_partitions_active", "Network partitions currently in force.")
+}
+
+// Enabled reports whether the fabric intercepts traffic (false for nil).
+func (f *Fabric) Enabled() bool { return f != nil && f.cfg.Enabled }
+
+// Stats returns a copy of the cumulative counters (zero for nil).
+func (f *Fabric) Stats() Stats {
+	if f == nil {
+		return Stats{}
+	}
+	return f.stats
+}
+
+// link resolves the quality of the from->to link.
+func (f *Fabric) link(from, to string) Link {
+	if f.cfg.Links != nil {
+		if l, ok := f.cfg.Links[from+"->"+to]; ok {
+			return l
+		}
+	}
+	l := f.cfg.Default
+	if l.LatencyMS == 0 {
+		l.LatencyMS = 0.3 // switched 100 Mbps LAN one-way latency
+	}
+	return l
+}
+
+// budget resolves the RPC budget of a tier class.
+func (f *Fabric) budget(tier string) RPCBudget {
+	var b RPCBudget
+	if f.cfg.RPC != nil {
+		b = f.cfg.RPC[tier]
+	}
+	if b.TimeoutSeconds <= 0 {
+		b.TimeoutSeconds = 30
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 3
+	}
+	if b.BackoffSeconds <= 0 {
+		b.BackoffSeconds = 2
+	}
+	return b
+}
+
+// Partitioned reports whether an active partition separates from and to.
+func (f *Fabric) Partitioned(from, to string) bool {
+	if f == nil {
+		return false
+	}
+	for _, p := range f.parts {
+		if p.blocks(from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+func toSet(names []string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Partition installs a two-sided cut between the a-side and the b-side
+// endpoints (b empty: a is cut off from everyone else) and returns an id
+// for Heal. The cut is symmetric and takes effect immediately.
+func (f *Fabric) Partition(a, b []string) int {
+	f.nextID++
+	p := &partition{id: f.nextID, a: toSet(a), b: toSet(b)}
+	f.parts = append(f.parts, p)
+	f.stats.Partitions++
+	f.gPartitions.Set(float64(len(f.parts)))
+	f.tr.Emit("net", "net.partition",
+		trace.F("a", joinNames(a)), trace.F("b", joinNames(b)), trace.Fi("id", p.id))
+	return p.id
+}
+
+// Heal removes the identified partition (no-op when already healed).
+func (f *Fabric) Heal(id int) {
+	for i, p := range f.parts {
+		if p.id == id {
+			f.parts = append(f.parts[:i], f.parts[i+1:]...)
+			f.gPartitions.Set(float64(len(f.parts)))
+			f.tr.Emit("net", "net.heal", trace.Fi("id", id))
+			return
+		}
+	}
+}
+
+// HealAll removes every active partition.
+func (f *Fabric) HealAll() {
+	for len(f.parts) > 0 {
+		f.Heal(f.parts[0].id)
+	}
+}
+
+func joinNames(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	out := ""
+	for i, n := range sorted {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}
+
+// Send offers a one-way message and schedules deliver at arrival time.
+// It reports whether the message survived (for tests; senders of
+// datagrams cannot observe the loss). A disabled fabric delivers
+// immediately.
+func (f *Fabric) Send(from, to, kind string, deliver func()) bool {
+	if !f.Enabled() {
+		deliver()
+		return true
+	}
+	f.stats.Messages++
+	f.mMessages.Inc()
+	if f.Partitioned(from, to) {
+		f.stats.DroppedPartition++
+		f.mDropPart.Inc()
+		return false
+	}
+	l := f.link(from, to)
+	// The loss draw happens for every non-partitioned message so the
+	// random stream advances identically whether or not this message is
+	// lost.
+	if lost := f.rng.Float64() < l.Loss; lost {
+		f.stats.DroppedLoss++
+		f.mDropLoss.Inc()
+		f.tr.Emit("net", "net.drop",
+			trace.F("from", from), trace.F("to", to), trace.F("msg", kind))
+		return false
+	}
+	delay := l.LatencyMS / 1000
+	if l.JitterMS > 0 {
+		delay += f.rng.Float64() * l.JitterMS / 1000
+	}
+	f.stats.Delivered++
+	f.mDelivered.Inc()
+	f.eng.After(delay, "net:"+kind, deliver)
+	return true
+}
+
+// Call performs one tier RPC from->to. attempt runs on the callee side
+// each time a request message arrives (so a retried call may execute
+// more than once — at-least-once semantics, like a real stateless HTTP
+// retry); reply carries the result back across the network. done fires
+// exactly once: with the first response to arrive, or with ErrRPCTimeout
+// once the budget for tier is exhausted. A disabled fabric runs attempt
+// directly with done as its reply.
+func (f *Fabric) Call(from, to, tier string, attempt func(reply func(error)), done func(error)) {
+	if !f.Enabled() {
+		attempt(done)
+		return
+	}
+	b := f.budget(tier)
+	f.stats.RPCs++
+	settled := false
+	var try func(n int)
+	try = func(n int) {
+		if settled {
+			return
+		}
+		if n > 0 {
+			f.stats.Retransmits++
+			f.mRetransmits.Inc()
+			f.tr.Emit("net", "net.retransmit",
+				trace.F("from", from), trace.F("to", to), trace.F("tier", tier), trace.Fi("attempt", n))
+		}
+		var timeout sim.Handle
+		reply := func(err error) {
+			// The response crosses the network too; late responses from
+			// superseded attempts lose the race and are discarded.
+			f.Send(to, from, tier+".reply", func() {
+				if settled {
+					return
+				}
+				settled = true
+				f.eng.Cancel(timeout)
+				done(err)
+			})
+		}
+		timeout = f.eng.After(b.TimeoutSeconds, "net:rpc-timeout", func() {
+			if settled {
+				return
+			}
+			if n+1 < b.Attempts {
+				backoff := b.BackoffSeconds * float64(int(1)<<n)
+				f.eng.After(backoff, "net:rpc-backoff", func() { try(n + 1) })
+				return
+			}
+			settled = true
+			f.stats.Abandoned++
+			f.mAbandoned.Inc()
+			f.tr.Emit("net", "net.abandon",
+				trace.F("from", from), trace.F("to", to), trace.F("tier", tier), trace.Fi("attempts", n+1))
+			done(fmt.Errorf("%w: %s %s->%s after %d attempts", ErrRPCTimeout, tier, from, to, n+1))
+		})
+		f.Send(from, to, tier, func() { attempt(reply) })
+	}
+	try(0)
+}

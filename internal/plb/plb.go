@@ -260,7 +260,7 @@ func (b *Balancer) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 			span = b.Trace.Begin(parent, "forward", b.name, trace.F("worker", w.name))
 			req.TraceSpan = span
 		}
-		w.target.HandleHTTP(req, func(err error) {
+		b.net.ForwardHTTP(b.node.Name(), "app", w.target, req, func(err error) {
 			w.pending--
 			if err != nil {
 				w.errors++

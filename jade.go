@@ -21,6 +21,12 @@
 //     self-optimization and self-recovery managers;
 //   - internal/rubis — the RUBiS auction-site workload (26 interactions,
 //     client emulator);
+//   - internal/netsim — the simulated network substrate: per-link
+//     latency/jitter/loss, injectable partitions, tier RPC budgets and
+//     the φ-accrual heartbeat failure detector;
+//   - internal/invariant, internal/trace, internal/obs — invariant
+//     checking with chaos schedules, the causal telemetry bus, and the
+//     deterministic metrics registry;
 //   - internal/sim, internal/cluster, internal/metrics, internal/report —
 //     the discrete-event engine, the simulated node pool, and the
 //     measurement/reporting substrate.
@@ -45,6 +51,7 @@ import (
 	"jade/internal/fractal"
 	"jade/internal/legacy"
 	"jade/internal/metrics"
+	"jade/internal/netsim"
 	"jade/internal/obs"
 	"jade/internal/report"
 	"jade/internal/rubis"
@@ -176,6 +183,40 @@ type (
 	// Query is one SQL request with its CPU demand.
 	Query = legacy.Query
 )
+
+// Re-exported network and fault-injection types: scenarios can route all
+// inter-tier calls and heartbeats over a deterministic simulated network
+// (see internal/netsim) with per-link latency, jitter, loss and
+// injectable partitions, replacing the recovery manager's failure oracle
+// with a φ-accrual heartbeat detector that can be wrong.
+type (
+	// NetworkConfig enables and parameterizes the simulated network.
+	NetworkConfig = netsim.Config
+	// LinkConfig is one directed link's latency/jitter/loss model.
+	LinkConfig = netsim.Link
+	// RPCBudget is a tier call's timeout/retry/backoff budget.
+	RPCBudget = netsim.RPCBudget
+	// HeartbeatConfig parameterizes the φ-accrual failure detector.
+	HeartbeatConfig = netsim.HeartbeatConfig
+	// NetworkFabric is the message-level simulated network.
+	NetworkFabric = netsim.Fabric
+	// NetworkStats counts fabric traffic, drops and abandoned RPCs.
+	NetworkStats = netsim.Stats
+	// FailureDetector is the heartbeat suspicion detector.
+	FailureDetector = netsim.Detector
+	// DetectorStats counts suspicions, mistakes and heals.
+	DetectorStats = netsim.DetectorStats
+)
+
+// Pseudo-endpoints of the simulated network: the client population and
+// the Jade management node.
+const (
+	ClientEndpoint     = netsim.ClientEndpoint
+	ManagementEndpoint = netsim.ManagementEndpoint
+)
+
+// ErrRPCTimeout marks a tier call abandoned after its retry budget.
+var ErrRPCTimeout = netsim.ErrRPCTimeout
 
 // Re-exported telemetry types: every platform carries a structured event
 // bus recording management decisions as causal spans (see internal/trace).

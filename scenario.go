@@ -15,6 +15,7 @@ import (
 	"jade/internal/fractal"
 	"jade/internal/invariant"
 	"jade/internal/metrics"
+	"jade/internal/netsim"
 	"jade/internal/obs"
 	"jade/internal/rubis"
 	"jade/internal/trace"
@@ -84,11 +85,17 @@ type ScenarioConfig struct {
 	// recovery at PriorityRecovery, so repairs may preempt sizing's
 	// quiet window but never the reverse.
 	Arbitrate bool
-	// Chaos is a declarative failure schedule (crash/reboot/slow
-	// events), applied relative to workload start. Unlike MTBFSeconds
-	// it is fully deterministic: the same schedule and seed reproduce
-	// the same run.
+	// Chaos is a declarative failure schedule (crash/reboot/slow/
+	// partition events), applied relative to workload start. Unlike
+	// MTBFSeconds it is fully deterministic: the same schedule and seed
+	// reproduce the same run.
 	Chaos invariant.Schedule
+	// Net enables and configures the simulated network fabric: when
+	// Net.Enabled, every inter-tier call and heartbeat becomes a message
+	// with latency, jitter, loss and partitionability, tier RPCs gain
+	// timeout/retry budgets, and (with Recovery) the perfect failure
+	// oracle is replaced by the heartbeat suspicion detector.
+	Net netsim.Config
 	// ChaosHandler, when set, receives Chaos events whose Kind this
 	// package does not implement and reports whether it handled them.
 	// Tests use it to inject deliberately broken actuations.
@@ -234,6 +241,18 @@ type ScenarioResult struct {
 	// InvariantChecks counts individual checker evaluations performed.
 	InvariantChecks uint64
 
+	// Net summarizes the simulated network's message accounting (all
+	// zero when the fabric is disabled).
+	Net netsim.Stats
+	// Detector summarizes the suspicion detector's behavior — including
+	// its mistakes (nil unless Recovery ran over an enabled fabric).
+	Detector *netsim.DetectorStats
+	// RepairDiscards / RepairsConfirmedLegal count replicas discarded by
+	// repairs and how many of those discards the double-repair invariant
+	// verified dead (only populated with Invariants on).
+	RepairDiscards        int
+	RepairsConfirmedLegal uint64
+
 	// SLOReport is the post-run compliance report over the evaluated
 	// objectives.
 	SLOReport *obs.SLOReport
@@ -320,6 +339,15 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	popts.TraceDisabled = cfg.TraceOff
 	p := NewPlatform(popts)
 
+	// The network fabric goes in before deployment so even the initial
+	// recovery-log joins travel over it.
+	var fabric *netsim.Fabric
+	if cfg.Net.Enabled {
+		fabric = netsim.New(p.Eng, cfg.Net, cfg.Seed)
+		fabric.Instrument(p.Trace(), p.Metrics())
+		p.Net.SetTransport(fabric)
+	}
+
 	dump, err := cfg.Dataset.InitialDatabase(cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -357,6 +385,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 
 	shared := &Inhibitor{}
 	var recMgr *RecoveryManager
+	var detector *netsim.Detector
 	var arb *core.Arbiter
 	if cfg.Managed {
 		cfg.AppSizing.MaxReplicas = cfg.MaxAppReplicas
@@ -394,6 +423,15 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			if arb != nil {
 				rec.Arbiter = arb
 			}
+			if fabric.Enabled() {
+				// With a real network the perfect oracle gives way to the
+				// heartbeat suspicion detector: detection is now late and
+				// sometimes wrong, as on the paper's LAN.
+				det := netsim.NewDetector(p.Eng, fabric, cfg.Net.Heartbeat)
+				det.Instrument(p.Trace(), p.Metrics())
+				rec.Suspector = det
+				detector = det
+			}
 			if err := rec.Loop.Start(); err != nil {
 				return nil, err
 			}
@@ -416,6 +454,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 
 	var harness *invariant.Harness
+	var doubleRepair *invariant.DoubleRepair
 	if cfg.Invariants {
 		harness = invariant.NewHarness(p.Eng)
 		harness.Tail = p.Trace().Tail
@@ -472,6 +511,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			dbAgree,
 			invariant.NewLifecycle(dep.Root, p.ManagementRoot()),
 		)
+		doubleRepair = invariant.NewDoubleRepair()
+		p.OnRepairDiscard(doubleRepair.Record)
+		harness.Register(doubleRepair)
 		if arb != nil {
 			harness.Register(invariant.NewArbiterLegality(arb.QuietSeconds, func() []invariant.ArbiterDecisionView {
 				ds := arb.Decisions()
@@ -528,7 +570,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	})
 
 	front := dep.MustComponent("plb1").Content().(*core.PLBWrapper).Balancer()
-	em := NewEmulator(p.Eng, front, cfg.Mix, cfg.Profile, *cfg.Dataset)
+	// With the fabric enabled the clients sit behind the network too, as
+	// the pseudo-endpoint "client".
+	em := NewEmulator(p.Eng, p.Net.RemoteHTTP(netsim.ClientEndpoint, "front", front), cfg.Mix, cfg.Profile, *cfg.Dataset)
 	em.ThinkTime = cfg.ThinkTime
 	if cfg.TraceRequests > 0 {
 		em.Trace = p.Trace()
@@ -669,6 +713,26 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 					if hog != nil {
 						p.Eng.After(dur, "chaos:slow-end", func() { node.Cancel(hog) })
 					}
+				case invariant.Partition:
+					if !fabric.Enabled() {
+						p.Logf("chaos: partition event ignored (network fabric disabled)")
+						return
+					}
+					a := resolveEndpoints(dep, ev.A)
+					b := resolveEndpoints(dep, ev.B)
+					p.Logf("chaos: partitioning %v | %v", a, b)
+					id := fabric.Partition(a, b)
+					if ev.Duration > 0 {
+						p.Eng.After(ev.Duration, "chaos:partition-heal", func() {
+							p.Logf("chaos: healing partition %v | %v", a, b)
+							fabric.Heal(id)
+						})
+					}
+				case invariant.Heal:
+					if fabric.Enabled() {
+						p.Logf("chaos: healing all partitions")
+						fabric.HealAll()
+					}
 				default:
 					if cfg.ChaosHandler == nil || !cfg.ChaosHandler(res, ev) {
 						p.Logf("chaos: unhandled event kind %q on %s", ev.Kind, ev.Target)
@@ -730,6 +794,15 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.NodeSeconds = nodeSeconds
 	if recMgr != nil {
 		res.Repairs = recMgr.Repairs
+	}
+	res.Net = fabric.Stats()
+	if detector != nil {
+		stats := detector.Stats()
+		res.Detector = &stats
+	}
+	if doubleRepair != nil {
+		res.RepairDiscards = doubleRepair.Discards()
+		res.RepairsConfirmedLegal = doubleRepair.Confirmed()
 	}
 	if cfg.Managed {
 		res.Reconfigurations = int(res.AppManager.Reactor.Grows + res.AppManager.Reactor.Shrinks +
@@ -838,6 +911,21 @@ func healthPage(now float64, p *Platform, dep *Deployment, harness *invariant.Ha
 	}{status, now, p.Eng.Processed(), len(dep.ComponentNames())}
 	b, _ := json.MarshalIndent(doc, "", "  ")
 	return append(b, '\n')
+}
+
+// resolveEndpoints maps a chaos partition group to fabric endpoint
+// names: component names resolve to their current node, anything else
+// (node names, "client", "jade") passes through literally.
+func resolveEndpoints(dep *Deployment, names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		if node, err := dep.NodeOf(name); err == nil {
+			out = append(out, node.Name())
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
 }
 
 // mustScenario is a helper for the experiment runners.

@@ -1,0 +1,348 @@
+package jade
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"jade/internal/netsim"
+)
+
+// Spec is the grouped scenario configuration: the same knobs as the flat
+// ScenarioConfig, organized by concern (Workload, Faults, Sizing,
+// Checks, Telemetry) with JSON round-tripping, defaults-on-zero
+// semantics and a Validate method. New code and config files should use
+// Spec; ScenarioConfig remains supported as the flattened form Spec
+// compiles down to (see Flatten).
+type Spec struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64 `json:"seed,omitempty"`
+	// Managed enables the self-optimization managers; Recovery
+	// additionally arms the self-recovery manager.
+	Managed  bool `json:"managed,omitempty"`
+	Recovery bool `json:"recovery,omitempty"`
+
+	Workload  WorkloadSpec  `json:"workload"`
+	Faults    FaultsSpec    `json:"faults"`
+	Sizing    SizingSpec    `json:"sizing"`
+	Checks    ChecksSpec    `json:"checks"`
+	Telemetry TelemetrySpec `json:"telemetry"`
+}
+
+// ProfileSpec selects a client population profile declaratively.
+type ProfileSpec struct {
+	// Kind is "paper-ramp" (default), "constant" or "ramp".
+	Kind string `json:"kind,omitempty"`
+	// Clients and DurationSeconds parameterize "constant".
+	Clients         int     `json:"clients,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// Base, Peak, StepPerMinute and HoldAtPeakSeconds parameterize
+	// "ramp" (zero fields take the paper's values).
+	Base              int     `json:"base,omitempty"`
+	Peak              int     `json:"peak,omitempty"`
+	StepPerMinute     int     `json:"step_per_minute,omitempty"`
+	HoldAtPeakSeconds float64 `json:"hold_at_peak_seconds,omitempty"`
+}
+
+// Profile materializes the declarative profile.
+func (ps ProfileSpec) Profile() (Profile, error) {
+	switch ps.Kind {
+	case "", "paper-ramp":
+		return PaperRamp(), nil
+	case "constant":
+		clients, dur := ps.Clients, ps.DurationSeconds
+		if clients <= 0 {
+			clients = 100
+		}
+		if dur <= 0 {
+			dur = 600
+		}
+		return ConstantProfile{Clients: clients, Length: dur}, nil
+	case "ramp":
+		r := PaperRamp()
+		if ps.Base > 0 {
+			r.Base = ps.Base
+		}
+		if ps.Peak > 0 {
+			r.Peak = ps.Peak
+		}
+		if ps.StepPerMinute > 0 {
+			r.StepPerMinute = ps.StepPerMinute
+		}
+		if ps.HoldAtPeakSeconds > 0 {
+			r.HoldAtPeak = ps.HoldAtPeakSeconds
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("jade: unknown profile kind %q (want paper-ramp, constant or ramp)", ps.Kind)
+}
+
+// WorkloadSpec groups what the clients do.
+type WorkloadSpec struct {
+	// Profile is the client population profile (paper-ramp by default).
+	Profile ProfileSpec `json:"profile"`
+	// Mix is "bidding" (default) or "browsing".
+	Mix string `json:"mix,omitempty"`
+	// Sessions switches the emulator to RUBiS-style Markov sessions.
+	Sessions bool `json:"sessions,omitempty"`
+	// ThinkTimeSeconds is the mean client think time (7 by default).
+	ThinkTimeSeconds float64 `json:"think_time_seconds,omitempty"`
+	// DrainSeconds extends the run after the profile ends (60 default).
+	DrainSeconds float64 `json:"drain_seconds,omitempty"`
+}
+
+// PartitionSpec is one declarative network partition: at At seconds
+// after workload start, cut group A from group B (B empty: from
+// everyone else) for DurationSeconds (0: until the end of the run).
+type PartitionSpec struct {
+	At              float64  `json:"at"`
+	DurationSeconds float64  `json:"duration_seconds,omitempty"`
+	A               []string `json:"a"`
+	B               []string `json:"b,omitempty"`
+}
+
+// FaultsSpec groups everything that goes wrong on purpose.
+type FaultsSpec struct {
+	// MTBFSeconds, when positive, injects random replica-node crashes.
+	MTBFSeconds float64 `json:"mtbf_seconds,omitempty"`
+	// FailAt/FailComponent crash one component's node at a fixed time.
+	FailAt        float64 `json:"fail_at,omitempty"`
+	FailComponent string  `json:"fail_component,omitempty"`
+	// Chaos is the declarative crash/reboot/slow/partition schedule.
+	Chaos ChaosSchedule `json:"chaos,omitempty"`
+	// Partition is sugar for Chaos partition events: each entry cuts the
+	// simulated network between its A and B groups. Requires
+	// Network.Enabled.
+	Partition []PartitionSpec `json:"partition,omitempty"`
+	// Network enables and configures the simulated network fabric.
+	Network netsim.Config `json:"network"`
+}
+
+// SizingSpec groups cluster and control-loop sizing.
+type SizingSpec struct {
+	// Nodes is the cluster size (9 by default).
+	Nodes int `json:"nodes,omitempty"`
+	// App and DB parameterize the two sizing loops.
+	App SizingConfig `json:"app"`
+	DB  SizingConfig `json:"db"`
+	// MaxAppReplicas / MaxDBReplicas cap the tiers (2 and 3 by default
+	// when managed).
+	MaxAppReplicas int `json:"max_app_replicas,omitempty"`
+	MaxDBReplicas  int `json:"max_db_replicas,omitempty"`
+	// ThrashThreshold / ThrashFactor configure node overload behavior.
+	ThrashThreshold int     `json:"thrash_threshold,omitempty"`
+	ThrashFactor    float64 `json:"thrash_factor,omitempty"`
+	// Arbitrate replaces the shared inhibitor with the arbitration
+	// manager.
+	Arbitrate bool `json:"arbitrate,omitempty"`
+}
+
+// ChecksSpec groups run-time validation.
+type ChecksSpec struct {
+	// Invariants enables the invariant-checking harness.
+	Invariants bool `json:"invariants,omitempty"`
+	// InvariantPeriodSeconds is the harness ticker period (1 default).
+	InvariantPeriodSeconds float64 `json:"invariant_period_seconds,omitempty"`
+	// SLOIntervalSeconds is the SLO evaluation window (10 default).
+	SLOIntervalSeconds float64 `json:"slo_interval_seconds,omitempty"`
+}
+
+// TelemetrySpec groups observability outputs.
+type TelemetrySpec struct {
+	// TraceRequests samples every N-th client request into the causal
+	// span store (0: management events only).
+	TraceRequests int `json:"trace_requests,omitempty"`
+	// TraceOff disables the telemetry bus entirely.
+	TraceOff bool `json:"trace_off,omitempty"`
+	// MetricsDir/MetricsIntervalSeconds write periodic snapshots.
+	MetricsDir             string  `json:"metrics_dir,omitempty"`
+	MetricsIntervalSeconds float64 `json:"metrics_interval_seconds,omitempty"`
+	// HTTPAddr serves the live admin endpoint.
+	HTTPAddr string `json:"http_addr,omitempty"`
+}
+
+// DefaultSpec mirrors DefaultScenario in grouped form: the paper's §5.2
+// configuration.
+func DefaultSpec(seed int64, managed bool) Spec {
+	return Spec{
+		Seed:    seed,
+		Managed: managed,
+		Workload: WorkloadSpec{
+			Profile:          ProfileSpec{Kind: "paper-ramp"},
+			Mix:              "bidding",
+			ThinkTimeSeconds: 7,
+			DrainSeconds:     60,
+		},
+		Sizing: SizingSpec{
+			Nodes:           9,
+			App:             AppSizingDefaults(),
+			DB:              DBSizingDefaults(),
+			MaxAppReplicas:  2,
+			MaxDBReplicas:   3,
+			ThrashThreshold: 60,
+			ThrashFactor:    0.08,
+		},
+	}
+}
+
+// Validate checks the spec for contradictions before a run. Zero values
+// are fine everywhere (they take defaults); Validate flags what defaults
+// cannot repair.
+func (s Spec) Validate() error {
+	if _, err := s.Workload.Profile.Profile(); err != nil {
+		return err
+	}
+	switch s.Workload.Mix {
+	case "", "bidding", "browsing":
+	default:
+		return fmt.Errorf("jade: unknown mix %q (want bidding or browsing)", s.Workload.Mix)
+	}
+	if s.Workload.ThinkTimeSeconds < 0 {
+		return fmt.Errorf("jade: negative think time %g", s.Workload.ThinkTimeSeconds)
+	}
+	if s.Sizing.Nodes < 0 {
+		return fmt.Errorf("jade: negative node count %d", s.Sizing.Nodes)
+	}
+	n := s.Faults.Network
+	if n.Default.Loss < 0 || n.Default.Loss >= 1 {
+		return fmt.Errorf("jade: network loss %g outside [0,1)", n.Default.Loss)
+	}
+	for key, l := range n.Links {
+		if l.Loss < 0 || l.Loss >= 1 {
+			return fmt.Errorf("jade: network loss %g on link %q outside [0,1)", l.Loss, key)
+		}
+	}
+	if len(s.Faults.Partition) > 0 && !n.Enabled {
+		return fmt.Errorf("jade: faults.partition requires faults.network.enabled")
+	}
+	for i, ps := range s.Faults.Partition {
+		if len(ps.A) == 0 {
+			return fmt.Errorf("jade: faults.partition[%d] has an empty A group", i)
+		}
+		if ps.At < 0 || ps.DurationSeconds < 0 {
+			return fmt.Errorf("jade: faults.partition[%d] has negative timing", i)
+		}
+	}
+	for i, ev := range s.Faults.Chaos {
+		switch ev.Kind {
+		case ChaosCrash, ChaosReboot, ChaosSlow, ChaosHeal:
+		case ChaosPartition:
+			if !n.Enabled {
+				return fmt.Errorf("jade: chaos[%d] partition requires faults.network.enabled", i)
+			}
+			if len(ev.A) == 0 {
+				return fmt.Errorf("jade: chaos[%d] partition has an empty A group", i)
+			}
+		default:
+			return fmt.Errorf("jade: chaos[%d] has unknown kind %q", i, ev.Kind)
+		}
+	}
+	if s.Recovery && !s.Managed {
+		return fmt.Errorf("jade: recovery requires managed")
+	}
+	return nil
+}
+
+// Flatten compiles the grouped spec down to the flat ScenarioConfig the
+// runner executes (the compatibility shim: everything expressible as a
+// Spec is expressible as a ScenarioConfig). Partition entries become
+// chaos partition events.
+func (s Spec) Flatten() (ScenarioConfig, error) {
+	if err := s.Validate(); err != nil {
+		return ScenarioConfig{}, err
+	}
+	profile, err := s.Workload.Profile.Profile()
+	if err != nil {
+		return ScenarioConfig{}, err
+	}
+	var mix *Mix
+	if s.Workload.Mix == "browsing" {
+		mix = BrowsingMix()
+	}
+	chaos := append(ChaosSchedule(nil), s.Faults.Chaos...)
+	for _, ps := range s.Faults.Partition {
+		chaos = append(chaos, ChaosEvent{
+			At:       ps.At,
+			Kind:     ChaosPartition,
+			Duration: ps.DurationSeconds,
+			A:        append([]string(nil), ps.A...),
+			B:        append([]string(nil), ps.B...),
+		})
+	}
+	cfg := ScenarioConfig{
+		Seed:            s.Seed,
+		Managed:         s.Managed,
+		Recovery:        s.Recovery,
+		Profile:         profile,
+		Mix:             mix,
+		ThinkTime:       s.Workload.ThinkTimeSeconds,
+		Sessions:        s.Workload.Sessions,
+		DrainSeconds:    s.Workload.DrainSeconds,
+		MTBFSeconds:     s.Faults.MTBFSeconds,
+		FailAt:          s.Faults.FailAt,
+		FailComponent:   s.Faults.FailComponent,
+		Chaos:           chaos,
+		Net:             s.Faults.Network,
+		Nodes:           s.Sizing.Nodes,
+		AppSizing:       s.Sizing.App,
+		DBSizing:        s.Sizing.DB,
+		MaxAppReplicas:  s.Sizing.MaxAppReplicas,
+		MaxDBReplicas:   s.Sizing.MaxDBReplicas,
+		ThrashThreshold: s.Sizing.ThrashThreshold,
+		ThrashFactor:    s.Sizing.ThrashFactor,
+		Arbitrate:       s.Sizing.Arbitrate,
+		Invariants:      s.Checks.Invariants,
+		InvariantPeriod: s.Checks.InvariantPeriodSeconds,
+		SLOInterval:     s.Checks.SLOIntervalSeconds,
+		TraceRequests:   s.Telemetry.TraceRequests,
+		TraceOff:        s.Telemetry.TraceOff,
+		MetricsDir:      s.Telemetry.MetricsDir,
+		MetricsInterval: s.Telemetry.MetricsIntervalSeconds,
+		HTTPAddr:        s.Telemetry.HTTPAddr,
+	}
+	if s.Managed && cfg.MaxAppReplicas == 0 {
+		cfg.MaxAppReplicas = 2
+	}
+	if s.Managed && cfg.MaxDBReplicas == 0 {
+		cfg.MaxDBReplicas = 3
+	}
+	return cfg, nil
+}
+
+// RunSpec validates, flattens and runs the spec.
+func RunSpec(s Spec) (*ScenarioResult, error) {
+	cfg, err := s.Flatten()
+	if err != nil {
+		return nil, err
+	}
+	return RunScenario(cfg)
+}
+
+// ParseSpec decodes a JSON run spec, rejecting unknown fields so config
+// typos surface as errors instead of silently-defaulted knobs.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("jade: parsing run spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads a JSON run spec from disk (jadectl scenario -config).
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -32,6 +32,11 @@ const (
 	ChaosCrash  = invariant.Crash
 	ChaosReboot = invariant.Reboot
 	ChaosSlow   = invariant.Slow
+	// ChaosPartition cuts the simulated network between the event's A
+	// and B endpoint groups (requires NetworkConfig.Enabled).
+	ChaosPartition = invariant.Partition
+	// ChaosHeal removes every active partition.
+	ChaosHeal = invariant.Heal
 )
 
 // ParseSweepArtifact decodes an artifact written by `jadebench -sweep`.
