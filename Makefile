@@ -8,12 +8,14 @@
 #   make obs-smoke    - scrape a live run's admin endpoint and validate the exposition
 #   make netsim-smoke - run the partition scenario from examples/netfault.json
 #                       end to end (invariant-checked; nonzero exit on violation)
+#   make selector-smoke - selector property tests, one rendezvous fuzz pass,
+#                       and the quick gray-failure routing comparison
 #   make api-check    - diff the facade's exported surface against testdata/api_surface.txt
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke api-check ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke api-check ci
 
 all: build
 
@@ -47,7 +49,12 @@ obs-smoke:
 netsim-smoke:
 	$(GO) run ./cmd/jadectl scenario -config examples/netfault.json
 
+selector-smoke:
+	$(GO) test ./internal/selector
+	$(GO) test -run FuzzRendezvousPick -fuzz FuzzRendezvousPick -fuzztime 1x ./internal/selector
+	$(GO) test -run 'TestGrayFailureParallelismInvariance|TestRoutingPoolConcurrentObservers' .
+
 api-check:
 	$(GO) test -run TestAPISurface .
 
-ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke api-check
+ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke api-check

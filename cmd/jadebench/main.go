@@ -22,9 +22,11 @@
 // -bench-validate sanity-checks such a record.
 //
 // Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, churn,
-// netfault, ablations, summary, all (default). netfault compares the
-// φ-accrual failure detector and self-recovery under message loss,
-// heartbeat partitions and real crashes on the simulated network.
+// netfault, grayfail, ablations, summary, all (default). netfault
+// compares the φ-accrual failure detector and self-recovery under
+// message loss, heartbeat partitions and real crashes on the simulated
+// network. grayfail compares routing policies while one replica per
+// tier is degraded but never dead.
 //
 // -sweep runs the invariant-checked chaos sweep (the Fig. 5 scenario under
 // a crash/reboot/slow schedule) over N seeds, writing a replayable artifact
@@ -46,7 +48,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|ablations|summary|all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|ablations|summary|all")
 	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
 	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
@@ -241,6 +243,14 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string) error
 			return err
 		}
 		section("Managed recovery under network faults — loss, partitions, crashes", table)
+	}
+
+	if want("grayfail") {
+		_, table, err := jade.RunGrayFailure(seed, false)
+		if err != nil {
+			return err
+		}
+		section("Routing policies under gray failure — slow-but-alive replicas", table)
 	}
 
 	if want("table1") {

@@ -9,6 +9,8 @@
 //	jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
 //	jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS]
 //	                 [-managed] [-sessions] [-recovery] [-fault.mtbf SECONDS]
+//	                 [-route.policy NAME] [-route.l4 NAME] [-route.app NAME]
+//	                 [-route.db NAME] [-route.probe-after S] [-route.half-life S]
 //	                 [-net.enable] [-net.latency MS] [-net.jitter MS] [-net.loss P]
 //	                 [-trace.chrome FILE] [-trace.jsonl FILE] [-trace.requests N]
 //	                 [-metrics.dir DIR] [-metrics.interval SECONDS]
@@ -17,8 +19,13 @@
 //
 // Without -adl, the built-in three-tier RUBiS architecture is used.
 //
-// scenario flags are namespaced by concern (fault.*, net.*, trace.*,
-// metrics.*); the pre-namespace spellings (-mtbf, -trace, -trace-jsonl,
+// -route.policy picks the backend-selection policy every tier uses
+// (round-robin, weighted-round-robin, least-pending, balanced,
+// rendezvous); -route.l4/-route.app/-route.db override it per tier, and
+// -route.probe-after/-route.half-life tune the shared selector pool.
+//
+// scenario flags are namespaced by concern (fault.*, route.*, net.*,
+// trace.*, metrics.*); the pre-namespace spellings (-mtbf, -trace, -trace-jsonl,
 // -trace-requests, -metrics-dir, -metrics-interval, -http, -scrape-check,
 // -serve) still parse as hidden deprecated aliases that warn once.
 //
@@ -94,6 +101,8 @@ func usage() {
   jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
   jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS]
                    [-managed] [-sessions] [-recovery] [-fault.mtbf SECONDS]
+                   [-route.policy NAME] [-route.l4 NAME] [-route.app NAME]
+                   [-route.db NAME] [-route.probe-after S] [-route.half-life S]
                    [-net.enable] [-net.latency MS] [-net.jitter MS] [-net.loss P]
                    [-trace.chrome FILE] [-trace.jsonl FILE] [-trace.requests N]
                    [-metrics.dir DIR] [-metrics.interval SECONDS]
@@ -228,6 +237,12 @@ func cmdScenario(args []string) error {
 	sessions := fs.Bool("sessions", false, "use Markov sessions instead of i.i.d. interaction sampling")
 	recovery := fs.Bool("recovery", false, "arm the self-recovery manager")
 	mtbf := fs.Float64("fault.mtbf", 0, "inject node crashes with this mean time between failures (seconds; 0 = none)")
+	routePolicy := fs.String("route.policy", "", "routing policy for every tier: round-robin|weighted-round-robin|least-pending|balanced|rendezvous (empty = per-tier defaults)")
+	routeL4 := fs.String("route.l4", "", "routing policy for the L4 switch (overrides -route.policy)")
+	routeApp := fs.String("route.app", "", "routing policy for the PLB application tier (overrides -route.policy)")
+	routeDB := fs.String("route.db", "", "read policy for the C-JDBC database tier (overrides -route.policy)")
+	routeProbe := fs.Float64("route.probe-after", 0, "seconds before a suspected-down backend is probed back in (0 = default)")
+	routeHalfLife := fs.Float64("route.half-life", 0, "half-life of the balanced policy's failure/latency reservoirs (seconds; 0 = default)")
 	netEnable := fs.Bool("net.enable", false, "route inter-tier calls and heartbeats over the simulated network")
 	netLatency := fs.Float64("net.latency", 0.3, "default link latency (milliseconds)")
 	netJitter := fs.Float64("net.jitter", 0, "default link jitter (milliseconds)")
@@ -276,6 +291,18 @@ func cmdScenario(args []string) error {
 			spec.Recovery = *recovery
 		case "fault.mtbf":
 			spec.Faults.MTBFSeconds = *mtbf
+		case "route.policy":
+			spec.Routing.Policy = *routePolicy
+		case "route.l4":
+			spec.Routing.L4 = *routeL4
+		case "route.app":
+			spec.Routing.App = *routeApp
+		case "route.db":
+			spec.Routing.DB = *routeDB
+		case "route.probe-after":
+			spec.Routing.ProbeAfterSeconds = *routeProbe
+		case "route.half-life":
+			spec.Routing.HalfLifeSeconds = *routeHalfLife
 		case "net.enable":
 			spec.Faults.Network.Enabled = *netEnable
 		case "net.latency":
@@ -303,6 +330,8 @@ func cmdScenario(args []string) error {
 		cliutil.SetVisited(fs, apply)
 	} else {
 		for _, name := range []string{"sessions", "recovery", "fault.mtbf",
+			"route.policy", "route.l4", "route.app", "route.db",
+			"route.probe-after", "route.half-life",
 			"net.enable", "net.latency", "net.jitter", "net.loss", "trace.requests",
 			"metrics.dir", "metrics.interval", "metrics.http"} {
 			apply(name)

@@ -1,0 +1,203 @@
+package jade
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"jade/internal/core"
+	"jade/internal/selector"
+)
+
+// routedScenario is a short traced run with every tier forced onto one
+// routing policy, shared by the per-policy determinism sweep.
+func routedScenario(seed int64, policy string) ScenarioConfig {
+	cfg := DefaultScenario(seed, true)
+	cfg.Profile = ConstantProfile{Clients: 40, Length: 60}
+	cfg.TraceRequests = 10
+	cfg.Routing = RoutingConfig{L4: policy, App: policy, DB: policy}
+	return cfg
+}
+
+// TestRoutingPolicyDeterminismSweep extends the 20-seed byte-identical
+// sweep across the selector policies: every (seed, policy) pair must
+// export the same JSONL trace twice. Seeds rotate through the policies
+// so all five are exercised without quintupling the sweep.
+func TestRoutingPolicyDeterminismSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-seed sweep")
+	}
+	policies := RoutingPolicies()
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		policy := policies[int(seed)%len(policies)]
+		t.Run(fmt.Sprintf("seed%d-%s", seed, policy), func(t *testing.T) {
+			t.Parallel()
+			var dumps [2][]byte
+			for i := range dumps {
+				r, err := RunScenario(routedScenario(seed, policy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := r.Trace().WriteJSONL(&buf); err != nil {
+					t.Fatal(err)
+				}
+				dumps[i] = buf.Bytes()
+			}
+			if len(dumps[0]) == 0 {
+				t.Fatal("empty JSONL export")
+			}
+			if !bytes.Equal(dumps[0], dumps[1]) {
+				t.Fatalf("same-seed exports differ (%d vs %d bytes)", len(dumps[0]), len(dumps[1]))
+			}
+		})
+	}
+}
+
+// TestGrayFailureBalancedBeatsRoundRobin is the experiment's headline
+// claim: with one crawling Tomcat and one slowed MySQL replica — alive,
+// heartbeating, invisible to any failure detector — the balanced scorer
+// must hold p99 at least 2x below round-robin's.
+func TestGrayFailureBalancedBeatsRoundRobin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length gray-failure run")
+	}
+	variants, _, err := RunGrayFailure(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]GrayFailVariant{}
+	for _, v := range variants {
+		if v.Result.InvariantViolation != nil {
+			t.Fatalf("%s: invariant violation: %v", v.Name, v.Result.InvariantViolation)
+		}
+		if v.Result.Stats.Completed == 0 {
+			t.Fatalf("%s: no requests completed", v.Name)
+		}
+		byName[v.Name] = v
+	}
+	rr, ok1 := byName["round-robin"]
+	bal, ok2 := byName["balanced"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing variants: %v", byName)
+	}
+	if rr.P99 < 2*bal.P99 {
+		t.Fatalf("balanced p99 not 2x better: round-robin %.3fs vs balanced %.3fs", rr.P99, bal.P99)
+	}
+}
+
+// TestGrayFailureParallelismInvariance: the quick gray-failure variant
+// table must be byte-identical whether the variants run sequentially or
+// fanned over four workers.
+func TestGrayFailureParallelismInvariance(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	var tables [2]string
+	for i, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		_, table, err := RunGrayFailure(7, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = table
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("gray-failure table depends on -parallel:\n%s\nvs\n%s", tables[0], tables[1])
+	}
+}
+
+// TestRoutingPoolConcurrentObservers runs a quick gray-failure scenario
+// while a goroutine hammers the live selector pools' read-only
+// observers, proving (under -race) that introspection never perturbs or
+// races the simulation, which is the pools' sole mutator.
+func TestRoutingPoolConcurrentObservers(t *testing.T) {
+	cfg := GrayFailureScenario(3, "balanced", true)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	cfg.Chaos = append(cfg.Chaos, ChaosEvent{At: 5, Kind: "observe-pools"})
+	cfg.ChaosHandler = func(res *ScenarioResult, ev ChaosEvent) bool {
+		if ev.Kind != "observe-pools" {
+			return false
+		}
+		plbPool := res.Deployment.MustComponent("plb1").Content().(*core.PLBWrapper).Balancer().Pool()
+		dbPool := res.Deployment.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper).Controller().Pool()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, p := range []*selector.Pool{plbPool, dbPool} {
+					_ = p.Snapshot()
+					_ = p.Pendings()
+					_ = p.Names()
+					_ = p.Len()
+				}
+			}
+		}()
+		return true
+	}
+	r, err := RunScenario(cfg)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InvariantViolation != nil {
+		t.Fatalf("invariant violation: %v", r.InvariantViolation)
+	}
+	if r.Stats.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// TestStickySessionsSurviveRepair is the regression test for the
+// sticky-session-to-fenced-node bug: rendezvous affinity on both tiers,
+// Markov sessions, and a crash+reboot of each pinned replica under the
+// recovery manager. Before the fix, the PLB session table and the
+// C-JDBC read pool kept routing to the fenced replica after its repair,
+// which the double-repair and balancer-agreement invariants now catch.
+func TestStickySessionsSurviveRepair(t *testing.T) {
+	cfg := DefaultScenario(11, true)
+	cfg.Profile = ConstantProfile{Clients: 80, Length: 300}
+	cfg.Sessions = true
+	cfg.Recovery = true
+	cfg.Arbitrate = true
+	cfg.Invariants = true
+	cfg.Routing = RoutingConfig{App: "rendezvous", DB: "rendezvous"}
+	cfg.Chaos = ChaosSchedule{
+		{At: 60, Kind: ChaosCrash, Target: "tomcat1"},
+		{At: 120, Kind: ChaosReboot, Target: "tomcat1"},
+		{At: 160, Kind: ChaosCrash, Target: "mysql1"},
+		{At: 220, Kind: ChaosReboot, Target: "mysql1"},
+	}
+	r, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InvariantViolation != nil {
+		t.Fatalf("invariant violation: %v", r.InvariantViolation)
+	}
+	if r.Repairs < 2 {
+		t.Fatalf("expected both crashed replicas repaired, got %d repairs", r.Repairs)
+	}
+	if uint64(r.RepairDiscards) != r.RepairsConfirmedLegal {
+		t.Fatalf("repair discards not all confirmed legal: %d discards, %d confirmed",
+			r.RepairDiscards, r.RepairsConfirmedLegal)
+	}
+	if r.Stats.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	// Each crash takes out a tier's only replica until its repair lands,
+	// so some failures are inherent; service must still recover to carry
+	// the large majority of the run.
+	if f, c := float64(r.Stats.Failed), float64(r.Stats.Completed); f > 0.2*c {
+		t.Fatalf("too many failed requests across repairs: %d failed vs %d completed",
+			r.Stats.Failed, r.Stats.Completed)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/config"
 	"jade/internal/legacy"
+	"jade/internal/selector"
 	"jade/internal/sim"
 )
 
@@ -469,7 +470,7 @@ func TestRoundRobinReadPolicy(t *testing.T) {
 	pool := cluster.NewPool(eng, "node", 4, cluster.DefaultConfig())
 	cn, _ := pool.Allocate()
 	opts := DefaultOptions()
-	opts.ReadPolicy = RoundRobinReads
+	opts.Routing = selector.DefaultOptions(selector.RoundRobin)
 	ctl := New(eng, env.Net, cn, "cjdbc", opts)
 	if err := ctl.Start(); err != nil {
 		t.Fatal(err)
@@ -529,9 +530,5 @@ func TestStateStrings(t *testing.T) {
 		if s.String() != want {
 			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
 		}
-	}
-	if LeastPendingReads.String() != "least-pending" || RoundRobinReads.String() != "round-robin" ||
-		ReadPolicy(9).String() != "?" {
-		t.Error("ReadPolicy strings wrong")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/legacy"
 	"jade/internal/obs"
+	"jade/internal/selector"
 	"jade/internal/sim"
 	"jade/internal/sqlengine"
 	"jade/internal/trace"
@@ -65,7 +66,6 @@ type backend struct {
 	// checkpoints and disables.
 	stopAt int64 // -1 when unbounded
 	busy   bool
-	reads  int
 	// onSynced fires when a Syncing backend catches up.
 	onSynced func(error)
 	// onLeft fires when a Disabled-pending backend finishes draining.
@@ -88,32 +88,15 @@ type Options struct {
 	ProxyCost float64
 	// MemoryMB is the controller JVM footprint, held while running.
 	MemoryMB float64
-	// ReadPolicy selects the read balancing policy.
-	ReadPolicy ReadPolicy
-}
-
-// ReadPolicy selects how reads are spread over active backends.
-type ReadPolicy int
-
-// Read policies.
-const (
-	LeastPendingReads ReadPolicy = iota
-	RoundRobinReads
-)
-
-func (p ReadPolicy) String() string {
-	switch p {
-	case LeastPendingReads:
-		return "least-pending"
-	case RoundRobinReads:
-		return "round-robin"
-	}
-	return "?"
+	// Routing configures the read-balancing policy and its backend pool
+	// (selector least-pending by default, C-JDBC's historic behavior).
+	// Only Active backends enter the pool; writes always broadcast.
+	Routing selector.Options
 }
 
 // DefaultOptions mirrors C-JDBC 2.0.2 with RAIDb-1 (full mirroring).
 func DefaultOptions() Options {
-	return Options{Port: 25322, ProxyCost: 0.0005, ReadPolicy: LeastPendingReads, MemoryMB: 150}
+	return Options{Port: 25322, ProxyCost: 0.0005, Routing: selector.DefaultOptions(selector.LeastPending), MemoryMB: 150}
 }
 
 // Controller is the C-JDBC virtual database controller.
@@ -128,7 +111,7 @@ type Controller struct {
 
 	log      *RecoveryLog
 	backends []*backend
-	rrNext   int
+	pool     *selector.Pool
 	waiters  map[int64]*writeWait
 
 	reads    uint64
@@ -146,6 +129,8 @@ type Controller struct {
 
 // New creates a stopped controller on node.
 func New(eng *sim.Engine, net *legacy.Network, node *cluster.Node, name string, opts Options) *Controller {
+	ropts := opts.Routing
+	ropts.Now = eng.Now
 	return &Controller{
 		eng:     eng,
 		net:     net,
@@ -153,6 +138,7 @@ func New(eng *sim.Engine, net *legacy.Network, node *cluster.Node, name string, 
 		name:    name,
 		opts:    opts,
 		log:     NewRecoveryLog(),
+		pool:    selector.New(ropts),
 		waiters: make(map[int64]*writeWait),
 	}
 }
@@ -181,6 +167,10 @@ func (c *Controller) Writes() uint64 { return c.writes }
 
 // Failures returns the number of requests that ultimately failed.
 func (c *Controller) Failures() uint64 { return c.failures }
+
+// Pool exposes the read-balancing backend pool (suspicion feeding,
+// introspection). It holds exactly the Active backends.
+func (c *Controller) Pool() *selector.Pool { return c.pool }
 
 // Start registers the controller's listener.
 func (c *Controller) Start() error {
@@ -292,11 +282,13 @@ func (c *Controller) Leave(name string, done func(checkpoint int64)) error {
 	}
 	// Mark as draining: no longer eligible for reads, still acking writes.
 	b.state = Disabled
+	c.pool.Discard(b.name)
 	return nil
 }
 
 func (c *Controller) finishLeave(b *backend) {
 	b.state = Disabled
+	c.pool.Discard(b.name)
 	c.log.SetCheckpoint(b.name, b.applied)
 	c.drop(b)
 	c.Trace.Emit("membership.leave", c.name,
@@ -330,6 +322,9 @@ func (c *Controller) markDead(b *backend, cause error) {
 		return
 	}
 	b.state = Dead
+	// Evict from the read pool first so retries (and any sticky affinity
+	// downstream) can never route back to the dead backend.
+	c.pool.Discard(b.name)
 	c.drop(b)
 	c.Trace.Emit("membership.dead", c.name,
 		trace.F("backend", b.name), trace.F("cause", cause.Error()), trace.Fi("backends", len(c.backends)))
@@ -378,6 +373,12 @@ func (c *Controller) pump(b *backend) {
 		switch {
 		case b.state == Syncing:
 			b.state = Active
+			if err := c.pool.Add(b.name, 1); err != nil {
+				// Unreachable if state bookkeeping is right (the pool holds
+				// exactly the Active backends), but never let it wedge a sync.
+				c.pool.Discard(b.name)
+				_ = c.pool.Add(b.name, 1)
+			}
 			c.Trace.Emit("membership.active", c.name,
 				trace.F("backend", b.name), trace.Fi("applied", int(b.applied)))
 			if b.onSynced != nil {
@@ -446,26 +447,19 @@ func (c *Controller) activeBackends() []*backend {
 	return out
 }
 
-// pickReader selects an active backend per the read policy.
-func (c *Controller) pickReader() *backend {
-	actives := c.activeBackends()
-	if len(actives) == 0 {
+// pickReader selects an active backend through the pool (the query text
+// is the affinity key, so the rendezvous policy gives query-to-replica
+// cache affinity).
+func (c *Controller) pickReader(q legacy.Query) *backend {
+	name, ok := c.pool.Pick(q.SQL)
+	if !ok {
 		return nil
 	}
-	switch c.opts.ReadPolicy {
-	case RoundRobinReads:
-		b := actives[c.rrNext%len(actives)]
-		c.rrNext++
-		return b
-	default:
-		best := actives[0]
-		for _, b := range actives[1:] {
-			if b.reads < best.reads {
-				best = b
-			}
-		}
-		return best
+	b := c.lookup(name)
+	if b == nil || b.state != Active {
+		return nil
 	}
+	return b
 }
 
 // ExecSQL implements the virtual database: writes are logged and
@@ -535,18 +529,21 @@ func (c *Controller) execWrite(q legacy.Query, done func(error)) {
 }
 
 func (c *Controller) execRead(q legacy.Query, done func(error), attempts int) {
-	b := c.pickReader()
+	b := c.pickReader(q)
 	if b == nil {
 		c.failures++
 		done(fmt.Errorf("%w: cannot read through %s", ErrNoBackend, c.name))
 		return
 	}
-	b.reads++
+	c.pool.Acquire(b.name)
+	start := c.eng.Now()
 	if q.TraceSpan != 0 {
 		c.Trace.EmitIn(q.TraceSpan, "sql.read", c.name, trace.F("backend", b.name))
 	}
 	c.net.ForwardSQL(c.node.Name(), "sql", b.srv, q, func(err error) {
-		b.reads--
+		// Release feeds the latency/failure reservoirs before markDead
+		// evicts the entry, so the failure is recorded against the backend.
+		c.pool.Release(b.name, c.eng.Now()-start, err != nil)
 		if err != nil {
 			c.markDead(b, err)
 			if attempts > 1 {

@@ -52,6 +52,9 @@ type Options struct {
 	// ProbeCPUCost is the CPU consumed on each monitored node per sensor
 	// sample (Table 1's CPU intrusivity).
 	ProbeCPUCost float64
+	// Routing selects the per-tier backend-selection policies used by the
+	// balancing wrappers (zero value keeps each tier's historic default).
+	Routing RoutingConfig
 	// TraceEventCapacity bounds the telemetry bus's event ring buffer
 	// (default trace.DefaultEventCapacity).
 	TraceEventCapacity int

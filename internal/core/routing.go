@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"jade/internal/selector"
+)
+
+// RoutingConfig names the backend-selection policy of each balancing
+// tier (see selector.PolicyNames for the accepted spellings). Empty
+// strings keep each tier's historic default: weighted-round-robin for
+// the L4 switch, round-robin for PLB, least-pending for C-JDBC reads.
+type RoutingConfig struct {
+	// L4, App and DB select the policy of the L4 switch, the PLB
+	// application balancer and the C-JDBC read balancer respectively.
+	L4  string
+	App string
+	DB  string
+	// ProbeAfterSeconds overrides how long a suspected-down backend
+	// stays unpicked before a probe request tests it (selector default
+	// when zero).
+	ProbeAfterSeconds float64
+	// HalfLifeSeconds overrides the decay half-life of the balanced
+	// scorer's failure/latency reservoirs (selector default when zero).
+	HalfLifeSeconds float64
+}
+
+// Validate checks that every named policy parses.
+func (r RoutingConfig) Validate() error {
+	for _, tier := range []struct{ name, policy string }{
+		{"l4", r.L4}, {"app", r.App}, {"db", r.DB},
+	} {
+		if tier.policy == "" {
+			continue
+		}
+		if _, err := selector.ParsePolicy(tier.policy); err != nil {
+			return fmt.Errorf("jade: routing %s: %w", tier.name, err)
+		}
+	}
+	return nil
+}
+
+// tierOptions builds the selector options for one tier: the named policy
+// (or the tier's default when empty) plus any pool-tuning overrides.
+func (r RoutingConfig) tierOptions(policy string, def selector.Policy) (selector.Options, error) {
+	p := def
+	if policy != "" {
+		var err error
+		if p, err = selector.ParsePolicy(policy); err != nil {
+			return selector.Options{}, fmt.Errorf("%w: routing policy %q", ErrBadAttribute, policy)
+		}
+	}
+	o := selector.DefaultOptions(p)
+	if r.ProbeAfterSeconds > 0 {
+		o.ProbeAfterSeconds = r.ProbeAfterSeconds
+	}
+	if r.HalfLifeSeconds > 0 {
+		o.HalfLifeSeconds = r.HalfLifeSeconds
+	}
+	return o, nil
+}

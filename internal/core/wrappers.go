@@ -13,6 +13,7 @@ import (
 	"jade/internal/legacy"
 	"jade/internal/obs"
 	"jade/internal/plb"
+	"jade/internal/selector"
 )
 
 // Errors returned by wrappers.
@@ -484,21 +485,13 @@ func (w *CJDBCWrapper) OnSetAttribute(c *fractal.Component, name, value string) 
 		if w.ctl != nil && w.ctl.Running() {
 			return fmt.Errorf("%w: cjdbc read-policy", ErrAttributeFrozen)
 		}
-		if _, err := parseReadPolicy(value); err != nil {
-			return err
+		if value != "" {
+			if _, err := selector.ParsePolicy(value); err != nil {
+				return fmt.Errorf("%w: cjdbc read-policy %q", ErrBadAttribute, value)
+			}
 		}
 	}
 	return nil
-}
-
-func parseReadPolicy(v string) (cjdbc.ReadPolicy, error) {
-	switch v {
-	case "", "least-pending":
-		return cjdbc.LeastPendingReads, nil
-	case "round-robin":
-		return cjdbc.RoundRobinReads, nil
-	}
-	return 0, fmt.Errorf("%w: cjdbc read-policy %q", ErrBadAttribute, v)
 }
 
 // OnBind validates a backend binding. A running controller only accepts
@@ -544,12 +537,17 @@ func (w *CJDBCWrapper) StartManaged(done func(error)) {
 	}
 	opts := cjdbc.DefaultOptions()
 	opts.Port = port
-	policy, err := parseReadPolicy(w.comp.AttributeOr("read-policy", ""))
+	// The component attribute overrides the platform-wide routing config.
+	policy := w.comp.AttributeOr("read-policy", "")
+	if policy == "" {
+		policy = w.p.opts.Routing.DB
+	}
+	ropts, err := w.p.opts.Routing.tierOptions(policy, selector.LeastPending)
 	if err != nil {
 		done(err)
 		return
 	}
-	opts.ReadPolicy = policy
+	opts.Routing = ropts
 	w.ctl = cjdbc.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
 	w.ctl.Trace = w.p.Trace()
 	w.ctl.Obs = obs.NewTierMetrics(w.p.Metrics(), "cjdbc", w.comp.Name())
@@ -697,6 +695,12 @@ func (w *PLBWrapper) StartManaged(done func(error)) {
 	}
 	opts := plb.DefaultOptions()
 	opts.Port = port
+	ropts, err := w.p.opts.Routing.tierOptions(w.p.opts.Routing.App, selector.RoundRobin)
+	if err != nil {
+		done(err)
+		return
+	}
+	opts.Routing = ropts
 	w.b = plb.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
 	w.b.Trace = w.p.Trace()
 	w.b.Obs = obs.NewTierMetrics(w.p.Metrics(), "plb", w.comp.Name())
@@ -810,6 +814,12 @@ func (w *L4Wrapper) StartManaged(done func(error)) {
 	}
 	opts := l4.DefaultOptions()
 	opts.Port = port
+	ropts, err := w.p.opts.Routing.tierOptions(w.p.opts.Routing.L4, selector.WeightedRoundRobin)
+	if err != nil {
+		done(err)
+		return
+	}
+	opts.Routing = ropts
 	w.sw = l4.New(w.p.Eng, w.p.Net, w.node, w.comp.Name(), opts)
 	w.sw.Trace = w.p.Trace()
 	w.sw.Obs = obs.NewTierMetrics(w.p.Metrics(), "l4", w.comp.Name())

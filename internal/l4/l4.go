@@ -1,18 +1,19 @@
 // Package l4 simulates the L4 switch the paper places in front of the
-// replicated Apache web tier (Fig. 2): a connection-level balancer doing
-// weighted round-robin across real servers, with no application
-// awareness. Unlike PLB it supports per-server weights, matching link-level
-// load-balancing hardware.
+// replicated Apache web tier (Fig. 2): a connection-level balancer with
+// per-server weights and no application awareness, matching link-level
+// load-balancing hardware. Server selection is delegated to the shared
+// internal/selector framework (weighted round-robin by default, the
+// switch's historic policy).
 package l4
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"jade/internal/cluster"
 	"jade/internal/legacy"
 	"jade/internal/obs"
+	"jade/internal/selector"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -26,17 +27,11 @@ var (
 	ErrBadWeight     = errors.New("l4: weight must be positive")
 )
 
-type realServer struct {
-	name    string
-	target  legacy.HTTPHandler
-	weight  int
-	credit  int // remaining slots in the current round
-	pending int
-	served  uint64
-}
-
 // Options tunes the switch.
 type Options struct {
+	// Routing configures the server-selection policy and its pool
+	// (selector weighted round-robin by default).
+	Routing selector.Options
 	// SwitchCost is the CPU-seconds per forwarded connection on the
 	// switch node (hardware switches are effectively free; the small
 	// non-zero default keeps the node's utilization meter honest).
@@ -48,7 +43,14 @@ type Options struct {
 }
 
 // DefaultOptions mirrors a hardware L4 switch front end.
-func DefaultOptions() Options { return Options{SwitchCost: 0.00005, Port: 80, MemoryMB: 8} }
+func DefaultOptions() Options {
+	return Options{
+		Routing:    selector.DefaultOptions(selector.WeightedRoundRobin),
+		SwitchCost: 0.00005,
+		Port:       80,
+		MemoryMB:   8,
+	}
+}
 
 // Switch is the L4 balancer.
 type Switch struct {
@@ -60,7 +62,8 @@ type Switch struct {
 	addr    string
 	running bool
 
-	servers []*realServer
+	pool    *selector.Pool
+	targets map[string]legacy.HTTPHandler
 
 	forwarded uint64
 	dropped   uint64
@@ -76,7 +79,17 @@ type Switch struct {
 
 // New creates a stopped switch on node.
 func New(eng *sim.Engine, net *legacy.Network, node *cluster.Node, name string, opts Options) *Switch {
-	return &Switch{eng: eng, net: net, node: node, name: name, opts: opts}
+	ropts := opts.Routing
+	ropts.Now = eng.Now
+	return &Switch{
+		eng:     eng,
+		net:     net,
+		node:    node,
+		name:    name,
+		opts:    opts,
+		pool:    selector.New(ropts),
+		targets: make(map[string]legacy.HTTPHandler),
+	}
 }
 
 // Name returns the switch name.
@@ -96,6 +109,9 @@ func (s *Switch) Forwarded() uint64 { return s.forwarded }
 
 // Dropped returns the number of connections rejected.
 func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// Pool exposes the server pool (suspicion feeding, introspection).
+func (s *Switch) Pool() *selector.Pool { return s.pool }
 
 // Start registers the virtual address.
 func (s *Switch) Start() error {
@@ -131,68 +147,31 @@ func (s *Switch) AddServer(name string, target legacy.HTTPHandler, weight int) e
 	if weight <= 0 {
 		return fmt.Errorf("%w: %d for %s", ErrBadWeight, weight, name)
 	}
-	for _, r := range s.servers {
-		if r.name == name {
-			return fmt.Errorf("%w: %s", ErrServerExists, name)
-		}
+	if err := s.pool.Add(name, weight); err != nil {
+		return fmt.Errorf("%w: %s", ErrServerExists, name)
 	}
-	s.servers = append(s.servers, &realServer{name: name, target: target, weight: weight, credit: weight})
-	s.Trace.Emit("membership.join", s.name, trace.F("server", name), trace.Fi("weight", weight), trace.Fi("servers", len(s.servers)))
+	s.targets[name] = target
+	s.Trace.Emit("membership.join", s.name, trace.F("server", name), trace.Fi("weight", weight), trace.Fi("servers", s.pool.Len()))
 	return nil
 }
 
 // RemoveServer unbinds a real server.
 func (s *Switch) RemoveServer(name string) error {
-	for i, r := range s.servers {
-		if r.name == name {
-			s.servers = append(s.servers[:i], s.servers[i+1:]...)
-			s.Trace.Emit("membership.leave", s.name, trace.F("server", name), trace.Fi("servers", len(s.servers)))
-			return nil
-		}
+	if err := s.pool.Remove(name); err != nil {
+		return fmt.Errorf("%w: %s", ErrUnknownServer, name)
 	}
-	return fmt.Errorf("%w: %s", ErrUnknownServer, name)
+	delete(s.targets, name)
+	s.Trace.Emit("membership.leave", s.name, trace.F("server", name), trace.Fi("servers", s.pool.Len()))
+	return nil
 }
 
 // Servers returns real-server names sorted.
-func (s *Switch) Servers() []string {
-	out := make([]string, 0, len(s.servers))
-	for _, r := range s.servers {
-		out = append(out, r.name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Switch) Servers() []string { return s.pool.Names() }
 
 // Pendings returns the in-flight connection count of every real server,
 // keyed by server name. Invariant checkers verify the counts never go
 // negative.
-func (s *Switch) Pendings() map[string]int {
-	out := make(map[string]int, len(s.servers))
-	for _, r := range s.servers {
-		out[r.name] = r.pending
-	}
-	return out
-}
-
-// pick implements weighted round-robin with per-round credits.
-func (s *Switch) pick() *realServer {
-	if len(s.servers) == 0 {
-		return nil
-	}
-	for pass := 0; pass < 2; pass++ {
-		for _, r := range s.servers {
-			if r.credit > 0 {
-				r.credit--
-				return r
-			}
-		}
-		// Round exhausted: refill credits.
-		for _, r := range s.servers {
-			r.credit = r.weight
-		}
-	}
-	return s.servers[0]
-}
+func (s *Switch) Pendings() map[string]int { return s.pool.Pendings() }
 
 // HandleHTTP forwards a connection to a real server.
 func (s *Switch) HandleHTTP(req *legacy.WebRequest, done func(error)) {
@@ -211,25 +190,24 @@ func (s *Switch) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 		}
 	}
 	s.node.Submit(s.opts.SwitchCost, func() {
-		r := s.pick()
-		if r == nil {
+		name, ok := s.pool.Pick(req.SessionKey)
+		if !ok {
 			s.dropped++
 			done(fmt.Errorf("%w (l4 %s)", ErrNoServer, s.name))
 			return
 		}
-		r.pending++
+		target := s.targets[name]
+		s.pool.Acquire(name)
 		s.forwarded++
+		start := s.eng.Now()
 		var span trace.ID
 		parent := req.TraceSpan
 		if parent != 0 {
-			span = s.Trace.Begin(parent, "forward", s.name, trace.F("server", r.name))
+			span = s.Trace.Begin(parent, "forward", s.name, trace.F("server", name))
 			req.TraceSpan = span
 		}
-		s.net.ForwardHTTP(s.node.Name(), "web", r.target, req, func(err error) {
-			r.pending--
-			if err == nil {
-				r.served++
-			}
+		s.net.ForwardHTTP(s.node.Name(), "web", target, req, func(err error) {
+			s.pool.Release(name, s.eng.Now()-start, err != nil)
 			if span != 0 {
 				req.TraceSpan = parent
 				s.Trace.End(span, trace.Outcome(err))

@@ -76,6 +76,10 @@ type WebRequest struct {
 	WebCost     float64 // CPU-seconds on the web tier
 	AppCost     float64 // CPU-seconds on the application tier
 	Queries     []Query // database work issued by the servlet
+	// SessionKey identifies the client session the request belongs to.
+	// Affinity-aware balancer policies (rendezvous) use it to keep a
+	// session pinned to one worker; other policies ignore it.
+	SessionKey string
 	// TraceSpan, when non-zero, is the telemetry span covering this
 	// request; each hop (balancer, servlet server, database proxy) opens
 	// its child span under the one it received and rewrites the field for

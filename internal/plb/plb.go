@@ -3,17 +3,20 @@
 // requests to a dynamic set of workers; the self-sizing actuator's
 // "integrate the new replica with the load balancer" step is AddWorker,
 // and the shrink path's "unbind some replicas from the load balancer" is
-// RemoveWorker.
+// RemoveWorker. Worker selection is delegated to the shared
+// internal/selector framework: the pool tracks in-flight counts, decayed
+// failure/latency history and suspected-down workers, and the configured
+// policy (round-robin by default) picks among the eligible ones.
 package plb
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"jade/internal/cluster"
 	"jade/internal/legacy"
 	"jade/internal/obs"
+	"jade/internal/selector"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -26,37 +29,11 @@ var (
 	ErrNotRunning    = errors.New("plb: balancer not running")
 )
 
-// Policy selects how requests are spread across workers.
-type Policy int
-
-// Balancing policies.
-const (
-	RoundRobin Policy = iota
-	LeastConnections
-)
-
-func (p Policy) String() string {
-	switch p {
-	case RoundRobin:
-		return "round-robin"
-	case LeastConnections:
-		return "least-connections"
-	}
-	return "?"
-}
-
-type worker struct {
-	name    string
-	target  legacy.HTTPHandler
-	pending int
-	served  uint64
-	errors  uint64
-}
-
 // Options tunes a balancer instance.
 type Options struct {
-	// Policy is the distribution policy (default RoundRobin).
-	Policy Policy
+	// Routing configures the worker-selection policy and its pool
+	// (selector round-robin by default, PLB's historic behavior).
+	Routing selector.Options
 	// ProxyCost is the CPU-seconds consumed on the balancer node per
 	// forwarded request (PLB is lightweight; the paper dedicates it one
 	// node that never saturates).
@@ -69,7 +46,12 @@ type Options struct {
 
 // DefaultOptions mirrors the paper's deployment.
 func DefaultOptions() Options {
-	return Options{Policy: RoundRobin, ProxyCost: 0.0002, Port: 8080, MemoryMB: 32}
+	return Options{
+		Routing:   selector.DefaultOptions(selector.RoundRobin),
+		ProxyCost: 0.0002,
+		Port:      8080,
+		MemoryMB:  32,
+	}
 }
 
 // Balancer is one PLB instance.
@@ -82,8 +64,13 @@ type Balancer struct {
 	addr    string
 	running bool
 
-	workers []*worker
-	rrNext  int
+	pool    *selector.Pool
+	targets map[string]legacy.HTTPHandler
+	// sessions pins affinity keys to workers under the rendezvous
+	// policy; entries are evicted when their worker leaves the pool
+	// (clean shrink or fencing discard alike), so a sticky session can
+	// never be routed to a departed worker.
+	sessions map[string]string
 
 	forwarded uint64
 	dropped   uint64
@@ -100,7 +87,26 @@ type Balancer struct {
 
 // New creates a stopped balancer on node.
 func New(eng *sim.Engine, net *legacy.Network, node *cluster.Node, name string, opts Options) *Balancer {
-	return &Balancer{eng: eng, net: net, node: node, name: name, opts: opts}
+	ropts := opts.Routing
+	ropts.Now = eng.Now
+	b := &Balancer{
+		eng:      eng,
+		net:      net,
+		node:     node,
+		name:     name,
+		opts:     opts,
+		pool:     selector.New(ropts),
+		targets:  make(map[string]legacy.HTTPHandler),
+		sessions: make(map[string]string),
+	}
+	b.pool.OnEvict(func(worker string) {
+		for key, w := range b.sessions {
+			if w == worker {
+				delete(b.sessions, key)
+			}
+		}
+	})
+	return b
 }
 
 // Name returns the balancer's name.
@@ -120,6 +126,9 @@ func (b *Balancer) Forwarded() uint64 { return b.forwarded }
 
 // Dropped returns the number of requests rejected for lack of workers.
 func (b *Balancer) Dropped() uint64 { return b.dropped }
+
+// Pool exposes the worker pool (suspicion feeding, introspection).
+func (b *Balancer) Pool() *selector.Pool { return b.pool }
 
 // Start registers the balancer's listener.
 func (b *Balancer) Start() error {
@@ -152,80 +161,68 @@ func (b *Balancer) Stop() {
 
 // AddWorker registers a worker target under a unique name.
 func (b *Balancer) AddWorker(name string, target legacy.HTTPHandler) error {
-	for _, w := range b.workers {
-		if w.name == name {
-			return fmt.Errorf("%w: %s", ErrWorkerExists, name)
-		}
+	if err := b.pool.Add(name, 1); err != nil {
+		return fmt.Errorf("%w: %s", ErrWorkerExists, name)
 	}
-	b.workers = append(b.workers, &worker{name: name, target: target})
-	b.Trace.Emit("membership.join", b.name, trace.F("worker", name), trace.Fi("workers", len(b.workers)))
+	b.targets[name] = target
+	b.Trace.Emit("membership.join", b.name, trace.F("worker", name), trace.Fi("workers", b.pool.Len()))
 	return nil
 }
 
-// RemoveWorker unbinds a worker; in-flight requests on it complete.
+// RemoveWorker unbinds a worker; in-flight requests on it complete, and
+// any sessions pinned to it are evicted.
 func (b *Balancer) RemoveWorker(name string) error {
-	for i, w := range b.workers {
-		if w.name == name {
-			b.workers = append(b.workers[:i], b.workers[i+1:]...)
-			b.Trace.Emit("membership.leave", b.name, trace.F("worker", name), trace.Fi("workers", len(b.workers)))
-			return nil
-		}
+	if err := b.pool.Remove(name); err != nil {
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, name)
 	}
-	return fmt.Errorf("%w: %s", ErrUnknownWorker, name)
+	delete(b.targets, name)
+	b.Trace.Emit("membership.leave", b.name, trace.F("worker", name), trace.Fi("workers", b.pool.Len()))
+	return nil
 }
 
 // Workers returns worker names sorted.
-func (b *Balancer) Workers() []string {
-	out := make([]string, 0, len(b.workers))
-	for _, w := range b.workers {
-		out = append(out, w.name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (b *Balancer) Workers() []string { return b.pool.Names() }
 
 // WorkerCount returns the number of registered workers.
-func (b *Balancer) WorkerCount() int { return len(b.workers) }
+func (b *Balancer) WorkerCount() int { return b.pool.Len() }
+
+// SessionCount returns the number of pinned session entries.
+func (b *Balancer) SessionCount() int { return len(b.sessions) }
+
+// StickyWorker returns the worker a session key is pinned to, if any.
+func (b *Balancer) StickyWorker(key string) (string, bool) {
+	w, ok := b.sessions[key]
+	return w, ok
+}
 
 // Pending returns the in-flight request count for a worker.
 func (b *Balancer) Pending(name string) (int, error) {
-	for _, w := range b.workers {
-		if w.name == name {
-			return w.pending, nil
-		}
+	if !b.pool.Has(name) {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownWorker, name)
 	}
-	return 0, fmt.Errorf("%w: %s", ErrUnknownWorker, name)
+	return b.pool.Pendings()[name], nil
 }
 
 // Pendings returns the in-flight request count of every worker, keyed by
 // worker name. Invariant checkers verify the counts never go negative
 // (a negative count would mean a completion callback ran twice).
-func (b *Balancer) Pendings() map[string]int {
-	out := make(map[string]int, len(b.workers))
-	for _, w := range b.workers {
-		out[w.name] = w.pending
-	}
-	return out
-}
+func (b *Balancer) Pendings() map[string]int { return b.pool.Pendings() }
 
-func (b *Balancer) pick() *worker {
-	if len(b.workers) == 0 {
-		return nil
-	}
-	switch b.opts.Policy {
-	case LeastConnections:
-		best := b.workers[0]
-		for _, w := range b.workers[1:] {
-			if w.pending < best.pending {
-				best = w
-			}
+// pickWorker selects a worker for the request's affinity key. Under the
+// rendezvous policy a key sticks to its first worker until that worker
+// leaves the pool or goes down; other policies ignore the table.
+func (b *Balancer) pickWorker(key string) (string, bool) {
+	sticky := b.pool.Policy() == selector.Rendezvous && key != ""
+	if sticky {
+		if w, ok := b.sessions[key]; ok && b.pool.Healthy(w) {
+			return w, true
 		}
-		return best
-	default:
-		w := b.workers[b.rrNext%len(b.workers)]
-		b.rrNext++
-		return w
 	}
+	name, ok := b.pool.Pick(key)
+	if ok && sticky {
+		b.sessions[key] = name
+	}
+	return name, ok
 }
 
 // HandleHTTP proxies the request to a worker chosen by policy, consuming
@@ -246,27 +243,24 @@ func (b *Balancer) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 		}
 	}
 	b.node.Submit(b.opts.ProxyCost, func() {
-		w := b.pick()
-		if w == nil {
+		name, ok := b.pickWorker(req.SessionKey)
+		if !ok {
 			b.dropped++
 			done(fmt.Errorf("%w (plb %s)", ErrNoWorker, b.name))
 			return
 		}
-		w.pending++
+		target := b.targets[name]
+		b.pool.Acquire(name)
 		b.forwarded++
+		start := b.eng.Now()
 		var span trace.ID
 		parent := req.TraceSpan
 		if parent != 0 {
-			span = b.Trace.Begin(parent, "forward", b.name, trace.F("worker", w.name))
+			span = b.Trace.Begin(parent, "forward", b.name, trace.F("worker", name))
 			req.TraceSpan = span
 		}
-		b.net.ForwardHTTP(b.node.Name(), "app", w.target, req, func(err error) {
-			w.pending--
-			if err != nil {
-				w.errors++
-			} else {
-				w.served++
-			}
+		b.net.ForwardHTTP(b.node.Name(), "app", target, req, func(err error) {
+			b.pool.Release(name, b.eng.Now()-start, err != nil)
 			if span != 0 {
 				req.TraceSpan = parent
 				b.Trace.End(span, trace.Outcome(err))

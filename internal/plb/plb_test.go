@@ -6,6 +6,7 @@ import (
 
 	"jade/internal/cluster"
 	"jade/internal/legacy"
+	"jade/internal/selector"
 	"jade/internal/sim"
 )
 
@@ -31,13 +32,13 @@ func (f *fakeWorker) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 	})
 }
 
-func newBalancer(t *testing.T, policy Policy) (*sim.Engine, *Balancer) {
+func newBalancer(t *testing.T, policy selector.Policy) (*sim.Engine, *Balancer) {
 	t.Helper()
 	eng := sim.NewEngine(5)
 	net := legacy.NewNetwork()
 	node := cluster.NewNode(eng, "lbnode", cluster.DefaultConfig())
 	opts := DefaultOptions()
-	opts.Policy = policy
+	opts.Routing = selector.DefaultOptions(policy)
 	b := New(eng, net, node, "plb", opts)
 	if err := b.Start(); err != nil {
 		t.Fatal(err)
@@ -46,7 +47,7 @@ func newBalancer(t *testing.T, policy Policy) (*sim.Engine, *Balancer) {
 }
 
 func TestRoundRobinDistribution(t *testing.T) {
-	eng, b := newBalancer(t, RoundRobin)
+	eng, b := newBalancer(t, selector.RoundRobin)
 	w1 := &fakeWorker{eng: eng, delay: 0.01}
 	w2 := &fakeWorker{eng: eng, delay: 0.01}
 	if err := b.AddWorker("t1", w1); err != nil {
@@ -68,7 +69,7 @@ func TestRoundRobinDistribution(t *testing.T) {
 }
 
 func TestLeastConnectionsPrefersIdleWorker(t *testing.T) {
-	eng, b := newBalancer(t, LeastConnections)
+	eng, b := newBalancer(t, selector.LeastPending)
 	slow := &fakeWorker{eng: eng, delay: 10}
 	fast := &fakeWorker{eng: eng, delay: 0.001}
 	if err := b.AddWorker("slow", slow); err != nil {
@@ -95,7 +96,7 @@ func TestLeastConnectionsPrefersIdleWorker(t *testing.T) {
 }
 
 func TestAddRemoveWorkerDynamics(t *testing.T) {
-	eng, b := newBalancer(t, RoundRobin)
+	eng, b := newBalancer(t, selector.RoundRobin)
 	w1 := &fakeWorker{eng: eng, delay: 0.001}
 	if err := b.AddWorker("t1", w1); err != nil {
 		t.Fatal(err)
@@ -127,7 +128,7 @@ func TestAddRemoveWorkerDynamics(t *testing.T) {
 }
 
 func TestRemoveWorkerLetsInFlightComplete(t *testing.T) {
-	eng, b := newBalancer(t, RoundRobin)
+	eng, b := newBalancer(t, selector.RoundRobin)
 	w := &fakeWorker{eng: eng, delay: 5}
 	if err := b.AddWorker("t1", w); err != nil {
 		t.Fatal(err)
@@ -150,7 +151,7 @@ func TestRemoveWorkerLetsInFlightComplete(t *testing.T) {
 }
 
 func TestPendingAccounting(t *testing.T) {
-	eng, b := newBalancer(t, RoundRobin)
+	eng, b := newBalancer(t, selector.RoundRobin)
 	w := &fakeWorker{eng: eng, delay: 1}
 	if err := b.AddWorker("t1", w); err != nil {
 		t.Fatal(err)
@@ -172,7 +173,7 @@ func TestPendingAccounting(t *testing.T) {
 }
 
 func TestWorkerErrorsCountedAndPropagated(t *testing.T) {
-	eng, b := newBalancer(t, RoundRobin)
+	eng, b := newBalancer(t, selector.RoundRobin)
 	w := &fakeWorker{eng: eng, delay: 0.001, err: errors.New("boom")}
 	if err := b.AddWorker("t1", w); err != nil {
 		t.Fatal(err)
@@ -186,7 +187,7 @@ func TestWorkerErrorsCountedAndPropagated(t *testing.T) {
 }
 
 func TestLifecycle(t *testing.T) {
-	eng, b := newBalancer(t, RoundRobin)
+	eng, b := newBalancer(t, selector.RoundRobin)
 	if err := b.Start(); err == nil {
 		t.Fatal("double start accepted")
 	}
@@ -210,7 +211,7 @@ func TestLifecycle(t *testing.T) {
 }
 
 func TestBalancerNodeFailure(t *testing.T) {
-	eng, b := newBalancer(t, RoundRobin)
+	eng, b := newBalancer(t, selector.RoundRobin)
 	w := &fakeWorker{eng: eng, delay: 0.001}
 	if err := b.AddWorker("t1", w); err != nil {
 		t.Fatal(err)
@@ -224,9 +225,52 @@ func TestBalancerNodeFailure(t *testing.T) {
 	}
 }
 
-func TestPolicyStrings(t *testing.T) {
-	if RoundRobin.String() != "round-robin" || LeastConnections.String() != "least-connections" ||
-		Policy(9).String() != "?" {
-		t.Fatal("policy strings wrong")
+func TestSessionAffinityStickyAndEvicted(t *testing.T) {
+	eng, b := newBalancer(t, selector.Rendezvous)
+	workers := map[string]*fakeWorker{}
+	for _, n := range []string{"t1", "t2", "t3"} {
+		w := &fakeWorker{eng: eng, delay: 0.001}
+		workers[n] = w
+		if err := b.AddWorker(n, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each session key sticks to one worker across repeated requests.
+	for i := 0; i < 5; i++ {
+		for _, key := range []string{"s1", "s2", "s3", "s4"} {
+			b.HandleHTTP(&legacy.WebRequest{SessionKey: key}, func(error) {})
+		}
+		eng.Run()
+	}
+	if b.SessionCount() != 4 {
+		t.Fatalf("SessionCount = %d, want 4", b.SessionCount())
+	}
+	pinned, ok := b.StickyWorker("s1")
+	if !ok {
+		t.Fatal("s1 has no sticky worker")
+	}
+	total := 0
+	for _, w := range workers {
+		total += w.served
+	}
+	if total != 20 {
+		t.Fatalf("served total = %d, want 20", total)
+	}
+	// Removing the pinned worker evicts its sessions; the key re-pins to
+	// a survivor and requests keep flowing.
+	if err := b.RemoveWorker(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := b.StickyWorker("s1"); ok {
+		t.Fatalf("session s1 still pinned to departed worker %s", w)
+	}
+	var got error
+	b.HandleHTTP(&legacy.WebRequest{SessionKey: "s1"}, func(err error) { got = err })
+	eng.Run()
+	if got != nil {
+		t.Fatalf("re-pinned request failed: %v", got)
+	}
+	if w, ok := b.StickyWorker("s1"); !ok || w == pinned {
+		t.Fatalf("s1 re-pinned to %q (ok=%v), departed worker was %q", w, ok, pinned)
 	}
 }

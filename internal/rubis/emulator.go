@@ -345,6 +345,7 @@ func (c *client) issue() {
 		it = em.mix.Pick(em.rng)
 	}
 	req := it.Request(g)
+	req.SessionKey = fmt.Sprintf("c%d", c.id)
 	t0 := em.eng.Now()
 	em.issued++
 	var span trace.ID

@@ -1,0 +1,60 @@
+package selector
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRendezvousPick exercises the pure rendezvous-hash kernel: it must
+// never panic, always return a member of the candidate set, and return
+// the same pick for identical inputs (including candidate order).
+// Candidates are encoded as a newline-separated list; empty lines are
+// dropped so the empty-set case is covered too.
+func FuzzRendezvousPick(f *testing.F) {
+	f.Add("session-1", "tomcat1\ntomcat2\ntomcat3")
+	f.Add("", "a\nb")
+	f.Add("SELECT * FROM items WHERE id=42", "mysql1\nmysql2")
+	f.Add("key", "")
+	f.Add("k\x00weird", "n1\nn1\nn2")
+	f.Add("クライアント", "ノード\nnode")
+	f.Fuzz(func(t *testing.T, key, list string) {
+		var candidates []string
+		for _, c := range strings.Split(list, "\n") {
+			if c != "" {
+				candidates = append(candidates, c)
+			}
+		}
+		pick, ok := RendezvousPick(key, candidates)
+		if len(candidates) == 0 {
+			if ok || pick != "" {
+				t.Fatalf("empty candidates returned (%q, %v)", pick, ok)
+			}
+			return
+		}
+		if !ok {
+			t.Fatal("pick failed on non-empty candidates")
+		}
+		member := false
+		for _, c := range candidates {
+			if c == pick {
+				member = true
+				break
+			}
+		}
+		if !member {
+			t.Fatalf("pick %q not in candidate set %q", pick, candidates)
+		}
+		again, _ := RendezvousPick(key, candidates)
+		if again != pick {
+			t.Fatalf("unstable pick for identical input: %q vs %q", pick, again)
+		}
+		reversed := make([]string, len(candidates))
+		for i, c := range candidates {
+			reversed[len(candidates)-1-i] = c
+		}
+		rpick, _ := RendezvousPick(key, reversed)
+		if rpick != pick {
+			t.Fatalf("pick depends on candidate order: %q vs %q", pick, rpick)
+		}
+	})
+}

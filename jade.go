@@ -55,6 +55,7 @@ import (
 	"jade/internal/obs"
 	"jade/internal/report"
 	"jade/internal/rubis"
+	"jade/internal/selector"
 	"jade/internal/sim"
 	"jade/internal/trace"
 )
@@ -104,7 +105,16 @@ type (
 	ThresholdReactor = core.ThresholdReactor
 	// ResponseTimeSensor observes client-perceived latency.
 	ResponseTimeSensor = core.ResponseTimeSensor
+	// RoutingConfig names the backend-selection policy of each balancing
+	// tier (L4 switch, PLB, C-JDBC reads); see RoutingPolicies for the
+	// accepted spellings.
+	RoutingConfig = core.RoutingConfig
 )
+
+// RoutingPolicies lists the accepted routing policy spellings:
+// round-robin, weighted-round-robin, least-pending, balanced and
+// rendezvous.
+func RoutingPolicies() []string { return selector.PolicyNames() }
 
 // NewArbiter returns a policy arbiter with the given quiet window.
 func NewArbiter(quietSeconds float64) *Arbiter { return core.NewArbiter(quietSeconds) }

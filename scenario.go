@@ -71,6 +71,15 @@ type ScenarioConfig struct {
 	// ADL overrides the deployed architecture (ThreeTierADL by default).
 	// It must contain plb1, tomcat1, cjdbc1 and mysql1.
 	ADL string
+	// Routing selects the per-tier backend-selection policies (the zero
+	// value keeps each tier's historic default: weighted-round-robin L4,
+	// round-robin PLB, least-pending C-JDBC reads).
+	Routing RoutingConfig
+	// AppReplicas / DBReplicas name the initial replica components of the
+	// managed tiers (["tomcat1"] / ["mysql1"] by default). Every name
+	// must exist in the deployed ADL; scenarios over wider architectures
+	// (e.g. GrayFailureADL) list all their starting replicas here.
+	AppReplicas, DBReplicas []string
 	// Invariants enables the invariant-checking harness: the registered
 	// checkers (C-JDBC consistency, node conservation, balancer
 	// agreement, Fractal lifecycle, arbiter legality) run every
@@ -319,9 +328,14 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		cfg.DrainSeconds = 60
 	}
 
+	if err := cfg.Routing.Validate(); err != nil {
+		return nil, err
+	}
+
 	popts := core.DefaultOptions()
 	popts.Seed = cfg.Seed
 	popts.Nodes = cfg.Nodes
+	popts.Routing = cfg.Routing
 	popts.NodeConfig = cluster.Config{
 		CPUCapacity:     1.0,
 		MemoryMB:        1024,
@@ -370,11 +384,19 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, derr
 	}
 
-	appTier, err := NewAppTier(p, dep, "plb1", "cjdbc1", []string{"tomcat1"})
+	appReplicas := cfg.AppReplicas
+	if len(appReplicas) == 0 {
+		appReplicas = []string{"tomcat1"}
+	}
+	dbReplicas := cfg.DBReplicas
+	if len(dbReplicas) == 0 {
+		dbReplicas = []string{"mysql1"}
+	}
+	appTier, err := NewAppTier(p, dep, "plb1", "cjdbc1", appReplicas)
 	if err != nil {
 		return nil, err
 	}
-	dbTier, err := NewDBTier(p, dep, "cjdbc1", []string{"mysql1"})
+	dbTier, err := NewDBTier(p, dep, "cjdbc1", dbReplicas)
 	if err != nil {
 		return nil, err
 	}
@@ -450,6 +472,22 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		p.Eng.Every(1, "observe", func(now float64) {
 			appSensor.Sample(now)
 			dbSensor.Sample(now)
+		})
+	}
+
+	if detector != nil {
+		// Feed the failure detector's verdicts into the balancer pools
+		// once per second: suspected replicas leave rotation (probe
+		// requests bring them back in), cleared suspicions restore them.
+		plbW := dep.MustComponent("plb1").Content().(*core.PLBWrapper)
+		cw := dep.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper)
+		p.Eng.Every(1, "route-suspicions", func(float64) {
+			if b := plbW.Balancer(); b != nil {
+				b.Pool().SyncSuspicions(detector)
+			}
+			if ctl := cw.Controller(); ctl != nil {
+				ctl.Pool().SyncSuspicions(detector)
+			}
 		})
 	}
 

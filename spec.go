@@ -26,8 +26,45 @@ type Spec struct {
 	Workload  WorkloadSpec  `json:"workload"`
 	Faults    FaultsSpec    `json:"faults"`
 	Sizing    SizingSpec    `json:"sizing"`
+	Routing   RoutingSpec   `json:"routing"`
 	Checks    ChecksSpec    `json:"checks"`
 	Telemetry TelemetrySpec `json:"telemetry"`
+}
+
+// RoutingSpec groups the backend-selection policies of the balancing
+// tiers. Policy, when set, applies to every tier; the per-tier fields
+// override it. Empty fields keep the historic defaults
+// (weighted-round-robin L4, round-robin PLB, least-pending C-JDBC).
+type RoutingSpec struct {
+	// Policy is the default policy for all tiers; see RoutingPolicies.
+	Policy string `json:"policy,omitempty"`
+	// L4, App and DB override Policy per tier.
+	L4  string `json:"l4,omitempty"`
+	App string `json:"app,omitempty"`
+	DB  string `json:"db,omitempty"`
+	// ProbeAfterSeconds is how long a suspected-down backend stays out of
+	// rotation before a probe request tests it (10 by default).
+	ProbeAfterSeconds float64 `json:"probe_after_seconds,omitempty"`
+	// HalfLifeSeconds is the decay half-life of the balanced scorer's
+	// failure/latency reservoirs (30 by default).
+	HalfLifeSeconds float64 `json:"half_life_seconds,omitempty"`
+}
+
+// Config compiles the spec to the flat per-tier RoutingConfig.
+func (r RoutingSpec) Config() RoutingConfig {
+	pick := func(tier string) string {
+		if tier != "" {
+			return tier
+		}
+		return r.Policy
+	}
+	return RoutingConfig{
+		L4:                pick(r.L4),
+		App:               pick(r.App),
+		DB:                pick(r.DB),
+		ProbeAfterSeconds: r.ProbeAfterSeconds,
+		HalfLifeSeconds:   r.HalfLifeSeconds,
+	}
 }
 
 // ProfileSpec selects a client population profile declaratively.
@@ -241,6 +278,12 @@ func (s Spec) Validate() error {
 	if s.Recovery && !s.Managed {
 		return fmt.Errorf("jade: recovery requires managed")
 	}
+	if err := s.Routing.Config().Validate(); err != nil {
+		return err
+	}
+	if s.Routing.ProbeAfterSeconds < 0 || s.Routing.HalfLifeSeconds < 0 {
+		return fmt.Errorf("jade: negative routing timing")
+	}
 	return nil
 }
 
@@ -292,6 +335,7 @@ func (s Spec) Flatten() (ScenarioConfig, error) {
 		ThrashThreshold: s.Sizing.ThrashThreshold,
 		ThrashFactor:    s.Sizing.ThrashFactor,
 		Arbitrate:       s.Sizing.Arbitrate,
+		Routing:         s.Routing.Config(),
 		Invariants:      s.Checks.Invariants,
 		InvariantPeriod: s.Checks.InvariantPeriodSeconds,
 		SLOInterval:     s.Checks.SLOIntervalSeconds,
