@@ -10,12 +10,15 @@
 #                       end to end (invariant-checked; nonzero exit on violation)
 #   make selector-smoke - selector property tests, one rendezvous fuzz pass,
 #                       and the quick gray-failure routing comparison
+#   make alert-smoke  - run the quick alert-latency experiment end to end
+#                       (self-checking: nonzero exit unless the alert plane
+#                       pages the gray replica while the φ detector is silent)
 #   make api-check    - diff the facade's exported surface against testdata/api_surface.txt
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke api-check ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke api-check ci
 
 all: build
 
@@ -54,7 +57,10 @@ selector-smoke:
 	$(GO) test -run FuzzRendezvousPick -fuzz FuzzRendezvousPick -fuzztime 1x ./internal/selector
 	$(GO) test -run 'TestGrayFailureParallelismInvariance|TestRoutingPoolConcurrentObservers' .
 
+alert-smoke:
+	$(GO) run ./cmd/jadebench -experiment alertlat -quick
+
 api-check:
 	$(GO) test -run TestAPISurface .
 
-ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke api-check
+ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke api-check

@@ -3,18 +3,20 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"jade"
+	"jade/internal/obs/alert"
 	"jade/internal/sim"
 )
 
 // benchCoreSchema versions the BENCH_core.json layout; bump it when
 // fields change meaning so trajectory tooling can tell runs apart.
-const benchCoreSchema = "jade-bench-core/v2"
+const benchCoreSchema = "jade-bench-core/v3"
 
 // BenchCore is one measurement of the simulation core's throughput — the
 // perf trajectory record written to BENCH_core.json by `-bench-core` and
@@ -43,6 +45,12 @@ type BenchCore struct {
 	// from the scenario's exact-quantile histogram (v2).
 	RequestLatencyP50Ms float64 `json:"request_latency_p50_ms"`
 	RequestLatencyP99Ms float64 `json:"request_latency_p99_ms"`
+
+	// Alerting-plane evaluation cost amortized over the reference run's
+	// events (v3): one 5 s alert tick with a representative rule set,
+	// times the ticks the reference run schedules, divided by its event
+	// count. bench-validate asserts it stays under 2% of ns_per_event.
+	AlertEvalNsPerEvent float64 `json:"alert_eval_ns_per_event"`
 }
 
 // runBenchCore measures the simulation core and writes BENCH_core.json.
@@ -93,6 +101,11 @@ func runBenchCore(outPath string, parallel int) error {
 		return err
 	}
 
+	fmt.Fprintf(os.Stderr, "jadebench: benchmarking alert-plane evaluation...\n")
+	tickNs := benchAlertTick()
+	refEvents := float64(ref.Platform.Eng.Processed())
+	refTicks := ref.Platform.Eng.Now() / alert.NewEngine(alert.Config{}, nil).Config().EvalIntervalSeconds
+
 	nsPerEvent := float64(core.NsPerOp()) / eventsPerOp
 	rec := BenchCore{
 		Schema:           benchCoreSchema,
@@ -110,6 +123,8 @@ func runBenchCore(outPath string, parallel int) error {
 
 		RequestLatencyP50Ms: 1000 * ref.RequestLatency.Quantile(0.50),
 		RequestLatencyP99Ms: 1000 * ref.RequestLatency.Quantile(0.99),
+
+		AlertEvalNsPerEvent: tickNs * refTicks / refEvents,
 	}
 	if res.Failure != nil {
 		rec.SweepViolations = 1
@@ -126,6 +141,8 @@ func runBenchCore(outPath string, parallel int) error {
 		rec.EventsPerSec, rec.NsPerEvent, rec.AllocsPerEvent, rec.SeedsPerMinute)
 	fmt.Printf("bench-core: request latency p50 %.0f ms, p99 %.0f ms (reference run)\n",
 		rec.RequestLatencyP50Ms, rec.RequestLatencyP99Ms)
+	fmt.Printf("bench-core: alert eval %.2f ns/event amortized (%.2f%% of engine cost)\n",
+		rec.AlertEvalNsPerEvent, 100*rec.AlertEvalNsPerEvent/rec.NsPerEvent)
 	fmt.Printf("bench-core: wrote %s\n", outPath)
 	return nil
 }
@@ -133,6 +150,59 @@ func runBenchCore(outPath string, parallel int) error {
 // benchNop is the scheduled callback; package-level so the benchmark
 // measures the engine, not closure allocation.
 func benchNop() {}
+
+// benchAlertTick measures one alerting-plane evaluation tick (ns) with
+// the scenario's representative rule set: four burn rules fed every
+// other tick, three anomaly detectors over healthy probes, and two pool
+// skew rules over warm reservoirs.
+func benchAlertTick() float64 {
+	build := func() (*alert.Engine, []*alert.BurnRule) {
+		cfg := alert.Config{}
+		e := alert.NewEngine(cfg, nil)
+		burns := make([]*alert.BurnRule, 0, 4)
+		for _, obj := range []string{"client-latency-p95", "client-abandon-rate", "app-cpu-band", "db-cpu-band"} {
+			r := alert.NewBurnRule(cfg, obj, "client")
+			burns = append(burns, r)
+			e.AddRule(r)
+		}
+		probe := func(base float64) alert.Probe {
+			return func(now float64) (float64, bool) {
+				return base * (1 + 0.1*math.Sin(now/50)), true
+			}
+		}
+		e.AddRule(alert.NewZScoreRule(cfg, "anomaly:client-latency-p99", "client", "client", true, 0.3, probe(0.2)))
+		e.AddRule(alert.NewZScoreRule(cfg, "anomaly:db-latency-p99", "db", "db", true, 0.1, probe(0.05)))
+		e.AddRule(alert.NewRateRule(cfg, "anomaly:client-abandon-rate", "client", "client", true, 0.02, probe(0.001)))
+		appStats := []alert.BackendStat{
+			{Name: "tomcat1", MeanLatency: 0.06, LatencySamples: 20, InFlight: 3},
+			{Name: "tomcat2", MeanLatency: 0.07, LatencySamples: 22, InFlight: 2},
+			{Name: "tomcat3", MeanLatency: 0.05, LatencySamples: 18, InFlight: 4},
+		}
+		dbStats := []alert.BackendStat{
+			{Name: "mysql1", MeanLatency: 0.01, LatencySamples: 40, InFlight: 1},
+			{Name: "mysql2", MeanLatency: 0.012, LatencySamples: 38, InFlight: 2},
+		}
+		e.AddRule(alert.NewSkewRule(cfg, "skew:app-pool", "app", 0.1, func() []alert.BackendStat { return appStats }))
+		e.AddRule(alert.NewSkewRule(cfg, "skew:db-pool", "db", 0.05, func() []alert.BackendStat { return dbStats }))
+		return e, burns
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		e, burns := build()
+		interval := e.Config().EvalIntervalSeconds
+		now := 0.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += interval
+			if i%2 == 0 { // the SLO engine evaluates at half the tick rate
+				for _, r := range burns {
+					r.Observe(now, 0.2, true)
+				}
+			}
+			e.Tick(now)
+		}
+	})
+	return float64(res.NsPerOp())
+}
 
 // validateBenchCore sanity-checks a BENCH_core.json: schema fields
 // present and throughput non-zero. `make bench-smoke` runs it in CI so a
@@ -167,7 +237,14 @@ func validateBenchCore(path string) error {
 		return fmt.Errorf("%s: implausible request latency (p50=%g ms, p99=%g ms)",
 			path, rec.RequestLatencyP50Ms, rec.RequestLatencyP99Ms)
 	}
-	fmt.Printf("bench-validate: %s ok (%.0f events/s, %.1f seeds/min)\n",
-		path, rec.EventsPerSec, rec.SeedsPerMinute)
+	if rec.AlertEvalNsPerEvent <= 0 {
+		return fmt.Errorf("%s: zero alert_eval_ns_per_event", path)
+	}
+	if limit := 0.02 * rec.NsPerEvent; rec.AlertEvalNsPerEvent > limit {
+		return fmt.Errorf("%s: alerting plane costs %.2f ns/event, over the 2%% budget (%.2f ns/event)",
+			path, rec.AlertEvalNsPerEvent, limit)
+	}
+	fmt.Printf("bench-validate: %s ok (%.0f events/s, %.1f seeds/min, alert eval %.2f ns/event)\n",
+		path, rec.EventsPerSec, rec.SeedsPerMinute, rec.AlertEvalNsPerEvent)
 	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME] [-trace.chrome FILE]
+//	jadebench [-seed N] [-speedup X] [-csv DIR] [-experiment NAME] [-quick] [-trace.chrome FILE]
 //	jadebench -sweep N [-speedup X] [-parallel N] [-artifact PATH]
 //	jadebench -replay PATH [-speedup X]
 //	jadebench -bench-core [-bench-out PATH] [-parallel N]
@@ -22,11 +22,13 @@
 // -bench-validate sanity-checks such a record.
 //
 // Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, churn,
-// netfault, grayfail, ablations, summary, all (default). netfault
-// compares the φ-accrual failure detector and self-recovery under
-// message loss, heartbeat partitions and real crashes on the simulated
-// network. grayfail compares routing policies while one replica per
-// tier is degraded but never dead.
+// netfault, grayfail, alertlat, ablations, summary, all (default).
+// netfault compares the φ-accrual failure detector and self-recovery
+// under message loss, heartbeat partitions and real crashes on the
+// simulated network. grayfail compares routing policies while one
+// replica per tier is degraded but never dead. alertlat measures the
+// alerting plane's virtual-time-to-first-page against the φ detector on
+// gray and crash faults (self-checking; -quick shrinks it for CI).
 //
 // -sweep runs the invariant-checked chaos sweep (the Fig. 5 scenario under
 // a crash/reboot/slow schedule) over N seeds, writing a replayable artifact
@@ -48,7 +50,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|ablations|summary|all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|alertlat|ablations|summary|all")
+	quick := flag.Bool("quick", false, "shrink the grayfail/alertlat runs for smoke tests")
 	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
 	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
@@ -79,7 +82,7 @@ func main() {
 	case *sweep > 0:
 		err = runSweep(*sweep, *speedup, *parallel, *artifact)
 	default:
-		err = run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut)
+		err = run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut, *quick)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
@@ -138,7 +141,7 @@ func runReplay(path string, speedup float64) error {
 	return fmt.Errorf("replay did not reproduce the violation (%d checks passed)", out.Checks)
 }
 
-func run(seed int64, speedup float64, csvDir, experiment, traceOut string) error {
+func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick bool) error {
 	want := func(names ...string) bool {
 		if experiment == "all" {
 			return true
@@ -246,11 +249,19 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string) error
 	}
 
 	if want("grayfail") {
-		_, table, err := jade.RunGrayFailure(seed, false)
+		_, table, err := jade.RunGrayFailure(seed, quick)
 		if err != nil {
 			return err
 		}
 		section("Routing policies under gray failure — slow-but-alive replicas", table)
+	}
+
+	if want("alertlat") {
+		_, table, err := jade.RunAlertLatency(seed, quick)
+		if err != nil {
+			return err
+		}
+		section("Alert latency — burn-rate/anomaly paging vs φ-accrual detection", table)
 	}
 
 	if want("table1") {

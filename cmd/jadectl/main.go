@@ -15,6 +15,10 @@
 //	                 [-trace.chrome FILE] [-trace.jsonl FILE] [-trace.requests N]
 //	                 [-metrics.dir DIR] [-metrics.interval SECONDS]
 //	                 [-metrics.http ADDR] [-metrics.scrape-check] [-metrics.serve]
+//	                 [-alerts] [-alert.off] [-alert.interval S] [-alert.fast S]
+//	                 [-alert.slow S] [-alert.page-burn X] [-alert.warn-burn X]
+//	                 [-alert.z X] [-alert.skew X] [-alert.hysteresis S]
+//	                 [-alert.monitor]
 //	jadectl trace-validate FILE
 //
 // Without -adl, the built-in three-tier RUBiS architecture is used.
@@ -45,11 +49,18 @@
 // exported Chrome trace against the trace-event schema.
 //
 // -metrics.dir writes periodic metrics snapshots (Prometheus text +
-// JSON). -metrics.http serves the live admin endpoint (/metrics,
-// /metrics.json, /healthz, /components, /loops) while the scenario runs;
-// -metrics.serve keeps it up afterwards, and -metrics.scrape-check makes
-// jadectl scrape and validate its own endpoint after the run (the CI
-// smoke check).
+// JSON) plus the run's alert stream (alerts.jsonl) and incident reports
+// (incidents.json). -metrics.http serves the live admin endpoint
+// (/metrics, /metrics.json, /healthz, /components, /loops, /alerts,
+// /incidents) while the scenario runs; -metrics.serve keeps it up
+// afterwards, and -metrics.scrape-check makes jadectl scrape and
+// validate its own endpoint after the run (the CI smoke check).
+//
+// -alerts prints the run's alert and incident report (causal timelines
+// included) after the SLO table. -alert.* tunes the alerting plane
+// (burn-rate windows, anomaly z-score, pool-skew factor); -alert.off
+// disables rule evaluation, and -alert.monitor arms the φ-accrual
+// heartbeat detector as a pure signal source (requires -net.enable).
 package main
 
 import (
@@ -107,6 +118,10 @@ func usage() {
                    [-trace.chrome FILE] [-trace.jsonl FILE] [-trace.requests N]
                    [-metrics.dir DIR] [-metrics.interval SECONDS]
                    [-metrics.http ADDR] [-metrics.scrape-check] [-metrics.serve]
+                   [-alerts] [-alert.off] [-alert.interval S] [-alert.fast S]
+                   [-alert.slow S] [-alert.page-burn X] [-alert.warn-burn X]
+                   [-alert.z X] [-alert.skew X] [-alert.hysteresis S]
+                   [-alert.monitor]
   jadectl trace-validate FILE`)
 }
 
@@ -255,6 +270,17 @@ func cmdScenario(args []string) error {
 	httpAddr := fs.String("metrics.http", "", "serve the live admin endpoint on this address (e.g. :8080 or 127.0.0.1:0)")
 	scrapeCheck := fs.Bool("metrics.scrape-check", false, "after the run, scrape the admin endpoint and validate the exposition (requires -metrics.http)")
 	serve := fs.Bool("metrics.serve", false, "keep the admin endpoint serving the final pages after the run (requires -metrics.http; ctrl-C to exit)")
+	showAlerts := fs.Bool("alerts", false, "print the run's alert and incident report after the SLO table")
+	alertOff := fs.Bool("alert.off", false, "disable alerting-rule evaluation")
+	alertInterval := fs.Float64("alert.interval", 0, "alert evaluation period in simulated seconds (0 = default 5)")
+	alertFast := fs.Float64("alert.fast", 0, "fast burn-rate window in simulated seconds (0 = default 60)")
+	alertSlow := fs.Float64("alert.slow", 0, "slow burn-rate window in simulated seconds (0 = default 600)")
+	alertPageBurn := fs.Float64("alert.page-burn", 0, "error-budget burn rate that pages (0 = default 14.4)")
+	alertWarnBurn := fs.Float64("alert.warn-burn", 0, "error-budget burn rate that warns (0 = default 3)")
+	alertZ := fs.Float64("alert.z", 0, "anomaly z-score threshold (0 = default 4)")
+	alertSkew := fs.Float64("alert.skew", 0, "pool-skew multiplier vs the pool median (0 = default 3)")
+	alertHysteresis := fs.Float64("alert.hysteresis", 0, "seconds an alert's condition must stay clear before it resolves (0 = default 30)")
+	alertMonitor := fs.Bool("alert.monitor", false, "arm the φ-accrual heartbeat detector as a signal source without recovery (requires -net.enable)")
 	cliutil.Alias(fs, "fault.mtbf", "mtbf")
 	cliutil.Alias(fs, "trace.chrome", "trace")
 	cliutil.Alias(fs, "trace.jsonl", "trace-jsonl")
@@ -319,6 +345,26 @@ func cmdScenario(args []string) error {
 			spec.Telemetry.MetricsIntervalSeconds = *metricsInterval
 		case "metrics.http":
 			spec.Telemetry.HTTPAddr = *httpAddr
+		case "alert.off":
+			spec.Alerting.Off = *alertOff
+		case "alert.interval":
+			spec.Alerting.EvalIntervalSeconds = *alertInterval
+		case "alert.fast":
+			spec.Alerting.FastWindowSeconds = *alertFast
+		case "alert.slow":
+			spec.Alerting.SlowWindowSeconds = *alertSlow
+		case "alert.page-burn":
+			spec.Alerting.PageBurn = *alertPageBurn
+		case "alert.warn-burn":
+			spec.Alerting.WarnBurn = *alertWarnBurn
+		case "alert.z":
+			spec.Alerting.ZThreshold = *alertZ
+		case "alert.skew":
+			spec.Alerting.SkewFactor = *alertSkew
+		case "alert.hysteresis":
+			spec.Alerting.HysteresisSeconds = *alertHysteresis
+		case "alert.monitor":
+			spec.Alerting.MonitorReplicas = *alertMonitor
 		}
 	}
 	if *configPath != "" {
@@ -333,7 +379,10 @@ func cmdScenario(args []string) error {
 			"route.policy", "route.l4", "route.app", "route.db",
 			"route.probe-after", "route.half-life",
 			"net.enable", "net.latency", "net.jitter", "net.loss", "trace.requests",
-			"metrics.dir", "metrics.interval", "metrics.http"} {
+			"metrics.dir", "metrics.interval", "metrics.http",
+			"alert.off", "alert.interval", "alert.fast", "alert.slow",
+			"alert.page-burn", "alert.warn-burn", "alert.z", "alert.skew",
+			"alert.hysteresis", "alert.monitor"} {
 			apply(name)
 		}
 	}
@@ -391,6 +440,9 @@ func cmdScenario(args []string) error {
 			r.InvariantChecks, r.RepairDiscards, r.RepairsConfirmedLegal)
 	}
 	fmt.Printf("\nSLO compliance:\n%s", r.SLOReport.Render())
+	if *showAlerts {
+		fmt.Printf("\nAlerts and incidents:\n%s", r.Alerts.RenderText())
+	}
 	if err := writeTraces(r, *traceOut, *traceJSONL); err != nil {
 		return err
 	}
@@ -472,6 +524,20 @@ func scrapeAdmin(r *jade.ScenarioResult) error {
 	}
 	if _, err := get("/loops"); err != nil {
 		return err
+	}
+	alerts, err := get("/alerts")
+	if err != nil {
+		return err
+	}
+	if err := jade.ValidateAlertsPage(alerts); err != nil {
+		return fmt.Errorf("/alerts: %w", err)
+	}
+	incidents, err := get("/incidents")
+	if err != nil {
+		return err
+	}
+	if err := jade.ValidateIncidentsJSON(incidents); err != nil {
+		return fmt.Errorf("/incidents: %w", err)
 	}
 	evaluated := 0
 	for _, o := range r.SLOReport.Objectives {

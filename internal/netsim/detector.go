@@ -86,15 +86,36 @@ type monitored struct {
 // it replaces, it can be late (detection latency) and wrong (false
 // positives under loss or partition) — and both are measured.
 type Detector struct {
-	eng   *sim.Engine
-	fab   *Fabric
-	cfg   HeartbeatConfig
-	mon   map[string]*monitored
-	stats DetectorStats
-	tr    *trace.Tracer
-	reg   *obs.Registry
-	eval  *sim.Ticker
+	eng     *sim.Engine
+	fab     *Fabric
+	cfg     HeartbeatConfig
+	mon     map[string]*monitored
+	stats   DetectorStats
+	tr      *trace.Tracer
+	reg     *obs.Registry
+	eval    *sim.Ticker
+	history []SuspicionEvent
+	onTrans []func(now float64, target string, suspected, falsePositive bool)
 }
+
+// SuspicionEvent is one suspect/clear transition, kept in emission order
+// so the alerting plane can splice suspicion history into incidents.
+type SuspicionEvent struct {
+	T             float64 `json:"t"`
+	Target        string  `json:"target"`
+	Suspected     bool    `json:"suspected"`
+	FalsePositive bool    `json:"false_positive,omitempty"`
+}
+
+// OnTransition registers a hook fired on every suspect/clear transition,
+// on the simulation goroutine, after the detector's own bookkeeping.
+func (d *Detector) OnTransition(fn func(now float64, target string, suspected, falsePositive bool)) {
+	d.onTrans = append(d.onTrans, fn)
+}
+
+// History returns every suspicion transition so far (live slice; do not
+// mutate).
+func (d *Detector) History() []SuspicionEvent { return d.history }
 
 // NewDetector builds a detector fed by heartbeats over fab.
 func NewDetector(eng *sim.Engine, fab *Fabric, cfg HeartbeatConfig) *Detector {
@@ -271,12 +292,21 @@ func (d *Detector) evaluate(name string, m *monitored) {
 		d.tr.Emit("detector", "detector.suspect",
 			trace.F("target", name), trace.Ff("phi", phi),
 			trace.F("false_positive", boolStr(falsePositive)))
+		d.transition(now, name, true, falsePositive)
 		return
 	}
 	if !m.node.Failed() {
 		d.stats.Heals++
 	}
 	d.tr.Emit("detector", "detector.clear", trace.F("target", name), trace.Ff("phi", phi))
+	d.transition(now, name, false, false)
+}
+
+func (d *Detector) transition(now float64, name string, suspected, falsePositive bool) {
+	d.history = append(d.history, SuspicionEvent{T: now, Target: name, Suspected: suspected, FalsePositive: falsePositive})
+	for _, fn := range d.onTrans {
+		fn(now, name, suspected, falsePositive)
+	}
 }
 
 func boolStr(b bool) string {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -48,9 +49,11 @@ func (p *Publisher) Get(path string) ([]byte, bool) {
 //
 //	/metrics       Prometheus text exposition (0.0.4)
 //	/metrics.json  the same snapshot as JSON
-//	/healthz       liveness + run summary JSON
+//	/healthz       liveness + SLO compliance ("ok" | "degraded" | "invariant-violation")
 //	/components    Fractal component tree with lifecycle/binding state
 //	/loops         control-loop internals (sensor, thresholds, hysteresis)
+//	/alerts        active + resolved alerts (jade-alerts/v1)
+//	/incidents     correlated incident timelines (jade-incidents/v1)
 type AdminServer struct {
 	pub  *Publisher
 	ln   net.Listener
@@ -64,6 +67,8 @@ var pageContentTypes = map[string]string{
 	"/healthz":      "application/json",
 	"/components":   "application/json",
 	"/loops":        "application/json",
+	"/alerts":       "application/json",
+	"/incidents":    "application/json",
 }
 
 // StartAdmin listens on addr (e.g. ":8080" or "127.0.0.1:0" for an
@@ -112,6 +117,35 @@ func (a *AdminServer) Close() error {
 	err := a.srv.Close()
 	<-a.done
 	return err
+}
+
+// Health is the /healthz wire shape. Status is "invariant-violation"
+// when a checker tripped, "degraded" while any SLO objective's most
+// recent window missed its bound (the burning objectives are listed),
+// and "ok" otherwise.
+type Health struct {
+	Status       string   `json:"status"`
+	Time         float64  `json:"time"`
+	Events       uint64   `json:"events_processed"`
+	Components   int      `json:"components"`
+	Burning      []string `json:"burning_objectives,omitempty"`
+	ActiveAlerts int      `json:"active_alerts"`
+}
+
+// RenderHealth renders the /healthz document. burning comes from
+// SLOEngine.Burning; violation from the invariant harness.
+func RenderHealth(now float64, events uint64, components int, violation bool, burning []string, activeAlerts int) []byte {
+	status := "ok"
+	switch {
+	case violation:
+		status = "invariant-violation"
+	case len(burning) > 0:
+		status = "degraded"
+	}
+	doc := Health{Status: status, Time: now, Events: events, Components: components,
+		Burning: burning, ActiveAlerts: activeAlerts}
+	b, _ := json.MarshalIndent(doc, "", "  ")
+	return append(b, '\n')
 }
 
 // LoopStatus is the /loops wire shape for one control loop: identity,

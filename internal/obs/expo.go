@@ -39,7 +39,7 @@ func fmtFloat(v float64) string {
 func PrometheusText(s *Snapshot) []byte {
 	var b bytes.Buffer
 	for _, f := range s.Families {
-		fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
 		for _, m := range f.Series {
 			switch f.Type {
@@ -57,6 +57,13 @@ func PrometheusText(s *Snapshot) []byte {
 		}
 	}
 	return b.Bytes()
+}
+
+// escapeHelp escapes a HELP docstring per text exposition format 0.0.4:
+// backslash and newline are the only escaped characters.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // writeSample emits one sample line, splicing an extra label (le) after
@@ -156,18 +163,21 @@ func MetricsJSON(s *Snapshot) []byte {
 	return append(out, '\n')
 }
 
-// ValidatePrometheusText checks a page against the text exposition format:
-// every family needs HELP then TYPE before its samples, sample lines must
-// parse, histogram buckets must be cumulative and agree with _count.
-// It returns the number of sample lines.
+// ValidatePrometheusText checks a page against the text exposition format
+// 0.0.4: every family needs HELP then TYPE before its samples, sample
+// lines must parse, and every histogram series must carry cumulative
+// le-buckets, a +Inf bucket, and _sum/_count samples with +Inf agreeing
+// with _count. It returns the number of sample lines.
 func ValidatePrometheusText(page []byte) (int, error) {
 	lines := strings.Split(string(page), "\n")
 	samples := 0
 	typed := map[string]string{}
 	helped := map[string]bool{}
-	// histogram bookkeeping: last bucket value per series signature
+	// histogram bookkeeping, keyed by series signature (labels minus le)
+	histSeries := map[string]bool{}
 	lastBucket := map[string]float64{}
 	counts := map[string]float64{}
+	sums := map[string]bool{}
 	infs := map[string]float64{}
 	for ln, line := range lines {
 		if line == "" {
@@ -237,6 +247,7 @@ func ValidatePrometheusText(page []byte) (int, error) {
 		if typed[base] == "histogram" {
 			sig := stripLabel(labels, "le")
 			key := base + "{" + sig + "}"
+			histSeries[key] = true
 			switch {
 			case strings.HasSuffix(name, "_bucket"):
 				if val+1e-9 < lastBucket[key] {
@@ -248,6 +259,8 @@ func ValidatePrometheusText(page []byte) (int, error) {
 				}
 			case strings.HasSuffix(name, "_count"):
 				counts[key] = val
+			case strings.HasSuffix(name, "_sum"):
+				sums[key] = true
 			}
 		}
 		samples++
@@ -255,10 +268,17 @@ func ValidatePrometheusText(page []byte) (int, error) {
 	if samples == 0 {
 		return 0, fmt.Errorf("no samples in page")
 	}
-	for key, c := range counts {
+	for key := range histSeries {
 		inf, ok := infs[key]
 		if !ok {
 			return 0, fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		c, ok := counts[key]
+		if !ok {
+			return 0, fmt.Errorf("histogram %s has no _count sample", key)
+		}
+		if !sums[key] {
+			return 0, fmt.Errorf("histogram %s has no _sum sample", key)
 		}
 		if inf != c {
 			return 0, fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, inf, c)

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// conformancePage renders a registry with every metric type, including a
+// family whose help text needs escaping, and returns the text page.
+func conformancePage(t *testing.T) []byte {
+	t.Helper()
+	r := NewRegistry(nil)
+	r.Counter("jade_requests_total", "Requests handled.", L("tier", "app")).Add(7)
+	r.Gauge("jade_replicas", "Current replica count.").Set(3)
+	r.Gauge("jade_help_escape", "Line one\nline two with back\\slash.").Set(1)
+	h := r.Histogram("jade_latency_seconds", "Request latency.", L("tier", "app"))
+	for _, v := range []float64{0.01, 0.05, 0.2, 1.5, 9} {
+		h.Observe(v)
+	}
+	h2 := r.Histogram("jade_latency_seconds", "Request latency.", L("tier", "db"))
+	h2.Observe(0.003)
+	return PrometheusText(r.Snapshot())
+}
+
+// TestPrometheusConformance walks the rendered page against the text
+// exposition format 0.0.4 requirements the repo relies on: one HELP and
+// one TYPE line per family (HELP first), HELP docstrings with backslash
+// and newline escaped, and per histogram series cumulative le-buckets
+// ending in +Inf plus _sum and _count samples.
+func TestPrometheusConformance(t *testing.T) {
+	page := conformancePage(t)
+	if _, err := ValidatePrometheusText(page); err != nil {
+		t.Fatalf("page does not validate: %v\n%s", err, page)
+	}
+	lines := strings.Split(string(page), "\n")
+
+	helps := map[string]int{}
+	types := map[string]int{}
+	seenSamples := map[string]bool{}
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# HELP "), " ")
+			helps[name]++
+			if types[name] > 0 {
+				t.Errorf("TYPE for %s precedes HELP", name)
+			}
+			if seenSamples[name] {
+				t.Errorf("samples for %s precede HELP", name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# TYPE "), " ")
+			types[name]++
+		case line != "":
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				name = strings.TrimSuffix(name, suf)
+			}
+			seenSamples[name] = true
+		}
+	}
+	for _, fam := range []string{"jade_requests_total", "jade_replicas", "jade_help_escape", "jade_latency_seconds"} {
+		if helps[fam] != 1 || types[fam] != 1 {
+			t.Errorf("family %s: %d HELP, %d TYPE lines, want exactly 1 each", fam, helps[fam], types[fam])
+		}
+		if !seenSamples[fam] {
+			t.Errorf("family %s has no samples", fam)
+		}
+	}
+
+	// HELP escaping: raw newline must not split the page; the docstring
+	// carries literal \n and \\ sequences instead.
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# HELP jade_help_escape ") {
+			doc := strings.TrimPrefix(line, "# HELP jade_help_escape ")
+			if doc != `Line one\nline two with back\\slash.` {
+				t.Errorf("HELP escaping wrong: %q", doc)
+			}
+		}
+		if line == "line two with back\\slash." {
+			t.Error("raw newline leaked into the page")
+		}
+	}
+
+	// Histogram shape per series: cumulative buckets, +Inf last, then
+	// _sum and _count.
+	for _, sig := range []string{`tier="app"`, `tier="db"`} {
+		var bucketVals []float64
+		hasInf, hasSum, hasCount := false, false, false
+		for _, line := range lines {
+			switch {
+			case strings.HasPrefix(line, "jade_latency_seconds_bucket{") && strings.Contains(line, sig):
+				if strings.Contains(line, `le="+Inf"`) {
+					hasInf = true
+				}
+				var v float64
+				if _, err := fmtSscan(line, &v); err != nil {
+					t.Fatalf("unparseable bucket line %q: %v", line, err)
+				}
+				bucketVals = append(bucketVals, v)
+			case strings.HasPrefix(line, "jade_latency_seconds_sum{") && strings.Contains(line, sig):
+				hasSum = true
+			case strings.HasPrefix(line, "jade_latency_seconds_count{") && strings.Contains(line, sig):
+				hasCount = true
+			}
+		}
+		if len(bucketVals) == 0 || !hasInf || !hasSum || !hasCount {
+			t.Fatalf("series {%s}: buckets=%d inf=%v sum=%v count=%v", sig, len(bucketVals), hasInf, hasSum, hasCount)
+		}
+		for i := 1; i < len(bucketVals); i++ {
+			if bucketVals[i] < bucketVals[i-1] {
+				t.Fatalf("series {%s}: non-cumulative buckets %v", sig, bucketVals)
+			}
+		}
+	}
+}
+
+// fmtSscan parses the float value off the end of a sample line.
+func fmtSscan(line string, v *float64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*v, err = strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// TestValidatePrometheusTextRejectsGaps: the validator must reject pages
+// missing the pieces the conformance contract requires.
+func TestValidatePrometheusTextRejectsGaps(t *testing.T) {
+	base := "# HELP jade_lat x\n# TYPE jade_lat histogram\n"
+	cases := map[string]string{
+		"missing +Inf bucket": base +
+			"jade_lat_bucket{le=\"1\"} 2\njade_lat_sum 1\njade_lat_count 2\n",
+		"missing _sum": base +
+			"jade_lat_bucket{le=\"1\"} 2\njade_lat_bucket{le=\"+Inf\"} 2\njade_lat_count 2\n",
+		"missing _count": base +
+			"jade_lat_bucket{le=\"1\"} 2\njade_lat_bucket{le=\"+Inf\"} 2\njade_lat_sum 1\n",
+		"+Inf disagrees with count": base +
+			"jade_lat_bucket{le=\"+Inf\"} 2\njade_lat_sum 1\njade_lat_count 3\n",
+		"non-cumulative buckets": base +
+			"jade_lat_bucket{le=\"1\"} 3\njade_lat_bucket{le=\"2\"} 2\njade_lat_bucket{le=\"+Inf\"} 3\njade_lat_sum 1\njade_lat_count 3\n",
+		"TYPE before HELP": "# TYPE jade_x gauge\n# HELP jade_x x\njade_x 1\n",
+		"untyped sample":   "jade_y 1\n",
+	}
+	for name, page := range cases {
+		if _, err := ValidatePrometheusText([]byte(page)); err == nil {
+			t.Errorf("%s: page accepted:\n%s", name, page)
+		}
+	}
+}

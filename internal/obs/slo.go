@@ -50,6 +50,8 @@ type objectiveState struct {
 	last      float64
 	worst     float64
 	hasWorst  bool
+	lastMet   bool
+	hasLast   bool
 	valueG    *Gauge
 	metG      *Gauge
 }
@@ -71,6 +73,11 @@ func (s *objectiveState) worseThan(v float64) bool {
 // evaluation schedule is part of the deterministic trajectory.
 type SLOEngine struct {
 	Interval float64
+	// Observer, when set, receives every objective evaluation outcome
+	// (called from Evaluate on the sim goroutine). The alerting plane's
+	// burn-rate rules hang off this hook so they see exactly the
+	// evaluated windows — probes are stateful and must not be re-run.
+	Observer func(now float64, name, tier string, value float64, met bool)
 	states   []*objectiveState
 	lastEval float64
 	started  bool
@@ -113,6 +120,7 @@ func (e *SLOEngine) Evaluate(now float64) {
 		st.intervals++
 		st.last = v
 		met := st.obj.met(v)
+		st.lastMet, st.hasLast = met, true
 		if met {
 			st.metCount++
 		}
@@ -122,7 +130,26 @@ func (e *SLOEngine) Evaluate(now float64) {
 		}
 		st.valueG.Set(v)
 		st.metG.SetBool(met)
+		if e.Observer != nil {
+			e.Observer(now, st.obj.Name, st.obj.Tier, v, met)
+		}
 	}
+}
+
+// Burning returns the names of objectives whose most recently evaluated
+// window missed its bound, in registration order. The /healthz page uses
+// this to report "degraded" while the service is out of compliance.
+func (e *SLOEngine) Burning() []string {
+	if e == nil {
+		return nil
+	}
+	var out []string
+	for _, st := range e.states {
+		if st.hasLast && !st.lastMet {
+			out = append(out, st.obj.Name)
+		}
+	}
+	return out
 }
 
 // ObjectiveReport is one objective's post-run summary.

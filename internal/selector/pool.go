@@ -361,6 +361,15 @@ type Status struct {
 	Failed   uint64
 	Down     bool
 	Score    float64
+	// Decayed reservoir views at the cached clock: the exponentially
+	// decayed mean request latency in seconds (0 until a sample lands),
+	// the decayed sample count behind it, and the decayed failure count.
+	// These are what the alerting plane's pool-skew rules compare across
+	// backends — a gray replica's reservoirs diverge long before the
+	// failure detector sees anything.
+	MeanLatency    float64
+	LatencySamples float64
+	DecayedFails   float64
 }
 
 // Snapshot returns a consistent view of every backend in registration
@@ -373,7 +382,7 @@ func (p *Pool) Snapshot() []Status {
 	now := p.lastNow
 	out := make([]Status, 0, len(p.entries))
 	for _, b := range p.entries {
-		out = append(out, Status{
+		st := Status{
 			Name:     b.name,
 			Weight:   b.weight,
 			InFlight: b.inflight,
@@ -381,7 +390,13 @@ func (p *Pool) Snapshot() []Status {
 			Failed:   b.failed,
 			Down:     b.down,
 			Score:    b.Score(now, p.opts.FailureWeight, p.opts.LatencyWeight),
-		})
+		}
+		st.LatencySamples = b.latN.valueAt(now)
+		if st.LatencySamples > 1e-9 {
+			st.MeanLatency = b.lat.valueAt(now) / st.LatencySamples
+		}
+		st.DecayedFails = b.fail.valueAt(now)
+		out = append(out, st)
 	}
 	return out
 }

@@ -53,6 +53,7 @@ import (
 	"jade/internal/metrics"
 	"jade/internal/netsim"
 	"jade/internal/obs"
+	"jade/internal/obs/alert"
 	"jade/internal/report"
 	"jade/internal/rubis"
 	"jade/internal/selector"
@@ -295,6 +296,44 @@ func ValidateMetricsJSON(doc []byte) (int, error) { return obs.ValidateMetricsJS
 // ValidateComponentsJSON checks a jade-components/v1 document and returns
 // the number of component nodes.
 func ValidateComponentsJSON(doc []byte) (int, error) { return obs.ValidateComponentsJSON(doc) }
+
+// Re-exported alerting types: the deterministic alerting plane layered on
+// the observability stack (see internal/obs/alert) — SLO burn-rate rules,
+// streaming anomaly detectors, and the incident correlation engine behind
+// /alerts, /incidents, alerts.jsonl and incidents.json.
+type (
+	// AlertEngine is a run's alerting plane (ScenarioResult.Alerts).
+	AlertEngine = alert.Engine
+	// AlertConfig tunes the alerting plane (ScenarioConfig.Alerting).
+	AlertConfig = alert.Config
+	// Alert is one fired (or resolved) alert instance.
+	Alert = alert.Alert
+	// AlertSeverity grades an alert (warn | page).
+	AlertSeverity = alert.Severity
+	// AlertTransition is one line of the alerts.jsonl stream.
+	AlertTransition = alert.Transition
+	// Incident is a set of correlated alerts with a causal timeline.
+	Incident = alert.Incident
+	// IncidentTimelineEntry is one causal step inside an incident.
+	IncidentTimelineEntry = alert.TimelineEntry
+)
+
+// Alert severities.
+const (
+	AlertWarn = alert.SevWarn
+	AlertPage = alert.SevPage
+)
+
+// ValidateAlertsJSONL checks an alerts.jsonl transition stream and
+// returns the number of transitions.
+func ValidateAlertsJSONL(data []byte) (int, error) { return alert.ValidateAlertsJSONL(data) }
+
+// ValidateAlertsPage checks a jade-alerts/v1 document (/alerts).
+func ValidateAlertsPage(doc []byte) error { return alert.ValidateAlertsPage(doc) }
+
+// ValidateIncidentsJSON checks a jade-incidents/v1 document (/incidents,
+// incidents.json).
+func ValidateIncidentsJSON(doc []byte) error { return alert.ValidateIncidentsJSON(doc) }
 
 // NewPlatform builds a platform with the standard wrapper registry.
 func NewPlatform(opts PlatformOptions) *Platform { return core.NewPlatform(opts) }

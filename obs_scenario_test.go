@@ -72,6 +72,14 @@ func TestMetricsSnapshotDeterminism(t *testing.T) {
 	sameSnapshots(t, a, b)
 	for name, data := range a {
 		switch {
+		case name == "alerts.jsonl":
+			if _, err := ValidateAlertsJSONL(data); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		case name == "incidents.json":
+			if err := ValidateIncidentsJSON(data); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
 		case strings.HasSuffix(name, ".prom"):
 			if _, err := ValidatePrometheusText(data); err != nil {
 				t.Fatalf("%s: %v", name, err)
@@ -112,7 +120,7 @@ func TestLiveScraperDoesNotPerturbRun(t *testing.T) {
 								return
 							default:
 							}
-							for _, p := range []string{"/metrics", "/metrics.json", "/components", "/loops", "/healthz"} {
+							for _, p := range []string{"/metrics", "/metrics.json", "/components", "/loops", "/healthz", "/alerts", "/incidents"} {
 								resp, err := http.Get("http://" + addr + p)
 								if err != nil {
 									continue

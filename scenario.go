@@ -17,7 +17,9 @@ import (
 	"jade/internal/metrics"
 	"jade/internal/netsim"
 	"jade/internal/obs"
+	"jade/internal/obs/alert"
 	"jade/internal/rubis"
+	"jade/internal/selector"
 	"jade/internal/trace"
 )
 
@@ -145,6 +147,18 @@ type ScenarioConfig struct {
 	// SLOInterval is the objective evaluation window in virtual seconds
 	// (10 by default).
 	SLOInterval float64
+	// Alerting configures the burn-rate/anomaly alerting plane. The zero
+	// value means enabled with defaults; set Alerting.Disabled to turn
+	// rule evaluation off. The evaluation ticker runs either way and the
+	// rules only read existing measurement streams, so the simulation
+	// trajectory is identical with alerting on or off.
+	Alerting alert.Config
+	// Monitor arms the φ-accrual heartbeat detector purely as a signal
+	// source even without Recovery: the initial app/db replicas are
+	// watched, suspicions feed routing and the incident timelines, but
+	// nothing repairs. Requires Net.Enabled; ignored when Recovery
+	// already created a detector.
+	Monitor bool
 	// Logf receives management log lines (optional).
 	Logf func(string, ...any)
 }
@@ -265,6 +279,10 @@ type ScenarioResult struct {
 	// SLOReport is the post-run compliance report over the evaluated
 	// objectives.
 	SLOReport *obs.SLOReport
+	// Alerts is the run's alerting plane: fired alerts, correlated
+	// incidents, and the deterministic alerts.jsonl / incidents.json
+	// exporters (never nil; empty when Alerting.Disabled).
+	Alerts *alert.Engine
 	// RequestLatency is the client-perceived end-to-end latency
 	// histogram (exact quantiles via RequestLatency.Quantile).
 	RequestLatency *obs.Histogram
@@ -475,6 +493,20 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		})
 	}
 
+	if detector == nil && cfg.Monitor && fabric.Enabled() {
+		// Monitoring-only mode: the detector watches the initial replicas
+		// as a signal source (suspicion routing, incident timelines, the
+		// alert-latency comparison) without any repair acting on it.
+		det := netsim.NewDetector(p.Eng, fabric, cfg.Net.Heartbeat)
+		det.Instrument(p.Trace(), p.Metrics())
+		for _, name := range append(append([]string{}, appReplicas...), dbReplicas...) {
+			if node, err := dep.NodeOf(name); err == nil {
+				det.Monitor(name, node)
+			}
+		}
+		detector = det
+	}
+
 	if detector != nil {
 		// Feed the failure detector's verdicts into the balancer pools
 		// once per second: suspected replicas leave rotation (probe
@@ -647,6 +679,119 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	slo := obs.NewSLOEngine(reg, sloInterval, objs)
 	p.Eng.Every(sloInterval, "slo-eval", slo.Evaluate)
 
+	// Alerting plane: burn-rate rules over the SLO evaluation stream,
+	// streaming anomaly detectors over the client series, pool-skew rules
+	// over the routing reservoirs, and the incident correlator fed by
+	// detector suspicions, control-loop decisions and routing evictions.
+	// The ticker runs unconditionally and every rule only reads existing
+	// measurement streams, so enabling alerting never changes the
+	// trajectory — Tick is a pure observer of the run.
+	aeng := alert.NewEngine(cfg.Alerting, p.Trace())
+	aeng.Instrument(reg)
+	res.Alerts = aeng
+	if aeng.Enabled() {
+		acfg := aeng.Config()
+		burn := make(map[string]*alert.BurnRule, len(objs))
+		for _, o := range objs {
+			br := alert.NewBurnRule(acfg, o.Name, o.Tier)
+			burn[o.Name] = br
+			aeng.AddRule(br)
+		}
+		slo.Observer = func(now float64, name, _ string, value float64, met bool) {
+			if br := burn[name]; br != nil {
+				br.Observe(now, value, met)
+			}
+		}
+		latProbe := func() alert.Probe {
+			prev := -1.0
+			return func(now float64) (float64, bool) {
+				t0 := prev
+				prev = now
+				vs := windowValues(em.Stats().Latency, t0, now)
+				if t0 < 0 || len(vs) == 0 {
+					return 0, false
+				}
+				sort.Float64s(vs)
+				return metrics.Percentile(vs, 0.99), true
+			}
+		}
+		abandonProbe := func() alert.Probe {
+			var prevC, prevF uint64
+			primed := false
+			return func(now float64) (float64, bool) {
+				st := em.Stats()
+				dc, df := st.Completed-prevC, st.Failed-prevF
+				prevC, prevF = st.Completed, st.Failed
+				if !primed {
+					primed = true
+					return 0, false
+				}
+				if dc+df == 0 {
+					return 0, false
+				}
+				return float64(df) / float64(dc+df), true
+			}
+		}
+		aeng.AddRule(alert.NewZScoreRule(acfg, "anomaly:client-latency-p99", "client", "client", true, 0.3, latProbe()))
+		aeng.AddRule(alert.NewRateRule(acfg, "anomaly:client-abandon-rate", "client", "client", true, 0.02, abandonProbe()))
+		plbW := dep.MustComponent("plb1").Content().(*core.PLBWrapper)
+		cw := dep.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper)
+		poolStats := func(pool func() *selector.Pool) func() []alert.BackendStat {
+			return func() []alert.BackendStat {
+				pl := pool()
+				if pl == nil {
+					return nil
+				}
+				snap := pl.Snapshot()
+				out := make([]alert.BackendStat, 0, len(snap))
+				for _, s := range snap {
+					out = append(out, alert.BackendStat{
+						Name: s.Name, MeanLatency: s.MeanLatency,
+						LatencySamples: s.LatencySamples,
+						Failures:       s.DecayedFails, InFlight: s.InFlight,
+					})
+				}
+				return out
+			}
+		}
+		aeng.AddRule(alert.NewSkewRule(acfg, "skew:app-pool", "app", 0.1, poolStats(func() *selector.Pool {
+			if b := plbW.Balancer(); b != nil {
+				return b.Pool()
+			}
+			return nil
+		})))
+		aeng.AddRule(alert.NewSkewRule(acfg, "skew:db-pool", "db", 0.05, poolStats(func() *selector.Pool {
+			if ctl := cw.Controller(); ctl != nil {
+				return ctl.Pool()
+			}
+			return nil
+		})))
+		// Causal context for the incident timelines.
+		p.OnReconfiguration(func(now float64, event string) {
+			aeng.Observe(now, "loop.reconfig", "control-loop", "", event, 0)
+		})
+		if b := plbW.Balancer(); b != nil {
+			b.Pool().OnEvict(func(name string) {
+				aeng.Observe(p.Eng.Now(), "route.evict", "router", name, "app pool evicted "+name, 0)
+			})
+		}
+		if ctl := cw.Controller(); ctl != nil {
+			ctl.Pool().OnEvict(func(name string) {
+				aeng.Observe(p.Eng.Now(), "route.evict", "router", name, "db pool evicted "+name, 0)
+			})
+		}
+		if detector != nil {
+			detector.OnTransition(func(now float64, target string, suspected, falsePositive bool) {
+				kind, detail := "detector.suspect", fmt.Sprintf("phi over threshold (false positive: %v)", falsePositive)
+				if !suspected {
+					kind, detail = "detector.clear", "phi back under threshold"
+				}
+				aeng.Observe(now, kind, "detector", target, detail, 0)
+			})
+		}
+	}
+	p.Eng.Every(aeng.Config().EvalIntervalSeconds, "alert-eval", aeng.Tick)
+
 	if cfg.MetricsDir != "" {
 		if err := os.MkdirAll(cfg.MetricsDir, 0o755); err != nil {
 			return nil, err
@@ -680,7 +825,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		pub.Set("/metrics.json", js)
 		pub.Set("/components", componentsPage(now, dep, p))
 		pub.Set("/loops", loopsPage(now, res))
-		pub.Set("/healthz", healthPage(now, p, dep, harness))
+		pub.Set("/healthz", healthPage(now, p, dep, harness, slo, aeng))
+		pub.Set("/alerts", aeng.AlertsPage(now))
+		pub.Set("/incidents", aeng.IncidentsJSON(now))
 		if cfg.MetricsDir != "" {
 			base := filepath.Join(cfg.MetricsDir, fmt.Sprintf("metrics-t%08d", int64(math.Round(now))))
 			if err := os.WriteFile(base+".prom", prom, 0o644); err != nil && snapErr == nil {
@@ -848,6 +995,14 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	res.SLOReport = slo.Report()
 	snapshot(p.Eng.Now())
+	if cfg.MetricsDir != "" {
+		if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "alerts.jsonl"), aeng.AlertsJSONL(), 0o644); err != nil && snapErr == nil {
+			snapErr = err
+		}
+		if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "incidents.json"), aeng.IncidentsJSON(p.Eng.Now()), 0o644); err != nil && snapErr == nil {
+			snapErr = err
+		}
+	}
 	if snapErr != nil {
 		return nil, snapErr
 	}
@@ -935,20 +1090,13 @@ func loopsPage(now float64, res *ScenarioResult) []byte {
 	return append(b, '\n')
 }
 
-// healthPage renders the liveness document.
-func healthPage(now float64, p *Platform, dep *Deployment, harness *invariant.Harness) []byte {
-	status := "ok"
-	if harness != nil && harness.Violation() != nil {
-		status = "invariant-violation"
-	}
-	doc := struct {
-		Status     string  `json:"status"`
-		Time       float64 `json:"time"`
-		Events     uint64  `json:"events_processed"`
-		Components int     `json:"components"`
-	}{status, now, p.Eng.Processed(), len(dep.ComponentNames())}
-	b, _ := json.MarshalIndent(doc, "", "  ")
-	return append(b, '\n')
+// healthPage renders the liveness + compliance document: the status
+// degrades to "degraded" (with the burning objective names) while any
+// SLO objective's latest evaluated window missed its bound.
+func healthPage(now float64, p *Platform, dep *Deployment, harness *invariant.Harness, slo *obs.SLOEngine, aeng *alert.Engine) []byte {
+	violation := harness != nil && harness.Violation() != nil
+	return obs.RenderHealth(now, p.Eng.Processed(), len(dep.ComponentNames()),
+		violation, slo.Burning(), aeng.ActiveCount())
 }
 
 // resolveEndpoints maps a chaos partition group to fabric endpoint

@@ -29,6 +29,53 @@ type Spec struct {
 	Routing   RoutingSpec   `json:"routing"`
 	Checks    ChecksSpec    `json:"checks"`
 	Telemetry TelemetrySpec `json:"telemetry"`
+	Alerting  AlertingSpec  `json:"alerting"`
+}
+
+// AlertingSpec groups the alerting plane's knobs. Everything defaults to
+// the enabled configuration; Off turns rule evaluation off (the
+// evaluation ticker still runs, so the trajectory is unchanged).
+type AlertingSpec struct {
+	// Off disables rule evaluation.
+	Off bool `json:"off,omitempty"`
+	// EvalIntervalSeconds is the rule evaluation period (5 by default).
+	EvalIntervalSeconds float64 `json:"eval_interval_seconds,omitempty"`
+	// FastWindowSeconds / SlowWindowSeconds are the burn-rate windows
+	// (60 / 600 by default).
+	FastWindowSeconds float64 `json:"fast_window_seconds,omitempty"`
+	SlowWindowSeconds float64 `json:"slow_window_seconds,omitempty"`
+	// BudgetFraction is the error budget (0.01 by default).
+	BudgetFraction float64 `json:"budget_fraction,omitempty"`
+	// PageBurn / WarnBurn are the burn-rate thresholds (14.4 / 3).
+	PageBurn float64 `json:"page_burn,omitempty"`
+	WarnBurn float64 `json:"warn_burn,omitempty"`
+	// ZThreshold is the anomaly z-score trip point (4 by default).
+	ZThreshold float64 `json:"z_threshold,omitempty"`
+	// SkewFactor is the pool-skew multiplier (3 by default).
+	SkewFactor float64 `json:"skew_factor,omitempty"`
+	// HysteresisSeconds keeps a firing alert up until its condition has
+	// been clear this long (30 by default).
+	HysteresisSeconds float64 `json:"hysteresis_seconds,omitempty"`
+	// MonitorReplicas arms the φ-accrual detector as a monitoring-only
+	// signal source on unmanaged runs (requires faults.network.enabled);
+	// suspicion history then feeds the incident timelines.
+	MonitorReplicas bool `json:"monitor_replicas,omitempty"`
+}
+
+// Config compiles the spec to the alert plane's Config.
+func (a AlertingSpec) Config() AlertConfig {
+	return AlertConfig{
+		Disabled:            a.Off,
+		EvalIntervalSeconds: a.EvalIntervalSeconds,
+		FastWindowSeconds:   a.FastWindowSeconds,
+		SlowWindowSeconds:   a.SlowWindowSeconds,
+		BudgetFraction:      a.BudgetFraction,
+		PageBurn:            a.PageBurn,
+		WarnBurn:            a.WarnBurn,
+		ZThreshold:          a.ZThreshold,
+		SkewFactor:          a.SkewFactor,
+		HysteresisSeconds:   a.HysteresisSeconds,
+	}
 }
 
 // RoutingSpec groups the backend-selection policies of the balancing
@@ -284,6 +331,37 @@ func (s Spec) Validate() error {
 	if s.Routing.ProbeAfterSeconds < 0 || s.Routing.HalfLifeSeconds < 0 {
 		return fmt.Errorf("jade: negative routing timing")
 	}
+	a := s.Alerting
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"alerting.eval_interval_seconds", a.EvalIntervalSeconds},
+		{"alerting.fast_window_seconds", a.FastWindowSeconds},
+		{"alerting.slow_window_seconds", a.SlowWindowSeconds},
+		{"alerting.budget_fraction", a.BudgetFraction},
+		{"alerting.page_burn", a.PageBurn},
+		{"alerting.warn_burn", a.WarnBurn},
+		{"alerting.z_threshold", a.ZThreshold},
+		{"alerting.skew_factor", a.SkewFactor},
+		{"alerting.hysteresis_seconds", a.HysteresisSeconds},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("jade: negative %s %g", f.name, f.v)
+		}
+	}
+	if a.FastWindowSeconds > 0 && a.SlowWindowSeconds > 0 && a.FastWindowSeconds > a.SlowWindowSeconds {
+		return fmt.Errorf("jade: alerting fast window %g exceeds slow window %g", a.FastWindowSeconds, a.SlowWindowSeconds)
+	}
+	if a.PageBurn > 0 && a.WarnBurn > 0 && a.WarnBurn > a.PageBurn {
+		return fmt.Errorf("jade: alerting warn burn %g exceeds page burn %g", a.WarnBurn, a.PageBurn)
+	}
+	if a.BudgetFraction > 1 {
+		return fmt.Errorf("jade: alerting budget fraction %g exceeds 1", a.BudgetFraction)
+	}
+	if a.MonitorReplicas && !s.Faults.Network.Enabled {
+		return fmt.Errorf("jade: alerting.monitor_replicas requires faults.network.enabled")
+	}
 	return nil
 }
 
@@ -344,6 +422,8 @@ func (s Spec) Flatten() (ScenarioConfig, error) {
 		MetricsDir:      s.Telemetry.MetricsDir,
 		MetricsInterval: s.Telemetry.MetricsIntervalSeconds,
 		HTTPAddr:        s.Telemetry.HTTPAddr,
+		Alerting:        s.Alerting.Config(),
+		Monitor:         s.Alerting.MonitorReplicas,
 	}
 	if s.Managed && cfg.MaxAppReplicas == 0 {
 		cfg.MaxAppReplicas = 2
