@@ -13,12 +13,16 @@
 #   make alert-smoke  - run the quick alert-latency experiment end to end
 #                       (self-checking: nonzero exit unless the alert plane
 #                       pages the gray replica while the φ detector is silent)
+#   make fluid-smoke  - fluid-engine gate: cross-validation + determinism
+#                       tests, then the quick million-client experiment
+#                       (self-checking: nonzero exit unless the run reaches
+#                       a million clients with both sizing loops actuating)
 #   make api-check    - diff the facade's exported surface against testdata/api_surface.txt
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke api-check ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke api-check ci
 
 all: build
 
@@ -60,7 +64,11 @@ selector-smoke:
 alert-smoke:
 	$(GO) run ./cmd/jadebench -experiment alertlat -quick
 
+fluid-smoke:
+	$(GO) test -run 'TestFluid(CrossValidation|Determinism)' .
+	$(GO) run ./cmd/jadebench -experiment millionclient -quick
+
 api-check:
 	$(GO) test -run TestAPISurface .
 
-ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke api-check
+ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke api-check

@@ -16,7 +16,7 @@ import (
 
 // benchCoreSchema versions the BENCH_core.json layout; bump it when
 // fields change meaning so trajectory tooling can tell runs apart.
-const benchCoreSchema = "jade-bench-core/v3"
+const benchCoreSchema = "jade-bench-core/v4"
 
 // BenchCore is one measurement of the simulation core's throughput — the
 // perf trajectory record written to BENCH_core.json by `-bench-core` and
@@ -51,6 +51,13 @@ type BenchCore struct {
 	// times the ticks the reference run schedules, divided by its event
 	// count. bench-validate asserts it stays under 2% of ns_per_event.
 	AlertEvalNsPerEvent float64 `json:"alert_eval_ns_per_event"`
+
+	// Hybrid fluid/discrete workload engine (v4): peak clients simulated
+	// per wall-second by the quick million-client run, and the worst-tier
+	// CPU-curve RMS of its fluid-vs-discrete cross-validation gate.
+	// bench-validate asserts the RMS stays within the ±5% accuracy bound.
+	FluidClientsPerSec    float64 `json:"fluid_clients_per_sec"`
+	FluidVsDiscreteCPURMS float64 `json:"fluid_vs_discrete_cpu_rms"`
 }
 
 // runBenchCore measures the simulation core and writes BENCH_core.json.
@@ -101,6 +108,13 @@ func runBenchCore(outPath string, parallel int) error {
 		return err
 	}
 
+	fmt.Fprintf(os.Stderr, "jadebench: timing quick million-client fluid run (with cross-validation)...\n")
+	mc, _, err := jade.RunMillionClient(1, true)
+	if err != nil {
+		return err
+	}
+	fluidRMS := math.Max(mc.CrossVal.AppCPURMS, mc.CrossVal.DBCPURMS)
+
 	fmt.Fprintf(os.Stderr, "jadebench: benchmarking alert-plane evaluation...\n")
 	tickNs := benchAlertTick()
 	refEvents := float64(ref.Platform.Eng.Processed())
@@ -125,6 +139,9 @@ func runBenchCore(outPath string, parallel int) error {
 		RequestLatencyP99Ms: 1000 * ref.RequestLatency.Quantile(0.99),
 
 		AlertEvalNsPerEvent: tickNs * refTicks / refEvents,
+
+		FluidClientsPerSec:    mc.ClientsPerSec,
+		FluidVsDiscreteCPURMS: fluidRMS,
 	}
 	if res.Failure != nil {
 		rec.SweepViolations = 1
@@ -143,6 +160,8 @@ func runBenchCore(outPath string, parallel int) error {
 		rec.RequestLatencyP50Ms, rec.RequestLatencyP99Ms)
 	fmt.Printf("bench-core: alert eval %.2f ns/event amortized (%.2f%% of engine cost)\n",
 		rec.AlertEvalNsPerEvent, 100*rec.AlertEvalNsPerEvent/rec.NsPerEvent)
+	fmt.Printf("bench-core: fluid engine %.0f clients/wall-second, cross-val CPU RMS %.4f\n",
+		rec.FluidClientsPerSec, rec.FluidVsDiscreteCPURMS)
 	fmt.Printf("bench-core: wrote %s\n", outPath)
 	return nil
 }
@@ -244,7 +263,14 @@ func validateBenchCore(path string) error {
 		return fmt.Errorf("%s: alerting plane costs %.2f ns/event, over the 2%% budget (%.2f ns/event)",
 			path, rec.AlertEvalNsPerEvent, limit)
 	}
-	fmt.Printf("bench-validate: %s ok (%.0f events/s, %.1f seeds/min, alert eval %.2f ns/event)\n",
-		path, rec.EventsPerSec, rec.SeedsPerMinute, rec.AlertEvalNsPerEvent)
+	if rec.FluidClientsPerSec <= 0 {
+		return fmt.Errorf("%s: zero fluid_clients_per_sec", path)
+	}
+	if rec.FluidVsDiscreteCPURMS <= 0 || rec.FluidVsDiscreteCPURMS > 0.05 {
+		return fmt.Errorf("%s: fluid_vs_discrete_cpu_rms %.4f outside (0, 0.05] accuracy bound",
+			path, rec.FluidVsDiscreteCPURMS)
+	}
+	fmt.Printf("bench-validate: %s ok (%.0f events/s, %.1f seeds/min, alert eval %.2f ns/event, fluid %.0f clients/s)\n",
+		path, rec.EventsPerSec, rec.SeedsPerMinute, rec.AlertEvalNsPerEvent, rec.FluidClientsPerSec)
 	return nil
 }

@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"jade"
@@ -50,7 +52,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|alertlat|ablations|summary|all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|alertlat|millionclient|ablations|summary|all")
 	quick := flag.Bool("quick", false, "shrink the grayfail/alertlat runs for smoke tests")
 	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
@@ -60,6 +62,8 @@ func main() {
 	benchCore := flag.Bool("bench-core", false, "benchmark the simulation core and write the perf record instead of running an experiment")
 	benchOut := flag.String("bench-out", "BENCH_core.json", "where -bench-core writes its record")
 	benchValidate := flag.String("bench-validate", "", "sanity-check a BENCH_core.json written by -bench-core")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	cliutil.Warnings = os.Stderr
 	cliutil.Alias(flag.CommandLine, "trace.chrome", "trace")
 	flag.Usage = func() {
@@ -71,23 +75,61 @@ func main() {
 	if *parallel > 0 {
 		jade.SetParallelism(*parallel)
 	}
-	var err error
-	switch {
-	case *benchValidate != "":
-		err = validateBenchCore(*benchValidate)
-	case *benchCore:
-		err = runBenchCore(*benchOut, *parallel)
-	case *replay != "":
-		err = runReplay(*replay, *speedup)
-	case *sweep > 0:
-		err = runSweep(*sweep, *speedup, *parallel, *artifact)
-	default:
-		err = run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut, *quick)
-	}
+	err := withProfiles(*cpuprofile, *memprofile, func() error {
+		switch {
+		case *benchValidate != "":
+			return validateBenchCore(*benchValidate)
+		case *benchCore:
+			return runBenchCore(*benchOut, *parallel)
+		case *replay != "":
+			return runReplay(*replay, *speedup)
+		case *sweep > 0:
+			return runSweep(*sweep, *speedup, *parallel, *artifact)
+		default:
+			return run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut, *quick)
+		}
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jadebench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles brackets body with the optional pprof hooks: a CPU
+// profile over the whole invocation and a heap profile (after a final
+// GC) at exit, written whether or not body errors.
+func withProfiles(cpuPath, memPath string, body func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "jadebench: wrote CPU profile %s\n", cpuPath)
+		}()
+	}
+	if memPath != "" {
+		defer func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jadebench: heap profile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "jadebench: heap profile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "jadebench: wrote heap profile %s\n", memPath)
+		}()
+	}
+	return body()
 }
 
 func runSweep(seeds int, speedup float64, parallel int, artifactPath string) error {
@@ -262,6 +304,15 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick
 			return err
 		}
 		section("Alert latency — burn-rate/anomaly paging vs φ-accrual detection", table)
+	}
+
+	if want("millionclient") {
+		fmt.Fprintf(os.Stderr, "jadebench: running the million-client fluid experiment (quick=%v)...\n", quick)
+		_, table, err := jade.RunMillionClient(seed, quick)
+		if err != nil {
+			return err
+		}
+		section("Million-client scale — hybrid fluid/discrete workload engine", table)
 	}
 
 	if want("table1") {

@@ -251,6 +251,9 @@ func cmdScenario(args []string) error {
 	managed := fs.Bool("managed", true, "arm the self-optimization managers")
 	sessions := fs.Bool("sessions", false, "use Markov sessions instead of i.i.d. interaction sampling")
 	recovery := fs.Bool("recovery", false, "arm the self-recovery manager")
+	workloadMode := fs.String("workload.mode", "", "workload engine: discrete|fluid|auto (empty = discrete)")
+	workloadTick := fs.Float64("workload.tick", 0, "fluid model tick in simulated seconds (0 = default 1)")
+	workloadSample := fs.Float64("workload.sample-rate", 0, "fraction of clients kept as real discrete chains in fluid mode (0 = default 0.02)")
 	mtbf := fs.Float64("fault.mtbf", 0, "inject node crashes with this mean time between failures (seconds; 0 = none)")
 	routePolicy := fs.String("route.policy", "", "routing policy for every tier: round-robin|weighted-round-robin|least-pending|balanced|rendezvous (empty = per-tier defaults)")
 	routeL4 := fs.String("route.l4", "", "routing policy for the L4 switch (overrides -route.policy)")
@@ -315,6 +318,12 @@ func cmdScenario(args []string) error {
 			spec.Workload.Sessions = *sessions
 		case "recovery":
 			spec.Recovery = *recovery
+		case "workload.mode":
+			spec.Workload.Mode = *workloadMode
+		case "workload.tick":
+			spec.Workload.FluidTickSeconds = *workloadTick
+		case "workload.sample-rate":
+			spec.Workload.FluidSampleRate = *workloadSample
 		case "fault.mtbf":
 			spec.Faults.MTBFSeconds = *mtbf
 		case "route.policy":
@@ -375,7 +384,8 @@ func cmdScenario(args []string) error {
 		spec = loaded
 		cliutil.SetVisited(fs, apply)
 	} else {
-		for _, name := range []string{"sessions", "recovery", "fault.mtbf",
+		for _, name := range []string{"sessions", "recovery",
+			"workload.mode", "workload.tick", "workload.sample-rate", "fault.mtbf",
 			"route.policy", "route.l4", "route.app", "route.db",
 			"route.probe-after", "route.half-life",
 			"net.enable", "net.latency", "net.jitter", "net.loss", "trace.requests",

@@ -1,0 +1,97 @@
+package jade
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestFluidCrossValidation is the accuracy gate for the fluid workload
+// engine, table-driven over seeds: on the paper scenario the managers
+// must see tier CPU curves within ±5% RMS of the discrete engine's and
+// take identical resize decision sequences.
+func TestFluidCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation runs the paper scenario twice per seed")
+	}
+	for _, seed := range []int64{1, 2, 3, 5, 8} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cv, err := FluidCrossValidation(seed, 4)
+			if err != nil {
+				t.Fatalf("FluidCrossValidation: %v", err)
+			}
+			if cv.AppCPURMS > 0.05 {
+				t.Errorf("app CPU RMS %.4f exceeds 0.05", cv.AppCPURMS)
+			}
+			if cv.DBCPURMS > 0.05 {
+				t.Errorf("db CPU RMS %.4f exceeds 0.05", cv.DBCPURMS)
+			}
+			if !cv.DecisionsMatch() {
+				t.Errorf("resize decisions diverge:\napp fluid %v discrete %v\ndb  fluid %v discrete %v",
+					cv.AppFluid, cv.AppDiscrete, cv.DBFluid, cv.DBDiscrete)
+			}
+			if cv.Fluid.Fluid == nil {
+				t.Error("fluid run carried no fluid report")
+			}
+			if cv.Discrete.Fluid != nil {
+				t.Error("discrete run unexpectedly carried a fluid report")
+			}
+		})
+	}
+}
+
+// fluidArtifact runs a compressed paper scenario in fluid mode and
+// returns the run's deterministic artifact: the fluid report plus the
+// decision sequences and sampled-stream counters the experiment tables
+// are built from.
+func fluidArtifact(t *testing.T, seed int64) []byte {
+	t.Helper()
+	cfg := DefaultScenario(seed, true)
+	cfg.WorkloadMode = WorkloadFluid
+	r := PaperRamp()
+	r.StepPerMinute = 21 * 8
+	r.HoldAtPeak = 15
+	cfg.Profile = r
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatalf("RunScenario(seed %d): %v", seed, err)
+	}
+	if res.Fluid == nil {
+		t.Fatalf("seed %d: no fluid report", seed)
+	}
+	data, err := json.Marshal(struct {
+		Fluid      *FluidReport `json:"fluid"`
+		AppResizes []string     `json:"app_resizes"`
+		DBResizes  []string     `json:"db_resizes"`
+		Sampled    uint64       `json:"sampled_completed"`
+		Events     uint64       `json:"events"`
+	}{res.Fluid, resizeSequence(res.App.Replicas), resizeSequence(res.DB.Replicas),
+		res.Stats.Completed, res.Platform.Eng.Processed()})
+	if err != nil {
+		t.Fatalf("marshal artifact: %v", err)
+	}
+	return data
+}
+
+// TestFluidDeterminism sweeps 20 seeds and asserts the fluid engine's
+// run artifact is byte-identical when the same seed is run twice — the
+// replay/debugging guarantee the discrete engine already carries.
+func TestFluidDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep runs 40 fluid scenarios")
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			a := fluidArtifact(t, seed)
+			b := fluidArtifact(t, seed)
+			if !bytes.Equal(a, b) {
+				t.Errorf("seed %d: artifact differs between identical runs:\n%s\nvs\n%s", seed, a, b)
+			}
+		})
+	}
+}

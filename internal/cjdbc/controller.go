@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"jade/internal/cluster"
+	"jade/internal/fluid"
 	"jade/internal/legacy"
 	"jade/internal/obs"
 	"jade/internal/selector"
@@ -158,6 +159,21 @@ func (c *Controller) Running() bool { return c.running }
 // Log exposes the recovery log (read-mostly; the experiment harness and
 // the ablation benches inspect it).
 func (c *Controller) Log() *RecoveryLog { return c.log }
+
+// FluidModel exposes the controller's service model to the fluid
+// workload network: every proxied query costs ProxyCost CPU-seconds on
+// the controller node (the demand unit is the query, not the request —
+// multiply by the mix's mean queries per request). The backend tier it
+// feeds splits reads across the active replicas and broadcasts writes to
+// all of them, per RAIDb-1.
+func (c *Controller) FluidModel() fluid.ServiceModel {
+	return fluid.ServiceModel{
+		Name:        c.name,
+		Node:        c.node,
+		CostPerUnit: c.opts.ProxyCost,
+		Up:          func() bool { return c.running },
+	}
+}
 
 // Reads returns the number of read requests served.
 func (c *Controller) Reads() uint64 { return c.reads }

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+
+	"jade/internal/sim"
+)
+
+func TestBackgroundLoadFeedsUtilizationMeter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := newNode(eng, 1)
+	r := NewUtilizationReader(n)
+	n.SetBackgroundLoad(0.6)
+	eng.RunUntil(10)
+	if got := r.Read(); !almost(got, 0.6) {
+		t.Fatalf("idle node with bg 0.6 read utilization %v, want 0.6", got)
+	}
+	n.SetBackgroundLoad(0)
+	eng.RunUntil(20)
+	if got := r.Read(); !almost(got, 0) {
+		t.Fatalf("after clearing bg, utilization %v, want 0", got)
+	}
+}
+
+func TestBackgroundLoadSlowsDiscreteJobs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := newNode(eng, 1)
+	n.SetBackgroundLoad(0.5)
+	var doneAt float64 = -1
+	// 1 CPU-s job on a half-loaded 1.0 node runs at rate 0.5 → 2 s.
+	n.Submit(1.0, func() { doneAt = eng.Now() }, nil)
+	eng.Run()
+	if !almost(doneAt, 2.0) {
+		t.Fatalf("job finished at %v, want 2 (mean-field PS slowdown)", doneAt)
+	}
+}
+
+func TestBackgroundLoadChangeMidJob(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := newNode(eng, 1)
+	var doneAt float64 = -1
+	n.Submit(1.0, func() { doneAt = eng.Now() }, nil)
+	// Half the work at full rate, then the remaining 0.5 CPU-s at rate 0.25.
+	eng.After(0.5, "load", func() { n.SetBackgroundLoad(0.75) })
+	eng.Run()
+	if !almost(doneAt, 0.5+0.5/0.25) {
+		t.Fatalf("job finished at %v, want 2.5", doneAt)
+	}
+}
+
+func TestBackgroundLoadWorkConservingMeter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := newNode(eng, 1)
+	r := NewUtilizationReader(n)
+	n.SetBackgroundLoad(0.5)
+	// A discrete job makes the node fully busy while it runs (2 s of the
+	// 10 s window), idling at the background level afterwards.
+	n.Submit(1.0, nil, nil)
+	eng.RunUntil(10)
+	want := (2.0*1 + 8.0*0.5) / 10
+	if got := r.Read(); !almost(got, want) {
+		t.Fatalf("mixed utilization %v, want %v", got, want)
+	}
+}
+
+func TestBackgroundLoadClampAndGrantedShares(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := newNode(eng, 2)
+	n.SetBackgroundLoad(7) // clamped to maxBackgroundLoad
+	if got := n.BackgroundLoad(); !almost(got, maxBackgroundLoad) {
+		t.Fatalf("BackgroundLoad = %v, want clamp %v", got, maxBackgroundLoad)
+	}
+	if got := n.GrantedShares(); got > 2+1e-9 {
+		t.Fatalf("GrantedShares %v exceeds capacity with bg only", got)
+	}
+	n.Submit(1.0, nil, nil)
+	if got := n.GrantedShares(); got > 2+1e-9 {
+		t.Fatalf("GrantedShares %v exceeds capacity with bg + job", got)
+	}
+	n.SetBackgroundLoad(-3)
+	if got := n.BackgroundLoad(); got != 0 {
+		t.Fatalf("negative load not clamped to 0: %v", got)
+	}
+}
+
+func TestBackgroundLoadDroppedOnFailure(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := newNode(eng, 1)
+	n.SetBackgroundLoad(0.8)
+	n.Fail()
+	if got := n.BackgroundLoad(); got != 0 {
+		t.Fatalf("failed node keeps background load %v", got)
+	}
+	n.SetBackgroundLoad(0.5) // no-op while failed
+	if got := n.BackgroundLoad(); got != 0 {
+		t.Fatalf("failed node accepted background load %v", got)
+	}
+	if got := n.GrantedShares(); got != 0 {
+		t.Fatalf("failed node grants %v", got)
+	}
+	n.Reboot()
+	r := NewUtilizationReader(n)
+	eng.RunUntil(5)
+	if got := r.Read(); !almost(got, 0) {
+		t.Fatalf("rebooted node utilization %v before fluid reloads, want 0", got)
+	}
+}

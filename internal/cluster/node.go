@@ -72,6 +72,15 @@ type Node struct {
 	util    metrics.UtilizationMeter
 	failed  bool
 
+	// bgLoad is the fluid-workload background utilization in [0,
+	// maxBackgroundLoad]: the fraction of the CPU consumed by the
+	// aggregate (non-discrete) request flow. It feeds the utilization
+	// meter — so CPU sensors see fluid load exactly as they see discrete
+	// jobs — and shrinks the capacity available to discrete jobs, so
+	// sampled requests experience the mean-field processor-sharing
+	// contention of the flow they ride alongside.
+	bgLoad float64
+
 	// onFail callbacks fire once when the node fails (failure detectors
 	// subscribe here).
 	onFail []func(*Node)
@@ -117,15 +126,16 @@ func (n *Node) ActiveJobs() int { return len(n.jobs) }
 // JobsCompleted returns the number of jobs that ran to completion.
 func (n *Node) JobsCompleted() uint64 { return n.jobsCompleted }
 
-// effectiveCapacity returns the current service rate, accounting for the
-// thrashing regime.
+// effectiveCapacity returns the current service rate available to
+// discrete jobs, accounting for the thrashing regime and the fluid
+// background load (which consumes its share of the CPU first).
 func (n *Node) effectiveCapacity() float64 {
 	c := n.cfg.CPUCapacity
 	if n.cfg.ThrashThreshold > 0 && len(n.jobs) > n.cfg.ThrashThreshold {
 		over := float64(len(n.jobs) - n.cfg.ThrashThreshold)
 		c = c / (1 + n.cfg.ThrashFactor*over)
 	}
-	return c
+	return c * (1 - n.bgLoad)
 }
 
 // advance applies elapsed processor-sharing progress to all active jobs.
@@ -147,10 +157,16 @@ func (n *Node) advance() {
 func (n *Node) reschedule() {
 	n.eng.Cancel(n.completion)
 	n.completion = sim.Handle{}
-	if len(n.jobs) == 0 || n.failed {
+	if n.failed {
 		n.util.SetBusy(n.eng.Now(), 0)
 		return
 	}
+	if len(n.jobs) == 0 {
+		n.util.SetBusy(n.eng.Now(), n.bgLoad)
+		return
+	}
+	// Work-conserving: discrete jobs soak up whatever the background
+	// flow leaves, so the meter reads fully busy.
 	n.util.SetBusy(n.eng.Now(), 1)
 	minRem := math.Inf(1)
 	for j := range n.jobs {
@@ -239,17 +255,53 @@ func (n *Node) Cancel(j *Job) {
 	}
 }
 
-// GrantedShares returns the total CPU service rate currently granted to
-// jobs on the node, in CPU-seconds per second. Under processor sharing
-// every active job receives an equal share of the effective capacity, so
-// the sum equals the effective capacity whenever the node is busy and can
-// never exceed the configured CPUCapacity — the conservation invariant the
-// testing harness checks.
+// maxBackgroundLoad caps the fluid background utilization so discrete
+// jobs always retain a sliver of capacity: a saturated fluid tier slows
+// sampled requests to a crawl (mirroring a saturated processor-sharing
+// server) instead of wedging them forever.
+const maxBackgroundLoad = 0.995
+
+// SetBackgroundLoad sets the fluid-workload background utilization, a
+// fraction of CPUCapacity in [0, 0.995]. The fluid network calls this on
+// every tick with each tier's queue-theoretic per-node utilization;
+// values outside the range are clamped. Setting it on a failed node is a
+// no-op (the load is dropped, as the flow reroutes around the failure).
+func (n *Node) SetBackgroundLoad(frac float64) {
+	if n.failed {
+		return
+	}
+	if frac < 0 {
+		frac = 0
+	} else if frac > maxBackgroundLoad {
+		frac = maxBackgroundLoad
+	}
+	if frac == n.bgLoad {
+		return
+	}
+	n.advance() // settle discrete progress under the old capacity split
+	n.bgLoad = frac
+	n.reschedule()
+}
+
+// BackgroundLoad returns the current fluid background utilization.
+func (n *Node) BackgroundLoad() float64 { return n.bgLoad }
+
+// GrantedShares returns the total CPU service rate currently granted on
+// the node, in CPU-seconds per second: the processor-sharing rate of the
+// discrete jobs plus the fluid background flow's share. Under processor
+// sharing every active job receives an equal share of the effective
+// capacity, so the sum can never exceed the configured CPUCapacity — the
+// conservation invariant the testing harness checks (the background
+// share is c·bg and discrete jobs split at most c·(1-bg)).
 func (n *Node) GrantedShares() float64 {
-	if n.failed || len(n.jobs) == 0 {
+	if n.failed {
 		return 0
 	}
-	return n.effectiveCapacity()
+	g := n.bgLoad * n.cfg.CPUCapacity
+	if len(n.jobs) > 0 {
+		g += n.effectiveCapacity()
+	}
+	return g
 }
 
 // Utilization returns the mean CPU busy fraction since the previous call
@@ -356,6 +408,7 @@ func (n *Node) Fail() {
 	n.jobs = make(map[*Job]struct{})
 	n.jobsAborted += uint64(len(aborted))
 	n.memUsed = 0
+	n.bgLoad = 0 // the fluid flow reroutes; next tick reloads survivors
 	n.util.SetBusy(n.eng.Now(), 0)
 	for _, j := range aborted {
 		if j.failed != nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"jade/internal/cluster"
+	"jade/internal/fluid"
 	"jade/internal/legacy"
 	"jade/internal/obs"
 	"jade/internal/selector"
@@ -112,6 +113,19 @@ func (s *Switch) Dropped() uint64 { return s.dropped }
 
 // Pool exposes the server pool (suspicion feeding, introspection).
 func (s *Switch) Pool() *selector.Pool { return s.pool }
+
+// FluidModel exposes the switch's service model to the fluid workload
+// network: every forwarded connection costs SwitchCost CPU-seconds on
+// the switch node, so as a fluid station the switch saturates at
+// μ = C/SwitchCost connections per second.
+func (s *Switch) FluidModel() fluid.ServiceModel {
+	return fluid.ServiceModel{
+		Name:        s.name,
+		Node:        s.node,
+		CostPerUnit: s.opts.SwitchCost,
+		Up:          func() bool { return s.running },
+	}
+}
 
 // Start registers the virtual address.
 func (s *Switch) Start() error {

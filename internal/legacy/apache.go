@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jade/internal/cluster"
+	"jade/internal/fluid"
 	"jade/internal/obs"
 )
 
@@ -117,6 +118,18 @@ func (a *Apache) Routes() []string {
 		out[i] = r.name
 	}
 	return out
+}
+
+// FluidModel exposes the server's service model to the fluid workload
+// network. The web-tier CPU demand travels with each request (WebCost),
+// not with the server, so CostPerUnit is zero and the fluid station's
+// demand is calibrated from the mix (rubis.FluidDemand.Web).
+func (a *Apache) FluidModel() fluid.ServiceModel {
+	return fluid.ServiceModel{
+		Name: a.name,
+		Node: a.node,
+		Up:   func() bool { return a.state == Running },
+	}
 }
 
 // HandleHTTP serves a request: static documents cost web-tier CPU only;

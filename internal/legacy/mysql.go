@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jade/internal/cluster"
+	"jade/internal/fluid"
 	"jade/internal/obs"
 	"jade/internal/sqlengine"
 )
@@ -53,6 +54,19 @@ func NewMySQL(env *Env, name string, node *cluster.Node, opts MySQLOptions) *MyS
 
 // ConfPath returns the my.cnf path in the workspace FS.
 func (m *MySQL) ConfPath() string { return m.confPath }
+
+// FluidModel exposes the server's service model to the fluid workload
+// network. Query CPU demand travels with each query, so CostPerUnit is
+// zero and the fluid station's demand is calibrated from the mix: a tier
+// of k replicas behind C-JDBC puts DBRead/k + DBWrite on each node per
+// request (reads load-balanced, writes broadcast under RAIDb-1).
+func (m *MySQL) FluidModel() fluid.ServiceModel {
+	return fluid.ServiceModel{
+		Name: m.name,
+		Node: m.node,
+		Up:   func() bool { return m.state == Running },
+	}
+}
 
 // DB exposes the underlying database engine. The C-JDBC controller uses
 // it to install snapshots on fresh replicas and to compare fingerprints;

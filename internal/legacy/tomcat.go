@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"jade/internal/cluster"
+	"jade/internal/fluid"
 	"jade/internal/obs"
 	"jade/internal/trace"
 )
@@ -56,6 +57,19 @@ func NewTomcat(env *Env, name string, node *cluster.Node, opts TomcatOptions) *T
 
 // ConfPath returns the server.xml path in the workspace FS.
 func (t *Tomcat) ConfPath() string { return t.confPath }
+
+// FluidModel exposes the server's service model to the fluid workload
+// network. The application-tier CPU demand travels with each request
+// (AppCost), so CostPerUnit is zero and the fluid station's demand is
+// calibrated from the mix (rubis.FluidDemand.App); a tier of k Tomcats
+// load-balances that demand, putting App/k on each node per request.
+func (t *Tomcat) FluidModel() fluid.ServiceModel {
+	return fluid.ServiceModel{
+		Name: t.name,
+		Node: t.node,
+		Up:   func() bool { return t.state == Running },
+	}
+}
 
 // JDBCAddr returns the database address resolved at the last start.
 func (t *Tomcat) JDBCAddr() string { return t.jdbcAddr }

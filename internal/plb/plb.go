@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"jade/internal/cluster"
+	"jade/internal/fluid"
 	"jade/internal/legacy"
 	"jade/internal/obs"
 	"jade/internal/selector"
@@ -129,6 +130,19 @@ func (b *Balancer) Dropped() uint64 { return b.dropped }
 
 // Pool exposes the worker pool (suspicion feeding, introspection).
 func (b *Balancer) Pool() *selector.Pool { return b.pool }
+
+// FluidModel exposes the balancer's service model to the fluid workload
+// network: every proxied request costs ProxyCost CPU-seconds on the
+// balancer node, so as a fluid station the PLB saturates at
+// μ = C/ProxyCost requests per second.
+func (b *Balancer) FluidModel() fluid.ServiceModel {
+	return fluid.ServiceModel{
+		Name:        b.name,
+		Node:        b.node,
+		CostPerUnit: b.opts.ProxyCost,
+		Up:          func() bool { return b.running },
+	}
+}
 
 // Start registers the balancer's listener.
 func (b *Balancer) Start() error {

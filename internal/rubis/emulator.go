@@ -202,6 +202,13 @@ type Emulator struct {
 	// latency and outcome counters (tier "client"). Nil-safe.
 	Obs *obs.TierMetrics
 
+	// ReportProfile, when set, is the population recorded in the
+	// workload series instead of the driving profile's. Fluid mode sets
+	// it to the full (unsampled) profile so workload artifacts keep
+	// showing the true client population while the emulator itself only
+	// drives the sampled stream.
+	ReportProfile Profile
+
 	issued   uint64
 	ds       Dataset
 	counters *Counters
@@ -291,11 +298,16 @@ func (e *Emulator) Stop() {
 
 // adjust reconciles the active population with the profile's target.
 func (e *Emulator) adjust(now float64) {
-	target := e.profile.Active(now - (e.deadline - e.profile.Duration()))
+	rel := now - (e.deadline - e.profile.Duration())
+	target := e.profile.Active(rel)
 	if target > len(e.clients) {
 		target = len(e.clients)
 	}
-	e.stats.Workload.Add(now, float64(target))
+	if e.ReportProfile != nil {
+		e.stats.Workload.Add(now, float64(e.ReportProfile.Active(rel)))
+	} else {
+		e.stats.Workload.Add(now, float64(target))
+	}
 	for i, c := range e.clients {
 		want := i < target
 		if want && !c.active {

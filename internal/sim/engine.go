@@ -74,6 +74,10 @@ func (h Handle) Pending() bool { return h.live() && h.ev.queued && !h.ev.cancele
 // fired.
 func (h Handle) Canceled() bool { return h.live() && h.ev.canceled }
 
+// DefaultCompactMinCancels is the default lower bound on parked canceled
+// events before a compaction pass is considered (see SetCompactMinCancels).
+const DefaultCompactMinCancels = 64
+
 // Engine is a single-threaded discrete-event executor with a virtual clock
 // measured in seconds. The zero value is not usable; construct one with
 // NewEngine.
@@ -86,6 +90,16 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fault   error
+	// compactMinCancels tunes the lazy-cancel compaction trigger: a
+	// compaction pass runs only once more than this many canceled events
+	// are parked in the queue AND they outnumber the live events
+	// (nCancel*2 > len(queue)). The floor keeps tiny queues from
+	// compacting on every cancel; the majority rule bounds the queue at
+	// roughly 2x the live events, so cancel-heavy workloads (the
+	// cluster-node reschedule pattern measured as cancel_ns_per_event in
+	// BENCH_core.json) stay amortized O(1) per cancel instead of drifting
+	// with queue growth.
+	compactMinCancels int
 	// processed counts events executed since construction; useful in
 	// tests and as a progress indicator.
 	processed uint64
@@ -98,8 +112,28 @@ type Engine struct {
 // NewEngine returns an engine whose clock starts at 0 and whose random
 // source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{
+		rng:               rand.New(rand.NewSource(seed)),
+		compactMinCancels: DefaultCompactMinCancels,
+	}
 }
+
+// SetCompactMinCancels tunes the lazy-cancel compaction floor: compaction
+// is considered only once more than n canceled events are parked in the
+// queue. Lower values compact (and re-heapify) more eagerly, trading
+// cancel throughput for a tighter queue; higher values defer compaction
+// to larger batches. Non-positive n restores the default. The majority
+// rule (canceled events must outnumber live ones) always applies, so any
+// setting keeps the raw queue bounded near 2x the live event count.
+func (e *Engine) SetCompactMinCancels(n int) {
+	if n <= 0 {
+		n = DefaultCompactMinCancels
+	}
+	e.compactMinCancels = n
+}
+
+// CompactMinCancels returns the current compaction floor.
+func (e *Engine) CompactMinCancels() int { return e.compactMinCancels }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -184,7 +218,7 @@ func (e *Engine) Cancel(h Handle) {
 	}
 	ev.canceled = true
 	e.nCancel++
-	if e.nCancel > 64 && e.nCancel*2 > len(e.queue) {
+	if e.nCancel > e.compactMinCancels && e.nCancel*2 > len(e.queue) {
 		e.compact()
 	}
 }

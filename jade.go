@@ -48,6 +48,7 @@ import (
 	"jade/internal/adl"
 	"jade/internal/cluster"
 	"jade/internal/core"
+	"jade/internal/fluid"
 	"jade/internal/fractal"
 	"jade/internal/legacy"
 	"jade/internal/metrics"
@@ -165,6 +166,16 @@ type (
 	Profile = rubis.Profile
 	// SessionChain is the Markov session model over the 26 interactions.
 	SessionChain = rubis.Chain
+	// ScaledProfile drives a sampled fraction of another profile's
+	// population (the discrete stream of fluid workload mode).
+	ScaledProfile = rubis.ScaledProfile
+	// FluidDemand is a mix's calibrated mean per-request resource
+	// profile, the constants behind the fluid tier equations.
+	FluidDemand = rubis.FluidDemand
+	// FluidReport summarizes a fluid-mode run (ScenarioResult.Fluid).
+	FluidReport = fluid.Report
+	// FluidStationReport is one tier's aggregate fluid outcome.
+	FluidStationReport = fluid.StationReport
 )
 
 // DefaultTransitions is the bidding-mix session graph for Markov-session

@@ -1,0 +1,162 @@
+package jade
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// MillionClients is the flagship experiment's peak population.
+const MillionClients = 1_000_000
+
+// millionCrossValRMS is the CPU-curve accuracy bound (RMS, CPU
+// fraction) the experiment's fluid-vs-discrete cross-validation stage
+// must pass before the million-client numbers are trusted.
+const millionCrossValRMS = 0.05
+
+// MillionClientResult is the outcome of the million-client experiment:
+// the fluid run itself, its wall-clock cost, and the paper-scale
+// cross-validation that anchors the fluid engine's accuracy.
+type MillionClientResult struct {
+	Run *ScenarioResult
+	// WallSeconds is the real time the million-client run took.
+	WallSeconds float64
+	// Events is the discrete-event count of the run (management, faults,
+	// ticks and the sampled stream — everything else flowed as rates).
+	Events uint64
+	// ClientsPerSec is peak population divided by wall seconds — the
+	// headline scale metric (a discrete engine at this population would
+	// need billions of events).
+	ClientsPerSec float64
+	// CrossVal is the paper-scenario accuracy gate run alongside.
+	CrossVal *CrossValidation
+}
+
+// MillionClientScenario configures the flagship run: a RUBiS ramp to
+// one million clients on datacenter-class nodes (1024 abstract
+// CPU-units each), with both sizing loops active and the workload
+// carried by the fluid engine except for a small sampled discrete
+// stream (about 200 clients) that keeps latency percentiles, SLOs and
+// alerting live. quick compresses the ramp for CI smoke runs.
+func MillionClientScenario(seed int64, quick bool) ScenarioConfig {
+	cfg := DefaultScenario(seed, true)
+	cfg.WorkloadMode = WorkloadFluid
+	cfg.NodeCPU = 1024
+	cfg.Nodes = 20
+	cfg.MaxAppReplicas = 6
+	cfg.MaxDBReplicas = 12
+	// Datacenter nodes queue in memory rather than swap-collapsing, so
+	// the 2001 testbed's thrashing regime is off here; it would turn any
+	// transient backlog into an unrecoverable death spiral at this scale.
+	cfg.ThrashThreshold = 0
+	cfg.ThrashFactor = 0
+	// The paper's 60 s inhibition is tuned to a 9-node testbed growing
+	// one replica per tier; reaching million-client capacity takes ~8
+	// grows, so the quiet window shrinks to keep actuation ahead of a
+	// ramp that adds ~100k clients per virtual minute.
+	cfg.AppSizing.InhibitSeconds = 20
+	cfg.DBSizing.InhibitSeconds = 20
+	cfg.FluidSampleRate = 0.0002
+	cfg.FluidMinSampled = 8
+	if quick {
+		cfg.Profile = RampProfile{Base: 100_000, Peak: MillionClients, StepPerMinute: 200_000, HoldAtPeak: 120}
+		cfg.FluidSampleRate = 0.0001
+	} else {
+		cfg.Profile = RampProfile{Base: 100_000, Peak: MillionClients, StepPerMinute: 90_000, HoldAtPeak: 240}
+	}
+	return cfg
+}
+
+// RunMillionClient executes the flagship million-client experiment and
+// renders its table. It is self-checking: it errors unless the run
+// reaches the full million-client population, both sizing loops
+// actuated (each tier grew past its initial single replica), the
+// sampled discrete stream stayed alive, and the paper-scale
+// fluid-vs-discrete cross-validation passes (CPU curves within
+// ±5% RMS, identical resize decision sequences). quick compresses the
+// ramp and skips nothing.
+func RunMillionClient(seed int64, quick bool) (*MillionClientResult, string, error) {
+	cv, err := FluidCrossValidation(seed, 4)
+	if err != nil {
+		return nil, "", fmt.Errorf("millionclient cross-validation: %w", err)
+	}
+	if cv.AppCPURMS > millionCrossValRMS || cv.DBCPURMS > millionCrossValRMS {
+		return nil, "", fmt.Errorf("millionclient cross-validation: CPU RMS app %.4f / db %.4f exceeds %.2f",
+			cv.AppCPURMS, cv.DBCPURMS, millionCrossValRMS)
+	}
+	if !cv.DecisionsMatch() {
+		return nil, "", fmt.Errorf("millionclient cross-validation: resize decisions diverge (app %q vs %q, db %q vs %q)",
+			renderSeq(cv.AppFluid), renderSeq(cv.AppDiscrete), renderSeq(cv.DBFluid), renderSeq(cv.DBDiscrete))
+	}
+
+	cfg := MillionClientScenario(seed, quick)
+	t0 := time.Now()
+	r, err := RunScenario(cfg)
+	if err != nil {
+		return nil, "", fmt.Errorf("millionclient: %w", err)
+	}
+	wall := time.Since(t0).Seconds()
+	res := &MillionClientResult{
+		Run:         r,
+		WallSeconds: wall,
+		Events:      r.Platform.Eng.Processed(),
+		CrossVal:    cv,
+	}
+	if wall > 0 {
+		res.ClientsPerSec = MillionClients / wall
+	}
+
+	if r.Fluid == nil {
+		return nil, "", fmt.Errorf("millionclient: run carried no fluid report")
+	}
+	sampledPeak := ScaledProfile{Inner: cfg.Profile, Rate: cfg.FluidSampleRate, Min: cfg.FluidMinSampled}.Max()
+	if got := r.Fluid.PeakPopulation + float64(sampledPeak); got < MillionClients {
+		return nil, "", fmt.Errorf("millionclient: peak population %.0f never reached %d", got, MillionClients)
+	}
+	if r.Stats.Workload.Max() != MillionClients {
+		return nil, "", fmt.Errorf("millionclient: recorded workload peak %.0f, want %d", r.Stats.Workload.Max(), MillionClients)
+	}
+	if r.App.Replicas.Max() <= 1 || r.DB.Replicas.Max() <= 1 {
+		return nil, "", fmt.Errorf("millionclient: sizing idle (app peak %.0f, db peak %.0f replicas)",
+			r.App.Replicas.Max(), r.DB.Replicas.Max())
+	}
+	if r.Stats.Completed == 0 {
+		return nil, "", fmt.Errorf("millionclient: sampled discrete stream completed no requests")
+	}
+	if r.Fluid.Completed < MillionClients {
+		return nil, "", fmt.Errorf("millionclient: fluid flow completed only %.0f requests", r.Fluid.Completed)
+	}
+
+	return res, res.render(cfg, quick), nil
+}
+
+func (res *MillionClientResult) render(cfg ScenarioConfig, quick bool) string {
+	r := res.Run
+	var b strings.Builder
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&b, "Ramp %d -> %d clients (%s), think %.0f s, %d nodes x %.0f CPU\n",
+		cfg.Profile.(RampProfile).Base, MillionClients, mode, cfg.ThinkTime, cfg.Nodes, cfg.NodeCPU)
+	fmt.Fprintf(&b, "%-34s %14s\n", "METRIC", "VALUE")
+	row := func(name, val string) { fmt.Fprintf(&b, "%-34s %14s\n", name, val) }
+	row("peak population", fmt.Sprintf("%.0f", r.Stats.Workload.Max()))
+	row("fluid requests completed", fmt.Sprintf("%.3e", r.Fluid.Completed))
+	row("peak offered rate (req/s)", fmt.Sprintf("%.0f", r.Fluid.PeakRate))
+	row("sampled requests (exact)", fmt.Sprintf("%d", r.Stats.Completed))
+	row("sampled p95 latency (ms)", fmt.Sprintf("%.2f", r.RequestLatency.Quantile(0.95)*1000))
+	row("app replicas peak", fmt.Sprintf("%.0f", r.App.Replicas.Max()))
+	row("db replicas peak", fmt.Sprintf("%.0f", r.DB.Replicas.Max()))
+	row("reconfigurations", fmt.Sprintf("%d", r.Reconfigurations))
+	row("events processed", fmt.Sprintf("%d", res.Events))
+	row("wall time (s)", fmt.Sprintf("%.2f", res.WallSeconds))
+	row("clients per wall-second", fmt.Sprintf("%.0f", res.ClientsPerSec))
+	fmt.Fprintf(&b, "\nCross-validation (paper scenario, seed %d, %gx, fluid vs discrete):\n",
+		res.CrossVal.Seed, res.CrossVal.Speedup)
+	fmt.Fprintf(&b, "  app CPU RMS %.4f, db CPU RMS %.4f (bound %.2f)\n",
+		res.CrossVal.AppCPURMS, res.CrossVal.DBCPURMS, millionCrossValRMS)
+	fmt.Fprintf(&b, "  resize decisions identical: app [%s], db [%s]\n",
+		renderSeq(res.CrossVal.AppFluid), renderSeq(res.CrossVal.DBFluid))
+	return b.String()
+}

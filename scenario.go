@@ -12,6 +12,7 @@ import (
 	"jade/internal/cjdbc"
 	"jade/internal/cluster"
 	"jade/internal/core"
+	"jade/internal/fluid"
 	"jade/internal/fractal"
 	"jade/internal/invariant"
 	"jade/internal/metrics"
@@ -20,6 +21,7 @@ import (
 	"jade/internal/obs/alert"
 	"jade/internal/rubis"
 	"jade/internal/selector"
+	"jade/internal/sim"
 	"jade/internal/trace"
 )
 
@@ -45,6 +47,28 @@ type ScenarioConfig struct {
 	// Sessions switches the client emulator from independent stationary
 	// sampling to RUBiS-style Markov sessions (DefaultTransitions).
 	Sessions bool
+	// WorkloadMode selects how client load exercises the tiers:
+	// WorkloadDiscrete (default) simulates every request as a discrete
+	// event chain; WorkloadFluid carries the bulk of the population as a
+	// queue-theoretic rate flow (internal/fluid) on a coarse tick while a
+	// sampled fraction keeps running as real request chains (traces,
+	// exact percentiles, SLOs and alerts stay live); WorkloadAuto picks
+	// fluid when the profile's peak population reaches FluidAutoClients.
+	WorkloadMode string
+	// FluidTick is the fluid model's virtual-time tick in seconds
+	// (1 by default). Coarser ticks run faster but track ramps more
+	// loosely.
+	FluidTick float64
+	// FluidSampleRate is the fraction of the client population kept as
+	// real discrete request chains in fluid mode (0.02 by default).
+	FluidSampleRate float64
+	// FluidMinSampled floors the sampled population in fluid mode
+	// (8 by default), so small phases still produce a live stream.
+	FluidMinSampled int
+	// NodeCPU overrides the per-node CPU capacity in abstract
+	// CPU-seconds per second (1.0 by default, the paper's testbed
+	// machine). Million-client runs use datacenter-class values.
+	NodeCPU float64
 	// MTBFSeconds, when positive, injects node crashes on random tier
 	// replicas with exponentially distributed inter-failure times —
 	// the availability-under-churn experiment for the self-recovery
@@ -161,6 +185,46 @@ type ScenarioConfig struct {
 	Monitor bool
 	// Logf receives management log lines (optional).
 	Logf func(string, ...any)
+}
+
+// Workload modes (ScenarioConfig.WorkloadMode).
+const (
+	// WorkloadDiscrete simulates every client request as a discrete
+	// event chain through the tiers (the default, and the seed's only
+	// mode).
+	WorkloadDiscrete = "discrete"
+	// WorkloadFluid runs the hybrid fluid/discrete engine: tiers
+	// exchange request rates and queue-theoretic latency/CPU estimates
+	// each FluidTick, discrete events carry management actions, faults,
+	// network messages and a sampled request stream.
+	WorkloadFluid = "fluid"
+	// WorkloadAuto selects fluid when the profile's peak population
+	// reaches FluidAutoClients, discrete otherwise.
+	WorkloadAuto = "auto"
+)
+
+// FluidAutoClients is the population at which WorkloadAuto switches
+// from discrete to fluid: above a few thousand clients per-request
+// event chains dominate the event budget, below it the discrete engine
+// is both exact and fast enough.
+const FluidAutoClients = 5000
+
+// fluidCalibrationSamples is the Monte Carlo sample count used to
+// calibrate the mix's mean per-request demand (Mix.FluidDemand).
+const fluidCalibrationSamples = 4096
+
+// resolveWorkloadMode maps a ScenarioConfig mode string to the fluid
+// on/off decision.
+func resolveWorkloadMode(mode string, profile Profile) (bool, error) {
+	switch mode {
+	case "", WorkloadDiscrete:
+		return false, nil
+	case WorkloadFluid:
+		return true, nil
+	case WorkloadAuto:
+		return profile.Max() >= FluidAutoClients, nil
+	}
+	return false, fmt.Errorf("jade: unknown workload mode %q (want discrete, fluid or auto)", mode)
 }
 
 // DefaultSLOs returns the paper scenario's service-level objectives:
@@ -286,6 +350,10 @@ type ScenarioResult struct {
 	// RequestLatency is the client-perceived end-to-end latency
 	// histogram (exact quantiles via RequestLatency.Quantile).
 	RequestLatency *obs.Histogram
+	// Fluid is the fluid network's run summary when the run used
+	// WorkloadFluid (nil in discrete mode): completed flow, peak offered
+	// rate and per-station peak utilization/backlog.
+	Fluid *FluidReport
 	// Admin is the live admin endpoint, still serving the final published
 	// pages (nil without HTTPAddr). Callers own closing it.
 	Admin *obs.AdminServer
@@ -345,6 +413,26 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.DrainSeconds == 0 {
 		cfg.DrainSeconds = 60
 	}
+	if cfg.FluidTick == 0 {
+		cfg.FluidTick = 1
+	}
+	if cfg.FluidSampleRate == 0 {
+		cfg.FluidSampleRate = 0.02
+	}
+	if cfg.FluidMinSampled == 0 {
+		cfg.FluidMinSampled = 8
+	}
+	if cfg.NodeCPU == 0 {
+		cfg.NodeCPU = 1.0
+	}
+	fluidOn, err := resolveWorkloadMode(cfg.WorkloadMode, cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FluidTick < 0 || cfg.FluidSampleRate < 0 || cfg.FluidSampleRate > 1 || cfg.NodeCPU < 0 {
+		return nil, fmt.Errorf("jade: bad fluid parameters (tick %g, sample rate %g, node cpu %g)",
+			cfg.FluidTick, cfg.FluidSampleRate, cfg.NodeCPU)
+	}
 
 	if err := cfg.Routing.Validate(); err != nil {
 		return nil, err
@@ -355,7 +443,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	popts.Nodes = cfg.Nodes
 	popts.Routing = cfg.Routing
 	popts.NodeConfig = cluster.Config{
-		CPUCapacity:     1.0,
+		CPUCapacity:     cfg.NodeCPU,
 		MemoryMB:        1024,
 		ThrashThreshold: cfg.ThrashThreshold,
 		ThrashFactor:    cfg.ThrashFactor,
@@ -640,10 +728,94 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	})
 
 	front := dep.MustComponent("plb1").Content().(*core.PLBWrapper).Balancer()
+
+	// In fluid mode the emulator drives only a sampled fraction of the
+	// population as real request chains; the rest is carried as a rate
+	// flow through the queue-theoretic station chain, whose per-tier
+	// utilization lands on the member nodes as background CPU load — the
+	// same meters the sizing sensors read.
+	driveProfile := cfg.Profile
+	var fnet *fluid.Network
+	if fluidOn {
+		sampled := rubis.ScaledProfile{Inner: cfg.Profile, Rate: cfg.FluidSampleRate, Min: cfg.FluidMinSampled}
+		driveProfile = sampled
+		demand := cfg.Mix.FluidDemand(*cfg.Dataset, cfg.Seed, fluidCalibrationSamples)
+		plbModel := front.FluidModel()
+		ctlModel := dep.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper).Controller().FluidModel()
+		single := func(m fluid.ServiceModel) func() []*cluster.Node {
+			return func() []*cluster.Node {
+				if m.Up == nil || m.Up() {
+					return []*cluster.Node{m.Node}
+				}
+				return nil
+			}
+		}
+		perQuery := demand.QueriesPerRequest * ctlModel.CostPerUnit
+		thrT, thrF := cfg.ThrashThreshold, cfg.ThrashFactor
+		stations := []*fluid.Station{
+			{
+				Name:    "plb",
+				Demand:  func(int) float64 { return plbModel.CostPerUnit },
+				Service: func(int) float64 { return plbModel.CostPerUnit },
+				Members: single(plbModel),
+			},
+			{
+				Name:            "app",
+				Demand:          func(k int) float64 { return demand.App / float64(k) },
+				Service:         func(int) float64 { return demand.App },
+				Members:         appTier.Nodes,
+				ThrashThreshold: thrT,
+				ThrashFactor:    thrF,
+			},
+			{
+				Name:    "cjdbc",
+				Demand:  func(int) float64 { return perQuery },
+				Service: func(int) float64 { return perQuery },
+				Members: single(ctlModel),
+			},
+			{
+				// Reads load-balance across the k replicas; RAIDb-1
+				// broadcasts every write to all of them.
+				Name:            "db",
+				Demand:          func(k int) float64 { return demand.DBRead/float64(k) + demand.DBWrite },
+				Service:         func(int) float64 { return demand.DBRead + demand.DBWrite },
+				Members:         dbTier.Nodes,
+				ThrashThreshold: thrT,
+				ThrashFactor:    thrF,
+			},
+		}
+		start := p.Eng.Now()
+		total, dur := cfg.Profile, cfg.Profile.Duration()
+		pop := func(now float64) float64 {
+			rel := now - start
+			if rel < 0 || rel >= dur {
+				return 0
+			}
+			n := total.Active(rel) - sampled.Active(rel)
+			if n < 0 {
+				return 0
+			}
+			return float64(n)
+		}
+		fnet = fluid.NewNetwork(fluid.Config{
+			ThinkTime:    cfg.ThinkTime,
+			Population:   pop,
+			RecordSeries: true,
+		}, stations...)
+		barrier := sim.NewTickBarrier(p.Eng, cfg.FluidTick, "fluid:tick")
+		barrier.Register("network", fnet.Tick)
+		barrier.Start()
+	}
+
 	// With the fabric enabled the clients sit behind the network too, as
 	// the pseudo-endpoint "client".
-	em := NewEmulator(p.Eng, p.Net.RemoteHTTP(netsim.ClientEndpoint, "front", front), cfg.Mix, cfg.Profile, *cfg.Dataset)
+	em := NewEmulator(p.Eng, p.Net.RemoteHTTP(netsim.ClientEndpoint, "front", front), cfg.Mix, driveProfile, *cfg.Dataset)
 	em.ThinkTime = cfg.ThinkTime
+	if fluidOn {
+		// The workload series records the full (fluid + sampled)
+		// population, so plots and SLO context keep paper-scale numbers.
+		em.ReportProfile = cfg.Profile
+	}
 	if cfg.TraceRequests > 0 {
 		em.Trace = p.Trace()
 		em.TraceEvery = cfg.TraceRequests
@@ -971,6 +1143,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 
 	res.Stats = em.Stats()
+	if fnet != nil {
+		rep := fnet.Report()
+		res.Fluid = &rep
+	}
 	if sampleCount > 0 {
 		res.NodeCPUPercent = 100 * cpuSum / float64(sampleCount)
 		res.NodeMemPercent = 100 * memSum / float64(sampleCount)

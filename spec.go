@@ -174,6 +174,16 @@ type WorkloadSpec struct {
 	ThinkTimeSeconds float64 `json:"think_time_seconds,omitempty"`
 	// DrainSeconds extends the run after the profile ends (60 default).
 	DrainSeconds float64 `json:"drain_seconds,omitempty"`
+	// Mode selects the workload engine: "discrete" (default), "fluid"
+	// or "auto" (fluid above FluidAutoClients peak population).
+	Mode string `json:"mode,omitempty"`
+	// FluidTickSeconds is the fluid model's virtual tick (1 default).
+	FluidTickSeconds float64 `json:"fluid_tick_seconds,omitempty"`
+	// FluidSampleRate is the fraction of clients kept as real discrete
+	// request chains in fluid mode (0.02 default).
+	FluidSampleRate float64 `json:"fluid_sample_rate,omitempty"`
+	// FluidMinSampled floors the sampled population (8 default).
+	FluidMinSampled int `json:"fluid_min_sampled,omitempty"`
 }
 
 // PartitionSpec is one declarative network partition: at At seconds
@@ -217,6 +227,8 @@ type SizingSpec struct {
 	// ThrashThreshold / ThrashFactor configure node overload behavior.
 	ThrashThreshold int     `json:"thrash_threshold,omitempty"`
 	ThrashFactor    float64 `json:"thrash_factor,omitempty"`
+	// NodeCPU overrides per-node CPU capacity (1.0 default).
+	NodeCPU float64 `json:"node_cpu,omitempty"`
 	// Arbitrate replaces the shared inhibitor with the arbitration
 	// manager.
 	Arbitrate bool `json:"arbitrate,omitempty"`
@@ -284,6 +296,20 @@ func (s Spec) Validate() error {
 	}
 	if s.Workload.ThinkTimeSeconds < 0 {
 		return fmt.Errorf("jade: negative think time %g", s.Workload.ThinkTimeSeconds)
+	}
+	switch s.Workload.Mode {
+	case "", WorkloadDiscrete, WorkloadFluid, WorkloadAuto:
+	default:
+		return fmt.Errorf("jade: unknown workload mode %q (want discrete, fluid or auto)", s.Workload.Mode)
+	}
+	if s.Workload.FluidTickSeconds < 0 {
+		return fmt.Errorf("jade: negative fluid tick %g", s.Workload.FluidTickSeconds)
+	}
+	if s.Workload.FluidSampleRate < 0 || s.Workload.FluidSampleRate > 1 {
+		return fmt.Errorf("jade: fluid sample rate %g outside [0,1]", s.Workload.FluidSampleRate)
+	}
+	if s.Sizing.NodeCPU < 0 {
+		return fmt.Errorf("jade: negative node cpu %g", s.Sizing.NodeCPU)
 	}
 	if s.Sizing.Nodes < 0 {
 		return fmt.Errorf("jade: negative node count %d", s.Sizing.Nodes)
@@ -400,6 +426,11 @@ func (s Spec) Flatten() (ScenarioConfig, error) {
 		ThinkTime:       s.Workload.ThinkTimeSeconds,
 		Sessions:        s.Workload.Sessions,
 		DrainSeconds:    s.Workload.DrainSeconds,
+		WorkloadMode:    s.Workload.Mode,
+		FluidTick:       s.Workload.FluidTickSeconds,
+		FluidSampleRate: s.Workload.FluidSampleRate,
+		FluidMinSampled: s.Workload.FluidMinSampled,
+		NodeCPU:         s.Sizing.NodeCPU,
 		MTBFSeconds:     s.Faults.MTBFSeconds,
 		FailAt:          s.Faults.FailAt,
 		FailComponent:   s.Faults.FailComponent,
