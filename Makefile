@@ -17,12 +17,16 @@
 #                       tests, then the quick million-client experiment
 #                       (self-checking: nonzero exit unless the run reaches
 #                       a million clients with both sizing loops actuating)
+#   make diff-smoke   - attribution sweep tests, then the quick latency-budget
+#                       experiment (self-checking: nonzero exit unless same-seed
+#                       runs diff clean and the injected app slowdown is
+#                       localized to app-tier queueing)
 #   make api-check    - diff the facade's exported surface against testdata/api_surface.txt
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke api-check ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke diff-smoke api-check ci
 
 all: build
 
@@ -68,7 +72,11 @@ fluid-smoke:
 	$(GO) test -run 'TestFluid(CrossValidation|Determinism)' .
 	$(GO) run ./cmd/jadebench -experiment millionclient -quick
 
+diff-smoke:
+	$(GO) test -run 'TestAttrib(ConservationSweep|WindowPartition)' .
+	$(GO) run ./cmd/jadebench -experiment latbudget -quick
+
 api-check:
 	$(GO) test -run TestAPISurface .
 
-ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke api-check
+ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke diff-smoke api-check

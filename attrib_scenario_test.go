@@ -1,0 +1,99 @@
+package jade
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jade/internal/obs/attrib"
+)
+
+// attribSweepScenario is the short traced run the attribution sweep
+// repeats per seed: every fourth request traced, artifacts exported.
+func attribSweepScenario(seed int64, dir string) ScenarioConfig {
+	cfg := DefaultScenario(seed, true)
+	cfg.Profile = ConstantProfile{Clients: 60, Length: 120}
+	cfg.TraceRequests = 4
+	cfg.MetricsDir = dir
+	return cfg
+}
+
+// TestAttribConservationSweep: over 20 seeds, every attributed request's
+// components must sum back to its root span within 1% (the budget's
+// conservation check), and two same-seed runs — racing in parallel
+// subtests — must write byte-identical latency_budget.json artifacts.
+func TestAttribConservationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-seed sweep")
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			var budgets [2][]byte
+			for i := 0; i < 2; i++ {
+				dir := t.TempDir()
+				r, err := RunScenario(attribSweepScenario(seed, dir))
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := r.Attribution
+				if a == nil || len(a.Breakdowns) == 0 {
+					t.Fatal("no attributed requests")
+				}
+				for i := range a.Breakdowns {
+					br := &a.Breakdowns[i]
+					if br.ConservationErr() > 0.01 {
+						t.Fatalf("request %s at t=%.1f: components do not sum to the %.6f s root span (err %.2e > 1%%)",
+							br.Interaction, br.Start, br.Total, br.ConservationErr())
+					}
+				}
+				budgets[i], err = os.ReadFile(filepath.Join(dir, "latency_budget.json"))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(budgets[0], budgets[1]) {
+				t.Fatalf("latency_budget.json differs between same-seed runs (%d vs %d bytes)",
+					len(budgets[0]), len(budgets[1]))
+			}
+			rep, err := ParseLatencyBudget(budgets[0])
+			if err != nil {
+				t.Fatalf("latency_budget.json invalid: %v", err)
+			}
+			if rep.Requests == 0 || len(rep.Profiles) == 0 || len(rep.CriticalPath) == 0 {
+				t.Fatalf("budget report is empty: %d requests, %d profiles, %d bands",
+					rep.Requests, len(rep.Profiles), len(rep.CriticalPath))
+			}
+			if blame, ok := rep.Dominant("p99"); !ok || blame.Tier == "" || blame.Component == "" {
+				t.Fatalf("p99 band has no dominant blame (ok=%v, %+v)", ok, blame)
+			}
+		})
+	}
+}
+
+// TestAttribWindowPartition: splitting a run's attribution at an interior
+// time must partition the requests — no request lost or double-counted —
+// so the experiment's pre/post-resize reports cover exactly the run.
+func TestAttribWindowPartition(t *testing.T) {
+	r, err := RunScenario(attribSweepScenario(7, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Attribution
+	if a == nil || len(a.Breakdowns) == 0 {
+		t.Fatal("no attributed requests")
+	}
+	mid := (r.WorkloadStart + r.WorkloadEnd) / 2
+	pre := attrib.BuildReport(a.Window(math.Inf(-1), mid), nil)
+	post := attrib.BuildReport(a.Window(mid, math.Inf(1)), nil)
+	if pre.Requests == 0 || post.Requests == 0 {
+		t.Fatalf("degenerate split: %d pre, %d post", pre.Requests, post.Requests)
+	}
+	if got := pre.Requests + post.Requests; got != len(a.Breakdowns) {
+		t.Fatalf("window split lost requests: %d + %d != %d", pre.Requests, post.Requests, len(a.Breakdowns))
+	}
+}

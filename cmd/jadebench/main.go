@@ -22,13 +22,16 @@
 // -bench-validate sanity-checks such a record.
 //
 // Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, churn,
-// netfault, grayfail, alertlat, ablations, summary, all (default).
-// netfault compares the φ-accrual failure detector and self-recovery
-// under message loss, heartbeat partitions and real crashes on the
-// simulated network. grayfail compares routing policies while one
-// replica per tier is degraded but never dead. alertlat measures the
-// alerting plane's virtual-time-to-first-page against the φ detector on
-// gray and crash faults (self-checking; -quick shrinks it for CI).
+// netfault, grayfail, alertlat, latbudget, ablations, summary, all
+// (default). netfault compares the φ-accrual failure detector and
+// self-recovery under message loss, heartbeat partitions and real
+// crashes on the simulated network. grayfail compares routing policies
+// while one replica per tier is degraded but never dead. alertlat
+// measures the alerting plane's virtual-time-to-first-page against the
+// φ detector on gray and crash faults. latbudget decomposes traced
+// request latency into per-tier queue/service/network/retry budgets on
+// the managed ramp and proves `jadectl diff` localizes an injected
+// app-tier slowdown (both self-checking; -quick shrinks them for CI).
 //
 // -sweep runs the invariant-checked chaos sweep (the Fig. 5 scenario under
 // a crash/reboot/slow schedule) over N seeds, writing a replayable artifact
@@ -52,8 +55,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|alertlat|millionclient|ablations|summary|all")
-	quick := flag.Bool("quick", false, "shrink the grayfail/alertlat runs for smoke tests")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|alertlat|latbudget|millionclient|ablations|summary|all")
+	quick := flag.Bool("quick", false, "shrink the grayfail/alertlat/latbudget runs for smoke tests")
 	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
 	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
@@ -304,6 +307,15 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick
 			return err
 		}
 		section("Alert latency — burn-rate/anomaly paging vs φ-accrual detection", table)
+	}
+
+	if want("latbudget") {
+		fmt.Fprintf(os.Stderr, "jadebench: running the latency-budget experiment (quick=%v)...\n", quick)
+		_, table, err := jade.RunLatBudget(seed, quick)
+		if err != nil {
+			return err
+		}
+		section("Latency budgets — per-tier attribution, critical path, run diff", table)
 	}
 
 	if want("millionclient") {

@@ -20,6 +20,7 @@
 //	                 [-alert.z X] [-alert.skew X] [-alert.hysteresis S]
 //	                 [-alert.monitor]
 //	jadectl trace-validate FILE
+//	jadectl diff [-tol X] [-slo-tol X] [-bench-tol X] RUN_DIR_A RUN_DIR_B
 //
 // Without -adl, the built-in three-tier RUBiS architecture is used.
 //
@@ -50,11 +51,20 @@
 //
 // -metrics.dir writes periodic metrics snapshots (Prometheus text +
 // JSON) plus the run's alert stream (alerts.jsonl) and incident reports
-// (incidents.json). -metrics.http serves the live admin endpoint
+// (incidents.json), the SLO compliance report (slo_report.json), the
+// per-tier latency budget (latency_budget.json) and the fluid-engine
+// internals (fluid.json). -metrics.http serves the live admin endpoint
 // (/metrics, /metrics.json, /healthz, /components, /loops, /alerts,
-// /incidents) while the scenario runs; -metrics.serve keeps it up
-// afterwards, and -metrics.scrape-check makes jadectl scrape and
+// /incidents, /fluid) while the scenario runs; -metrics.serve keeps it
+// up afterwards, and -metrics.scrape-check makes jadectl scrape and
 // validate its own endpoint after the run (the CI smoke check).
+//
+// diff compares two such artifact directories — latency budgets, SLO
+// reports, final metrics snapshots, and BENCH_history.jsonl entries when
+// present — and emits a deterministic regression verdict: same-seed runs
+// diff clean, and a localized slowdown is blamed on the responsible tier
+// and latency component (e.g. app/queue). diff exits nonzero on
+// regression, so it slots into CI.
 //
 // -alerts prints the run's alert and incident report (causal timelines
 // included) after the SLO table. -alert.* tunes the alerting plane
@@ -93,6 +103,8 @@ func main() {
 		err = cmdScenario(args)
 	case "trace-validate":
 		err = cmdTraceValidate(args)
+	case "diff":
+		err = cmdDiff(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -122,7 +134,8 @@ func usage() {
                    [-alert.slow S] [-alert.page-burn X] [-alert.warn-burn X]
                    [-alert.z X] [-alert.skew X] [-alert.hysteresis S]
                    [-alert.monitor]
-  jadectl trace-validate FILE`)
+  jadectl trace-validate FILE
+  jadectl diff [-tol X] [-slo-tol X] [-bench-tol X] RUN_DIR_A RUN_DIR_B`)
 }
 
 func loadADL(path string) (*jade.ADLDefinition, error) {
@@ -549,6 +562,13 @@ func scrapeAdmin(r *jade.ScenarioResult) error {
 	if err := jade.ValidateIncidentsJSON(incidents); err != nil {
 		return fmt.Errorf("/incidents: %w", err)
 	}
+	fluid, err := get("/fluid")
+	if err != nil {
+		return err
+	}
+	if err := jade.ValidateFluidPage(fluid); err != nil {
+		return fmt.Errorf("/fluid: %w", err)
+	}
 	evaluated := 0
 	for _, o := range r.SLOReport.Objectives {
 		evaluated += o.Intervals
@@ -579,6 +599,7 @@ func writeTraces(r *jade.ScenarioResult, chromePath, jsonlPath string) error {
 		st := tr.Stat()
 		fmt.Printf("trace: %s (%d events, %d spans; load at ui.perfetto.dev)\n",
 			chromePath, st.Events, st.Spans)
+		warnTraceDrops(chromePath, st.SpansDropped, st.EventsEvicted, true)
 	}
 	if jsonlPath != "" {
 		f, err := os.Create(jsonlPath)
@@ -615,5 +636,26 @@ func cmdTraceValidate(args []string) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	fmt.Printf("%s: valid Chrome trace (%d trace events)\n", path, n)
+	dropped, evicted, ok := jade.ChromeTraceStats(raw)
+	warnTraceDrops(path, dropped, evicted, ok)
 	return nil
+}
+
+// warnTraceDrops reports an incomplete trace record: spans refused by a
+// full span store or events evicted from the ring buffer (the same
+// counters the run exports as jade_trace_dropped_spans_total /
+// jade_trace_evicted_events_total). The record is still valid — but
+// latency attribution over it would undercount, so say so.
+func warnTraceDrops(path string, droppedSpans, evictedEvents uint64, ok bool) {
+	if !ok {
+		return
+	}
+	if droppedSpans > 0 {
+		fmt.Fprintf(os.Stderr, "jadectl: warning: %s: %d spans were dropped (span store full) — the record is incomplete\n",
+			path, droppedSpans)
+	}
+	if evictedEvents > 0 {
+		fmt.Fprintf(os.Stderr, "jadectl: warning: %s: %d events were evicted from the ring buffer — early events are missing\n",
+			path, evictedEvents)
+	}
 }

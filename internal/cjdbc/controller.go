@@ -412,7 +412,15 @@ func (c *Controller) pump(b *backend) {
 		return
 	}
 	b.busy = true
-	c.net.ForwardSQL(c.node.Name(), "sql", b.srv, rec.Query, func(err error) {
+	// Only applies the client is still waiting on keep the query's trace
+	// span: a syncing or draining backend replays the log after the write
+	// already completed, and a child span closing after its parent would
+	// break span-tree well-formedness (and misattribute latency).
+	q := rec.Query
+	if w, ok := c.waiters[rec.Index]; !ok || !w.waitingOn[b.name] {
+		q.TraceSpan = 0
+	}
+	c.net.ForwardSQL(c.node.Name(), "sql", b.srv, q, func(err error) {
 		b.busy = false
 		if err != nil {
 			c.markDead(b, err)
@@ -496,16 +504,31 @@ func (c *Controller) ExecSQL(q legacy.Query, done func(error)) {
 			orig(err)
 		}
 	}
+	// "busy" records the local queue-wait + service interval on the
+	// controller node and "svc" the ideal service time; the attribution
+	// walker uses them to split the span's self-time into components.
+	var busy float64
+	submitted := c.eng.Now()
 	if q.TraceSpan != 0 {
-		span := c.Trace.Begin(q.TraceSpan, "sql", c.name)
+		var fields []trace.Field
+		if sqlengine.IsWrite(q.SQL) {
+			// A write's completion waits on the RAIDb-1 broadcast: time
+			// not covered by this record's own applies is queueing for
+			// db-tier capacity (earlier log records draining), which the
+			// attribution walker charges to the db tier, not this one.
+			fields = append(fields, trace.F("waits-on", "db"))
+		}
+		span := c.Trace.Begin(q.TraceSpan, "sql", c.name, fields...)
 		q.TraceSpan = span
 		orig := done
 		done = func(err error) {
-			c.Trace.End(span, trace.Outcome(err))
+			c.Trace.End(span, trace.Ff("busy", busy),
+				trace.Ff("svc", c.opts.ProxyCost/c.node.Config().CPUCapacity), trace.Outcome(err))
 			orig(err)
 		}
 	}
 	c.node.Submit(c.opts.ProxyCost, func() {
+		busy = c.eng.Now() - submitted
 		if sqlengine.IsWrite(q.SQL) {
 			c.execWrite(q, done)
 		} else {

@@ -89,12 +89,17 @@ type Station struct {
 	backlog float64 // requests queued beyond capacity
 	rho     float64 // member utilization last tick
 	wait    float64 // per-request latency estimate last tick (s)
+	svc     float64 // sequential (uninflated) service estimate last tick (s)
 
 	peakRho     float64
 	peakBacklog float64
+	peakWait    float64
 
-	// RhoSeries, when enabled by the network, records (t, ρ) per tick.
-	RhoSeries *metrics.Series
+	// RhoSeries, WaitSeries and BacklogSeries, when enabled by the
+	// network, record one (t, value) point per tick.
+	RhoSeries     *metrics.Series
+	WaitSeries    *metrics.Series
+	BacklogSeries *metrics.Series
 }
 
 // Rho returns the station's member utilization from the last tick.
@@ -105,6 +110,19 @@ func (s *Station) Backlog() float64 { return s.backlog }
 
 // Wait returns the last per-request latency estimate in seconds.
 func (s *Station) Wait() float64 { return s.wait }
+
+// Svc returns the last sequential service-demand estimate in seconds —
+// the ideal (uninflated) part of Wait; the rest is queueing.
+func (s *Station) Svc() float64 { return s.svc }
+
+// PeakRho returns the highest member utilization seen so far.
+func (s *Station) PeakRho() float64 { return s.peakRho }
+
+// PeakBacklog returns the largest backlog seen so far.
+func (s *Station) PeakBacklog() float64 { return s.peakBacklog }
+
+// PeakWait returns the worst per-request latency estimate seen so far.
+func (s *Station) PeakWait() float64 { return s.peakWait }
 
 // Config parameterizes a Network.
 type Config struct {
@@ -152,6 +170,8 @@ func NewNetwork(cfg Config, stations ...*Station) *Network {
 	if cfg.RecordSeries {
 		for _, s := range stations {
 			s.RhoSeries = metrics.NewSeries("fluid:rho:" + s.Name)
+			s.WaitSeries = metrics.NewSeries("fluid:wait:" + s.Name)
+			s.BacklogSeries = metrics.NewSeries("fluid:backlog:" + s.Name)
 		}
 	}
 	return n
@@ -236,10 +256,15 @@ func (s *Station) step(now, dt, in float64, nodes *[]*cluster.Node, loads map[*c
 		// Nothing serving: the flow stalls into the backlog.
 		s.backlog += in * dt
 		s.rho = 0
+		s.svc = 0
 		s.wait = s.backlog // pessimistic: no drain rate to divide by
-		if s.RhoSeries != nil {
-			s.RhoSeries.Add(now, 0)
+		if s.backlog > s.peakBacklog {
+			s.peakBacklog = s.backlog
 		}
+		if s.wait > s.peakWait {
+			s.peakWait = s.wait
+		}
+		s.record(now)
 		return 0
 	}
 	demand := s.Demand(k)
@@ -281,10 +306,12 @@ func (s *Station) step(now, dt, in float64, nodes *[]*cluster.Node, loads map[*c
 	if s.backlog > 0 && mu > 0 && !math.IsInf(mu, 1) {
 		wait += s.backlog / mu
 	}
+	s.svc = svc
 	s.wait = wait
-	if s.RhoSeries != nil {
-		s.RhoSeries.Add(now, rho)
+	if wait > s.peakWait {
+		s.peakWait = wait
 	}
+	s.record(now)
 	// Background CPU load on each member. Accumulate: distinct stations
 	// may share a node (e.g. a co-located proxy).
 	for _, m := range live {
@@ -296,12 +323,29 @@ func (s *Station) step(now, dt, in float64, nodes *[]*cluster.Node, loads map[*c
 	return served
 }
 
+// record appends the per-tick series points when recording is enabled.
+func (s *Station) record(now float64) {
+	if s.RhoSeries != nil {
+		s.RhoSeries.Add(now, s.rho)
+	}
+	if s.WaitSeries != nil {
+		s.WaitSeries.Add(now, s.wait)
+	}
+	if s.BacklogSeries != nil {
+		s.BacklogSeries.Add(now, s.backlog)
+	}
+}
+
 // StationReport is one tier's aggregate outcome for artifacts.
 type StationReport struct {
 	Name         string  `json:"name"`
 	PeakRho      float64 `json:"peak_rho"`
 	PeakBacklog  float64 `json:"peak_backlog"`
 	FinalBacklog float64 `json:"final_backlog"`
+	FinalRho     float64 `json:"final_rho"`
+	FinalWaitSec float64 `json:"final_wait_sec"`
+	FinalSvcSec  float64 `json:"final_svc_sec"`
+	PeakWaitSec  float64 `json:"peak_wait_sec"`
 }
 
 // Report is the fluid network's run summary, rendered into experiment
@@ -330,6 +374,10 @@ func (n *Network) Report() Report {
 			PeakRho:      s.peakRho,
 			PeakBacklog:  s.peakBacklog,
 			FinalBacklog: s.backlog,
+			FinalRho:     s.rho,
+			FinalWaitSec: s.wait,
+			FinalSvcSec:  s.svc,
+			PeakWaitSec:  s.peakWait,
 		})
 	}
 	return r

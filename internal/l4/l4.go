@@ -203,33 +203,55 @@ func (s *Switch) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 			orig(err)
 		}
 	}
+	// The forward span opens before the switch node's run queue so it
+	// covers local queue wait + service; "busy" records that local
+	// interval and "svc" the ideal service time, letting the attribution
+	// walker split the span's self-time into queue/service/network.
+	var span trace.ID
+	parent := req.TraceSpan
+	submitted := s.eng.Now()
+	if parent != 0 {
+		span = s.Trace.Begin(parent, "forward", s.name)
+		req.TraceSpan = span
+	}
+	endSpan := func(err error, busy float64, server string) {
+		if span == 0 {
+			return
+		}
+		req.TraceSpan = parent
+		fields := []trace.Field{
+			trace.Ff("busy", busy),
+			trace.Ff("svc", s.opts.SwitchCost/s.node.Config().CPUCapacity),
+			trace.Outcome(err),
+		}
+		if server != "" {
+			fields = append(fields, trace.F("server", server))
+		}
+		s.Trace.End(span, fields...)
+	}
 	s.node.Submit(s.opts.SwitchCost, func() {
+		busy := s.eng.Now() - submitted
 		name, ok := s.pool.Pick(req.SessionKey)
 		if !ok {
 			s.dropped++
-			done(fmt.Errorf("%w (l4 %s)", ErrNoServer, s.name))
+			err := fmt.Errorf("%w (l4 %s)", ErrNoServer, s.name)
+			endSpan(err, busy, "")
+			done(err)
 			return
 		}
 		target := s.targets[name]
 		s.pool.Acquire(name)
 		s.forwarded++
 		start := s.eng.Now()
-		var span trace.ID
-		parent := req.TraceSpan
-		if parent != 0 {
-			span = s.Trace.Begin(parent, "forward", s.name, trace.F("server", name))
-			req.TraceSpan = span
-		}
 		s.net.ForwardHTTP(s.node.Name(), "web", target, req, func(err error) {
 			s.pool.Release(name, s.eng.Now()-start, err != nil)
-			if span != 0 {
-				req.TraceSpan = parent
-				s.Trace.End(span, trace.Outcome(err))
-			}
+			endSpan(err, busy, name)
 			done(err)
 		})
 	}, func() {
 		s.dropped++
-		done(fmt.Errorf("l4 %s: switch node failed", s.name))
+		err := fmt.Errorf("l4 %s: switch node failed", s.name)
+		endSpan(err, s.eng.Now()-submitted, "")
+		done(err)
 	})
 }

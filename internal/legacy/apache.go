@@ -6,6 +6,7 @@ import (
 	"jade/internal/cluster"
 	"jade/internal/fluid"
 	"jade/internal/obs"
+	"jade/internal/trace"
 )
 
 // Apache simulates an Apache 1.3/mod_jk web server. At startup it parses
@@ -150,7 +151,26 @@ func (a *Apache) HandleHTTP(req *WebRequest, done func(error)) {
 			orig(err)
 		}
 	}
+	// The "web" span brackets local queue wait + service plus the AJP
+	// forward; "busy" records the local interval and "svc" the ideal
+	// service time for the attribution walker's component split.
+	var span trace.ID
+	var busy float64
+	parent := req.TraceSpan
+	submitted := a.env.Eng.Now()
+	if parent != 0 {
+		span = a.env.Trace.Begin(parent, "web", a.name)
+		req.TraceSpan = span
+		orig := done
+		done = func(err error) {
+			req.TraceSpan = parent
+			a.env.Trace.End(span, trace.Ff("busy", busy),
+				trace.Ff("svc", req.WebCost/a.node.Config().CPUCapacity), trace.Outcome(err))
+			orig(err)
+		}
+	}
 	a.node.Submit(req.WebCost, func() {
+		busy = a.env.Eng.Now() - submitted
 		if req.Static {
 			a.served++
 			done(nil)

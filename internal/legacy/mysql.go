@@ -7,6 +7,7 @@ import (
 	"jade/internal/fluid"
 	"jade/internal/obs"
 	"jade/internal/sqlengine"
+	"jade/internal/trace"
 )
 
 // MySQL simulates a MySQL 4.0 server: a process holding one sqlengine
@@ -124,7 +125,23 @@ func (m *MySQL) ExecSQL(q Query, done func(error)) {
 			orig(err)
 		}
 	}
+	// The "db" span brackets local queue wait + execution; "busy" records
+	// that interval and "svc" the ideal service time so the attribution
+	// walker can split the leaf tier into queue/service components.
+	var span trace.ID
+	var busy float64
+	submitted := m.env.Eng.Now()
+	if q.TraceSpan != 0 {
+		span = m.env.Trace.Begin(q.TraceSpan, "db", m.name)
+		orig := done
+		done = func(err error) {
+			m.env.Trace.End(span, trace.Ff("busy", busy),
+				trace.Ff("svc", q.Cost/m.node.Config().CPUCapacity), trace.Outcome(err))
+			orig(err)
+		}
+	}
 	m.node.Submit(q.Cost, func() {
+		busy = m.env.Eng.Now() - submitted
 		if _, err := m.db.Exec(q.SQL); err != nil {
 			m.failed++
 			done(fmt.Errorf("mysql %s: %w", m.name, err))

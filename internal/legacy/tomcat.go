@@ -150,16 +150,23 @@ func (t *Tomcat) HandleHTTP(req *WebRequest, done func(error)) {
 			orig(err)
 		}
 	}
+	// "busy" records the local queue-wait + service interval on the app
+	// node and "svc" the ideal service time; the attribution walker uses
+	// them to split the span's self-time into queue/service/network.
 	var span trace.ID
+	var busy float64
+	submitted := t.env.Eng.Now()
 	if req.TraceSpan != 0 {
 		span = t.env.Trace.Begin(req.TraceSpan, "app", t.name, trace.Fi("queries", len(req.Queries)))
 		orig := done
 		done = func(err error) {
-			t.env.Trace.End(span, trace.Outcome(err))
+			t.env.Trace.End(span, trace.Ff("busy", busy),
+				trace.Ff("svc", req.AppCost/t.node.Config().CPUCapacity), trace.Outcome(err))
 			orig(err)
 		}
 	}
 	t.node.Submit(req.AppCost, func() {
+		busy = t.env.Eng.Now() - submitted
 		t.runQueries(req, span, 0, done)
 	}, func() {
 		t.failed++

@@ -54,6 +54,7 @@ func (p *Publisher) Get(path string) ([]byte, bool) {
 //	/loops         control-loop internals (sensor, thresholds, hysteresis)
 //	/alerts        active + resolved alerts (jade-alerts/v1)
 //	/incidents     correlated incident timelines (jade-incidents/v1)
+//	/fluid         fluid workload-engine station internals (jade-fluid/v1)
 type AdminServer struct {
 	pub  *Publisher
 	ln   net.Listener
@@ -69,6 +70,7 @@ var pageContentTypes = map[string]string{
 	"/loops":        "application/json",
 	"/alerts":       "application/json",
 	"/incidents":    "application/json",
+	"/fluid":        "application/json",
 }
 
 // StartAdmin listens on addr (e.g. ":8080" or "127.0.0.1:0" for an

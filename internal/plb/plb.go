@@ -256,33 +256,55 @@ func (b *Balancer) HandleHTTP(req *legacy.WebRequest, done func(error)) {
 			orig(err)
 		}
 	}
+	// The forward span opens before the balancer node's run queue so it
+	// covers local queue wait + service; "busy" records that local
+	// interval and "svc" the ideal service time, letting the attribution
+	// walker split the span's self-time into queue/service/network.
+	var span trace.ID
+	parent := req.TraceSpan
+	submitted := b.eng.Now()
+	if parent != 0 {
+		span = b.Trace.Begin(parent, "forward", b.name)
+		req.TraceSpan = span
+	}
+	endSpan := func(err error, busy float64, worker string) {
+		if span == 0 {
+			return
+		}
+		req.TraceSpan = parent
+		fields := []trace.Field{
+			trace.Ff("busy", busy),
+			trace.Ff("svc", b.opts.ProxyCost/b.node.Config().CPUCapacity),
+			trace.Outcome(err),
+		}
+		if worker != "" {
+			fields = append(fields, trace.F("worker", worker))
+		}
+		b.Trace.End(span, fields...)
+	}
 	b.node.Submit(b.opts.ProxyCost, func() {
+		busy := b.eng.Now() - submitted
 		name, ok := b.pickWorker(req.SessionKey)
 		if !ok {
 			b.dropped++
-			done(fmt.Errorf("%w (plb %s)", ErrNoWorker, b.name))
+			err := fmt.Errorf("%w (plb %s)", ErrNoWorker, b.name)
+			endSpan(err, busy, "")
+			done(err)
 			return
 		}
 		target := b.targets[name]
 		b.pool.Acquire(name)
 		b.forwarded++
 		start := b.eng.Now()
-		var span trace.ID
-		parent := req.TraceSpan
-		if parent != 0 {
-			span = b.Trace.Begin(parent, "forward", b.name, trace.F("worker", name))
-			req.TraceSpan = span
-		}
 		b.net.ForwardHTTP(b.node.Name(), "app", target, req, func(err error) {
 			b.pool.Release(name, b.eng.Now()-start, err != nil)
-			if span != 0 {
-				req.TraceSpan = parent
-				b.Trace.End(span, trace.Outcome(err))
-			}
+			endSpan(err, busy, name)
 			done(err)
 		})
 	}, func() {
 		b.dropped++
-		done(fmt.Errorf("plb %s: balancer node failed", b.name))
+		err := fmt.Errorf("plb %s: balancer node failed", b.name)
+		endSpan(err, b.eng.Now()-submitted, "")
+		done(err)
 	})
 }

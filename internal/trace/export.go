@@ -137,10 +137,22 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		})
 	}
 	// Thread-name metadata so Perfetto labels the lanes.
-	meta := make([]chromeEvent, 0, len(laneNames)+1)
+	meta := make([]chromeEvent, 0, len(laneNames)+2)
 	meta = append(meta, chromeEvent{
 		Name: "process_name", Ph: "M", PID: virtualPID, TID: 0,
 		Args: map[string]string{"name": "jade (virtual time)"},
+	})
+	// Retention counters, so a validator reading only the file can tell
+	// whether the record is complete or the stores overflowed.
+	st := t.Stat()
+	meta = append(meta, chromeEvent{
+		Name: "jade_trace_stats", Ph: "M", PID: virtualPID, TID: 0,
+		Args: map[string]string{
+			"events":         fmt.Sprintf("%d", st.Events),
+			"spans":          fmt.Sprintf("%d", st.Spans),
+			"evicted_events": fmt.Sprintf("%d", st.EventsEvicted),
+			"dropped_spans":  fmt.Sprintf("%d", st.SpansDropped),
+		},
 	})
 	for _, lane := range laneNames {
 		meta = append(meta, chromeEvent{
@@ -217,4 +229,29 @@ func ValidateChromeTrace(data []byte) (int, error) {
 		}
 	}
 	return len(doc.TraceEvents), nil
+}
+
+// ChromeTraceStats reads the "jade_trace_stats" metadata event
+// WriteChromeTrace embeds. ok is false when the file carries no such
+// record (an older export, or a foreign trace).
+func ChromeTraceStats(data []byte) (droppedSpans, evictedEvents uint64, ok bool) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, 0, false
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" || ev.Name != "jade_trace_stats" {
+			continue
+		}
+		fmt.Sscanf(ev.Args["dropped_spans"], "%d", &droppedSpans)
+		fmt.Sscanf(ev.Args["evicted_events"], "%d", &evictedEvents)
+		return droppedSpans, evictedEvents, true
+	}
+	return 0, 0, false
 }

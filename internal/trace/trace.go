@@ -36,6 +36,23 @@ type ID uint64
 type Field struct {
 	Key   string
 	Value string
+	// num caches the numeric value for fields built with Ff so hot
+	// analysis paths (latency attribution re-reads busy/svc on every
+	// span) never re-parse the formatted string. Unexported: exports
+	// only ever see Key/Value, and Float falls back to parsing for
+	// fields built any other way (e.g. decoded from an artifact).
+	num    float64
+	hasNum bool
+}
+
+// Float returns the field's numeric value. Fields built with Ff answer
+// from the cached float; anything else parses Value.
+func (f *Field) Float() (float64, bool) {
+	if f.hasNum {
+		return f.num, true
+	}
+	v, err := strconv.ParseFloat(f.Value, 64)
+	return v, err == nil
 }
 
 // F builds a string field.
@@ -44,7 +61,7 @@ func F(key, value string) Field { return Field{Key: key, Value: value} }
 // Ff builds a float field, formatted with the shortest exact
 // representation so exports are byte-stable.
 func Ff(key string, v float64) Field {
-	return Field{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+	return Field{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64), num: v, hasNum: true}
 }
 
 // Fi builds an integer field.

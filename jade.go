@@ -55,6 +55,7 @@ import (
 	"jade/internal/netsim"
 	"jade/internal/obs"
 	"jade/internal/obs/alert"
+	"jade/internal/obs/attrib"
 	"jade/internal/report"
 	"jade/internal/rubis"
 	"jade/internal/selector"
@@ -176,7 +177,23 @@ type (
 	FluidReport = fluid.Report
 	// FluidStationReport is one tier's aggregate fluid outcome.
 	FluidStationReport = fluid.StationReport
+	// LatencyAttribution is the per-request latency decomposition over a
+	// run's traced span forest (ScenarioResult.Attribution).
+	LatencyAttribution = attrib.Analysis
+	// LatencyBudget is the aggregated per-interaction-class budget report
+	// with critical-path blame (ScenarioResult.LatencyBudget).
+	LatencyBudget = attrib.Report
+	// LatencyBandBlame names the dominant tier/component of one
+	// percentile band in a LatencyBudget's critical path.
+	LatencyBandBlame = attrib.BandBlame
 )
+
+// LatencyBudgetSchema identifies the latency_budget.json artifact.
+const LatencyBudgetSchema = attrib.BudgetSchema
+
+// ParseLatencyBudget parses and validates a latency_budget.json
+// artifact (jadectl diff reads run directories through it).
+func ParseLatencyBudget(raw []byte) (*LatencyBudget, error) { return attrib.ParseReport(raw) }
 
 // DefaultTransitions is the bidding-mix session graph for Markov-session
 // emulation.
@@ -258,6 +275,13 @@ type (
 // ValidateChromeTrace checks data against the Chrome trace-event schema
 // and returns the number of trace events.
 func ValidateChromeTrace(data []byte) (int, error) { return trace.ValidateChromeTrace(data) }
+
+// ChromeTraceStats reads the retention counters embedded in a Chrome
+// trace export (dropped spans, evicted events); ok is false when the
+// file carries no jade_trace_stats metadata.
+func ChromeTraceStats(data []byte) (droppedSpans, evictedEvents uint64, ok bool) {
+	return trace.ChromeTraceStats(data)
+}
 
 // Re-exported observability types: every platform carries a deterministic
 // metrics registry clocked on virtual time (see internal/obs), exposed

@@ -1,0 +1,239 @@
+package jade
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"jade/internal/obs/attrib"
+)
+
+// LatBudgetVariant is one run of the latency-budget experiment (see
+// RunLatBudget).
+type LatBudgetVariant struct {
+	Name   string
+	Result *ScenarioResult
+	// Dir is the run's artifact directory (deleted before RunLatBudget
+	// returns; retained here for the in-run diffs).
+	Dir string
+}
+
+// latBudgetSlowAt is when (seconds after workload start) the slowapp
+// variant's CPU hogs land on tomcat1.
+const latBudgetSlowAt = 30.0
+
+// LatBudgetScenario returns the latency-budget experiment's
+// configuration for one variant: the managed paper ramp with causal
+// request tracing dense enough for per-tier budget percentiles.
+//
+//   - "baseline" and "replay" are byte-identical configurations — the
+//     same-seed determinism pair whose artifacts must diff clean.
+//   - "slowapp" additionally parks three CPU hogs on tomcat1 from
+//     t+30 s to the end of the ramp, a gray slowdown the budget report
+//     must localize as app-tier queueing.
+func LatBudgetScenario(seed int64, variant string, quick bool) ScenarioConfig {
+	cfg := DefaultScenario(seed, true)
+	// 3x is the steepest compression of the paper ramp the default
+	// sizing loops still keep up with (60 s inhibition windows); beyond
+	// that the db tier collapses and every budget is just db queueing.
+	// quick keeps the 3x slope but stops the climb at 300 clients.
+	cfg.TraceRequests = 8
+	peak := 500
+	if quick {
+		peak = 300
+		cfg.TraceRequests = 4
+	}
+	cfg.Profile = RampProfile{
+		Base:          80,
+		Peak:          peak,
+		StepPerMinute: 63,
+		HoldAtPeak:    40,
+	}
+	// The app tier is pinned to one replica: left free, the app sizing
+	// loop reacts to the slowapp hogs by growing tomcat2 early and the
+	// "fault" run comes out *faster* than the baseline — self-repair
+	// masking the very regression the diff must localize. Pinning models
+	// the capacity-capped deployment where attribution has to carry the
+	// diagnosis; the db loop keeps the resize/blame-shift story.
+	cfg.MaxAppReplicas = 1
+	if variant == "slowapp" {
+		// Fifteen stacked hogs leave tomcat1 at ~1/16 speed.
+		length := cfg.Profile.Duration()
+		for i := 0; i < 15; i++ {
+			cfg.Chaos = append(cfg.Chaos, ChaosEvent{
+				At: latBudgetSlowAt, Kind: ChaosSlow, Target: "tomcat1",
+				Duration: length - latBudgetSlowAt,
+			})
+		}
+	}
+	return cfg
+}
+
+// firstReplicaChange returns the virtual time a replica-count series
+// first moves off its initial value, or -1 if it never does.
+func firstReplicaChange(s *Series) float64 {
+	if s == nil || len(s.Points) == 0 {
+		return -1
+	}
+	v0 := s.Points[0].V
+	for _, p := range s.Points {
+		if p.V != v0 {
+			return p.T
+		}
+	}
+	return -1
+}
+
+// RunLatBudget is the latency-attribution flagship experiment: three
+// managed paper-ramp runs (baseline, same-seed replay, and a gray
+// app-tier slowdown), each writing the full artifact set, followed by
+// the in-run regression diffs. It is self-checking; it errors unless
+//
+//   - every variant's budget conserves latency (components sum to the
+//     root span within 1%) and loses no trace spans,
+//   - the baseline's pre-resize p99 blame lands on the tier whose
+//     sizing loop acts first, as queueing, and that blame shifts once
+//     the loop has acted,
+//   - the same-seed pair's budget artifacts are byte-identical and
+//     DiffRuns reports them clean, and
+//   - DiffRuns flags the slowapp run and localizes it to app/queue.
+//
+// quick shrinks the ramp for smoke tests. Variants fan out over
+// Parallelism() workers; results are deterministic per seed regardless
+// of the fan-out width.
+func RunLatBudget(seed int64, quick bool) ([]LatBudgetVariant, string, error) {
+	variants := []LatBudgetVariant{{Name: "baseline"}, {Name: "replay"}, {Name: "slowapp"}}
+	root, err := os.MkdirTemp("", "jade-latbudget-")
+	if err != nil {
+		return nil, "", err
+	}
+	defer os.RemoveAll(root)
+	errs := make([]error, len(variants))
+	_ = forEachPar(len(variants), func(i int) error {
+		v := &variants[i]
+		v.Dir = filepath.Join(root, v.Name)
+		cfg := LatBudgetScenario(seed, v.Name, quick)
+		cfg.MetricsDir = v.Dir
+		r, err := RunScenario(cfg)
+		if err != nil {
+			errs[i] = fmt.Errorf("latbudget %q: %w", v.Name, err)
+			return errs[i]
+		}
+		v.Result = r
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, "", err
+		}
+	}
+
+	// Per-variant invariants: a budget exists, conserves latency, and
+	// the span store kept every sampled request.
+	for _, v := range variants {
+		r := v.Result
+		if r.LatencyBudget == nil || r.LatencyBudget.Requests == 0 {
+			return nil, "", fmt.Errorf("latbudget %q: no attributed requests", v.Name)
+		}
+		if r.LatencyBudget.MaxConservationErr > 0.01 {
+			return nil, "", fmt.Errorf("latbudget %q: conservation error %.2e exceeds 1%%",
+				v.Name, r.LatencyBudget.MaxConservationErr)
+		}
+		if st := r.Trace().Stat(); st.SpansDropped > 0 {
+			return nil, "", fmt.Errorf("latbudget %q: %d spans dropped — budget would undercount",
+				v.Name, st.SpansDropped)
+		}
+	}
+
+	// Pre/post-resize blame on the baseline: before the first sizing
+	// action the bottleneck tier's queue must dominate the p99 band, and
+	// acting must shift (or shrink) that blame.
+	base := &variants[0]
+	dbAt := firstReplicaChange(base.Result.DB.Replicas)
+	appAt := firstReplicaChange(base.Result.App.Replicas)
+	resizeAt, resizeTier := dbAt, "db"
+	if dbAt < 0 || (appAt >= 0 && appAt < dbAt) {
+		resizeAt, resizeTier = appAt, "app"
+	}
+	if resizeAt < 0 {
+		return nil, "", fmt.Errorf("latbudget baseline: no sizing loop ever acted — the ramp never saturated a tier")
+	}
+	pre := attrib.BuildReport(base.Result.Attribution.Window(base.Result.WorkloadStart, resizeAt), nil)
+	post := attrib.BuildReport(base.Result.Attribution.Window(resizeAt, base.Result.WorkloadEnd), nil)
+	preBlame, okPre := pre.Dominant("p99")
+	postBlame, okPost := post.Dominant("p99")
+	if !okPre || !okPost {
+		return nil, "", fmt.Errorf("latbudget baseline: too few traced requests to fill the p99 band")
+	}
+	if preBlame.Tier != resizeTier || preBlame.Component != attrib.Queue {
+		return nil, "", fmt.Errorf("latbudget baseline: pre-resize p99 blame %s/%s, want %s/%s (the tier the sizing loop grew first)",
+			preBlame.Tier, preBlame.Component, resizeTier, attrib.Queue)
+	}
+	sameBlame := postBlame.Tier == preBlame.Tier && postBlame.Component == preBlame.Component
+	if sameBlame && postBlame.Share >= preBlame.Share {
+		return nil, "", fmt.Errorf("latbudget baseline: p99 blame did not shift after the resize (%s/%s share %.2f -> %.2f)",
+			preBlame.Tier, preBlame.Component, preBlame.Share, postBlame.Share)
+	}
+
+	// Same-seed determinism: byte-identical budget artifacts, clean diff.
+	budgetA, errA := os.ReadFile(filepath.Join(variants[0].Dir, "latency_budget.json"))
+	budgetB, errB := os.ReadFile(filepath.Join(variants[1].Dir, "latency_budget.json"))
+	if errA != nil || errB != nil {
+		return nil, "", fmt.Errorf("latbudget: missing budget artifact: %v / %v", errA, errB)
+	}
+	if !bytes.Equal(budgetA, budgetB) {
+		return nil, "", fmt.Errorf("latbudget: same-seed budget artifacts differ (%d vs %d bytes)",
+			len(budgetA), len(budgetB))
+	}
+	cleanDiff, err := DiffRuns(variants[0].Dir, variants[1].Dir, RunDiffOptions{})
+	if err != nil {
+		return nil, "", err
+	}
+	if !cleanDiff.Clean() {
+		return nil, "", fmt.Errorf("latbudget: same-seed runs did not diff clean:\n%s", cleanDiff.Render())
+	}
+
+	// Injected slowdown: the diff must flag the run and blame app/queue.
+	slowDiff, err := DiffRuns(variants[0].Dir, variants[2].Dir, RunDiffOptions{})
+	if err != nil {
+		return nil, "", err
+	}
+	if slowDiff.Clean() {
+		return nil, "", fmt.Errorf("latbudget: diff did not flag the slowed run")
+	}
+	if slowDiff.BlameTier != "app" || slowDiff.BlameComponent != attrib.Queue {
+		return nil, "", fmt.Errorf("latbudget: slowdown blamed on %s/%s, want app/%s:\n%s",
+			slowDiff.BlameTier, slowDiff.BlameComponent, attrib.Queue, slowDiff.Render())
+	}
+
+	title := "Latency budgets and run diff (managed paper ramp at 3x, trace 1/8)"
+	if quick {
+		title = "Latency budgets and run diff (managed 3x ramp to 300 clients, trace 1/4, quick)"
+	}
+	tb := &TextTable{
+		Title: title,
+		Headers: []string{"variant", "requests", "attributed", "conservation", "p99 (s)",
+			"p99 blame", "share"},
+	}
+	for i := range variants {
+		v := &variants[i]
+		r := v.Result
+		blame, _ := r.LatencyBudget.Dominant("p99")
+		tb.AddRow(v.Name,
+			fmt.Sprintf("%d", r.Stats.Completed),
+			fmt.Sprintf("%d", r.LatencyBudget.Requests),
+			fmt.Sprintf("%.1e", r.LatencyBudget.MaxConservationErr),
+			fmt.Sprintf("%.3f", r.RequestLatency.Quantile(0.99)),
+			fmt.Sprintf("%s/%s", blame.Tier, blame.Component),
+			fmt.Sprintf("%.2f", blame.Share))
+	}
+	out := tb.Render()
+	out += fmt.Sprintf("\nbaseline first resize: %s tier at t=%.0f s; pre-resize p99 blame %s/%s (share %.2f), post-resize %s/%s (share %.2f)\n",
+		resizeTier, resizeAt-base.Result.WorkloadStart,
+		preBlame.Tier, preBlame.Component, preBlame.Share,
+		postBlame.Tier, postBlame.Component, postBlame.Share)
+	out += fmt.Sprintf("\nsame-seed diff: %s", cleanDiff.Verdict())
+	out += fmt.Sprintf("\nslowapp  diff: %s\n", slowDiff.Verdict())
+	return variants, out, nil
+}

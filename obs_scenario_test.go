@@ -2,6 +2,7 @@ package jade
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"jade/internal/obs"
 )
 
 func shortObsScenario(seed int64) ScenarioConfig {
@@ -78,6 +81,22 @@ func TestMetricsSnapshotDeterminism(t *testing.T) {
 			}
 		case name == "incidents.json":
 			if err := ValidateIncidentsJSON(data); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		case name == "slo_report.json":
+			var rep SLOReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if rep.Schema != obs.SLOReportSchema {
+				t.Fatalf("%s: schema %q, want %q", name, rep.Schema, obs.SLOReportSchema)
+			}
+		case name == "latency_budget.json":
+			if _, err := ParseLatencyBudget(data); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		case name == "fluid.json":
+			if err := ValidateFluidPage(data); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 		case strings.HasSuffix(name, ".prom"):

@@ -19,6 +19,7 @@ import (
 	"jade/internal/netsim"
 	"jade/internal/obs"
 	"jade/internal/obs/alert"
+	"jade/internal/obs/attrib"
 	"jade/internal/rubis"
 	"jade/internal/selector"
 	"jade/internal/sim"
@@ -354,6 +355,16 @@ type ScenarioResult struct {
 	// WorkloadFluid (nil in discrete mode): completed flow, peak offered
 	// rate and per-station peak utilization/backlog.
 	Fluid *FluidReport
+	// Attribution decomposes every traced request's end-to-end latency
+	// into per-tier queue/service/network/retry components (nil unless
+	// TraceRequests > 0 and tracing is on).
+	Attribution *attrib.Analysis
+	// LatencyBudget aggregates Attribution into deterministic
+	// per-interaction-class budget profiles with a critical-path
+	// summary; in fluid mode the stations' wait estimates are merged in
+	// so million-client runs render the same report shape (nil when
+	// neither source is available).
+	LatencyBudget *attrib.Report
 	// Admin is the live admin endpoint, still serving the final published
 	// pages (nil without HTTPAddr). Callers own closing it.
 	Admin *obs.AdminServer
@@ -985,8 +996,45 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if metricsInterval <= 0 {
 		metricsInterval = 60
 	}
+	// Trace-plane loss counters: silent span/event drops would undermine
+	// any attribution built on spans, so they are first-class metrics.
+	traceDropped := reg.Counter("jade_trace_dropped_spans_total", "Spans refused because the span store was full.")
+	traceEvicted := reg.Counter("jade_trace_evicted_events_total", "Events evicted from the trace ring buffer.")
+	var prevDropped, prevEvicted uint64
+	// Fluid-engine internals: per-station utilization/backlog/wait gauges
+	// refreshed at every snapshot tick (flat zeros in discrete mode keep
+	// the exposition shape identical across workload engines).
+	type fluidGaugeSet struct {
+		st                               *fluid.Station
+		rho, backlog, wait, pRho, pWait *obs.Gauge
+	}
+	var fluidGauges []fluidGaugeSet
+	if fnet != nil {
+		for _, s := range fnet.Stations() {
+			lbl := obs.L("station", s.Name)
+			fluidGauges = append(fluidGauges, fluidGaugeSet{
+				st:      s,
+				rho:     reg.Gauge("jade_fluid_rho", "Fluid station member utilization last tick.", lbl),
+				backlog: reg.Gauge("jade_fluid_backlog", "Fluid station backlog beyond capacity (requests).", lbl),
+				wait:    reg.Gauge("jade_fluid_wait_seconds", "Fluid station per-request latency estimate.", lbl),
+				pRho:    reg.Gauge("jade_fluid_peak_rho", "Fluid station peak member utilization.", lbl),
+				pWait:   reg.Gauge("jade_fluid_peak_wait_seconds", "Fluid station peak latency estimate.", lbl),
+			})
+		}
+	}
 	var snapErr error
 	snapshot := func(now float64) {
+		st := p.Trace().Stat()
+		traceDropped.Add(st.SpansDropped - prevDropped)
+		traceEvicted.Add(st.EventsEvicted - prevEvicted)
+		prevDropped, prevEvicted = st.SpansDropped, st.EventsEvicted
+		for _, fg := range fluidGauges {
+			fg.rho.Set(fg.st.Rho())
+			fg.backlog.Set(fg.st.Backlog())
+			fg.wait.Set(fg.st.Wait())
+			fg.pRho.Set(fg.st.PeakRho())
+			fg.pWait.Set(fg.st.PeakWait())
+		}
 		if res.Admin == nil && cfg.MetricsDir == "" {
 			return // nobody watching: skip rendering, keep the schedule
 		}
@@ -1000,6 +1048,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		pub.Set("/healthz", healthPage(now, p, dep, harness, slo, aeng))
 		pub.Set("/alerts", aeng.AlertsPage(now))
 		pub.Set("/incidents", aeng.IncidentsJSON(now))
+		pub.Set("/fluid", fluidPage(now, fnet))
 		if cfg.MetricsDir != "" {
 			base := filepath.Join(cfg.MetricsDir, fmt.Sprintf("metrics-t%08d", int64(math.Round(now))))
 			if err := os.WriteFile(base+".prom", prom, 0o644); err != nil && snapErr == nil {
@@ -1170,6 +1219,19 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			res.DBManager.Reactor.Grows + res.DBManager.Reactor.Shrinks)
 	}
 	res.SLOReport = slo.Report()
+	// Latency attribution: walk the traced span forest into per-request
+	// component breakdowns, and aggregate (with the fluid stations' wait
+	// estimates when the run was fluid) into the budget report.
+	if cfg.TraceRequests > 0 && !cfg.TraceOff {
+		res.Attribution = attrib.FromTracer(p.Trace())
+	}
+	if res.Attribution != nil || fnet != nil {
+		analysis := res.Attribution
+		if analysis == nil {
+			analysis = &attrib.Analysis{}
+		}
+		res.LatencyBudget = attrib.BuildReport(analysis, fluidBudgetTiers(fnet))
+	}
 	snapshot(p.Eng.Now())
 	if cfg.MetricsDir != "" {
 		if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "alerts.jsonl"), aeng.AlertsJSONL(), 0o644); err != nil && snapErr == nil {
@@ -1177,6 +1239,21 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		}
 		if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "incidents.json"), aeng.IncidentsJSON(p.Eng.Now()), 0o644); err != nil && snapErr == nil {
 			snapErr = err
+		}
+		if sloJSON, err := json.MarshalIndent(res.SLOReport, "", "  "); err == nil {
+			if werr := os.WriteFile(filepath.Join(cfg.MetricsDir, "slo_report.json"), append(sloJSON, '\n'), 0o644); werr != nil && snapErr == nil {
+				snapErr = werr
+			}
+		}
+		if res.LatencyBudget != nil {
+			if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "latency_budget.json"), res.LatencyBudget.Marshal(), 0o644); err != nil && snapErr == nil {
+				snapErr = err
+			}
+		}
+		if fnet != nil {
+			if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "fluid.json"), fluidPage(p.Eng.Now(), fnet), 0o644); err != nil && snapErr == nil {
+				snapErr = err
+			}
 		}
 	}
 	if snapErr != nil {
@@ -1235,7 +1312,115 @@ const (
 	ComponentsSchema = "jade-components/v1"
 	// LoopsSchema identifies the /loops control-loop status document.
 	LoopsSchema = "jade-loops/v1"
+	// FluidSchema identifies the /fluid workload-engine document.
+	FluidSchema = "jade-fluid/v1"
 )
+
+// fluidStationDoc is one station's row on the /fluid page.
+type fluidStationDoc struct {
+	Name        string  `json:"name"`
+	Rho         float64 `json:"rho"`
+	Backlog     float64 `json:"backlog"`
+	WaitSec     float64 `json:"wait_sec"`
+	SvcSec      float64 `json:"svc_sec"`
+	PeakRho     float64 `json:"peak_rho"`
+	PeakBacklog float64 `json:"peak_backlog"`
+	PeakWaitSec float64 `json:"peak_wait_sec"`
+}
+
+// fluidPage renders the fluid workload engine's internals: the offered
+// rate, response estimate, and every station's ρ/backlog/wait with
+// peaks. Discrete runs serve the same document with Enabled false, so
+// scrapers need no mode awareness.
+func fluidPage(now float64, fnet *fluid.Network) []byte {
+	doc := struct {
+		Schema      string            `json:"schema"`
+		Time        float64           `json:"time"`
+		Enabled     bool              `json:"enabled"`
+		RatePerSec  float64           `json:"rate_per_sec"`
+		ResponseSec float64           `json:"response_sec"`
+		Completed   float64           `json:"completed"`
+		Stations    []fluidStationDoc `json:"stations"`
+	}{Schema: FluidSchema, Time: now, Stations: []fluidStationDoc{}}
+	if fnet != nil {
+		doc.Enabled = true
+		doc.RatePerSec = fnet.Rate()
+		doc.ResponseSec = fnet.Response()
+		doc.Completed = fnet.Completed()
+		for _, s := range fnet.Stations() {
+			doc.Stations = append(doc.Stations, fluidStationDoc{
+				Name:        s.Name,
+				Rho:         s.Rho(),
+				Backlog:     s.Backlog(),
+				WaitSec:     s.Wait(),
+				SvcSec:      s.Svc(),
+				PeakRho:     s.PeakRho(),
+				PeakBacklog: s.PeakBacklog(),
+				PeakWaitSec: s.PeakWait(),
+			})
+		}
+	}
+	b, _ := json.MarshalIndent(doc, "", "  ")
+	return append(b, '\n')
+}
+
+// ValidateFluidPage checks a jade-fluid/v1 document (/fluid,
+// fluid.json): schema, non-negative station figures, and names present
+// whenever the engine is enabled.
+func ValidateFluidPage(doc []byte) error {
+	var page struct {
+		Schema   string            `json:"schema"`
+		Enabled  bool              `json:"enabled"`
+		Stations []fluidStationDoc `json:"stations"`
+	}
+	if err := json.Unmarshal(doc, &page); err != nil {
+		return fmt.Errorf("fluid: not valid JSON: %w", err)
+	}
+	if page.Schema != FluidSchema {
+		return fmt.Errorf("fluid: schema %q, want %q", page.Schema, FluidSchema)
+	}
+	if page.Stations == nil {
+		return fmt.Errorf("fluid: missing stations array")
+	}
+	if page.Enabled && len(page.Stations) == 0 {
+		return fmt.Errorf("fluid: enabled engine published no stations")
+	}
+	for i, s := range page.Stations {
+		if s.Name == "" {
+			return fmt.Errorf("fluid: stations[%d]: missing name", i)
+		}
+		if s.Rho < 0 || s.Backlog < 0 || s.WaitSec < 0 || s.PeakRho < s.Rho || s.PeakWaitSec < 0 {
+			return fmt.Errorf("fluid: stations[%d] %s: implausible figures (rho=%g peak=%g wait=%g)",
+				i, s.Name, s.Rho, s.PeakRho, s.WaitSec)
+		}
+	}
+	return nil
+}
+
+// fluidBudgetTiers renders the fluid stations' current wait estimates
+// in latency-budget form (queue = wait − ideal service), so fluid and
+// discrete runs share one report shape.
+func fluidBudgetTiers(fnet *fluid.Network) []attrib.FluidTier {
+	if fnet == nil {
+		return nil
+	}
+	out := make([]attrib.FluidTier, 0, len(fnet.Stations()))
+	for _, s := range fnet.Stations() {
+		q := s.Wait() - s.Svc()
+		if q < 0 {
+			q = 0
+		}
+		out = append(out, attrib.FluidTier{
+			Station:    s.Name,
+			Rho:        s.Rho(),
+			PeakRho:    s.PeakRho(),
+			QueueSec:   q,
+			ServiceSec: s.Svc(),
+			PeakSec:    s.PeakWait(),
+		})
+	}
+	return out
+}
 
 // componentsPage renders the deployed application and management trees.
 func componentsPage(now float64, dep *Deployment, p *Platform) []byte {
