@@ -21,12 +21,17 @@
 #                       experiment (self-checking: nonzero exit unless same-seed
 #                       runs diff clean and the injected app slowdown is
 #                       localized to app-tier queueing)
+#   make config-smoke - live-config gate: the HTTP POST→apply round-trip and
+#                       no-op-refresh neutrality tests, then the quick live-retune
+#                       experiment (self-checking: nonzero exit unless the mid-run
+#                       selector swap improves gray-failure p99 >=2x with zero
+#                       restarts and a byte-identical same-seed replay)
 #   make api-check    - diff the facade's exported surface against testdata/api_surface.txt
 
 GO ?= go
 TRACE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)/jade-trace.json
 
-.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke diff-smoke api-check ci
+.PHONY: all build test vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke diff-smoke config-smoke api-check ci
 
 all: build
 
@@ -76,7 +81,11 @@ diff-smoke:
 	$(GO) test -run 'TestAttrib(ConservationSweep|WindowPartition)' .
 	$(GO) run ./cmd/jadebench -experiment latbudget -quick
 
+config-smoke:
+	$(GO) test -run 'TestConfigPostRoundTrip|TestNoopRefreshTrajectoryNeutral' .
+	$(GO) run ./cmd/jadebench -experiment liveretune -quick
+
 api-check:
 	$(GO) test -run TestAPISurface .
 
-ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke diff-smoke api-check
+ci: vet race sweep trace-smoke bench-smoke obs-smoke netsim-smoke selector-smoke alert-smoke fluid-smoke diff-smoke config-smoke api-check

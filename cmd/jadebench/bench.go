@@ -13,12 +13,13 @@ import (
 	"jade"
 	"jade/internal/obs/alert"
 	"jade/internal/obs/attrib"
+	"jade/internal/refresh"
 	"jade/internal/sim"
 )
 
 // benchCoreSchema versions the BENCH_core.json layout; bump it when
 // fields change meaning so trajectory tooling can tell runs apart.
-const benchCoreSchema = "jade-bench-core/v5"
+const benchCoreSchema = "jade-bench-core/v6"
 
 // BenchCore is one measurement of the simulation core's throughput — the
 // perf trajectory record written to BENCH_core.json by `-bench-core` and
@@ -68,6 +69,14 @@ type BenchCore struct {
 	// ratio bench-validate asserts — under 2% of ns_per_event — sees
 	// the same machine load on both sides.
 	AttribNsPerEvent float64 `json:"attrib_ns_per_event"`
+
+	// Live-config read cost (v6): one refresh.View.Get() of a sizing
+	// sub-config — what a manager pays each loop tick to observe its
+	// refreshable configuration instead of a struct field. Charged as one
+	// read per engine event (a deliberate overestimate: managers tick far
+	// less often than the engine fires events). bench-validate asserts it
+	// stays under 1% of ns_per_event.
+	RefreshReadNsPerEvent float64 `json:"refresh_read_ns_per_event"`
 }
 
 // runBenchCore measures the simulation core and writes BENCH_core.json.
@@ -121,6 +130,7 @@ func runBenchCore(outPath string, parallel int) error {
 
 	fmt.Fprintf(os.Stderr, "jadebench: benchmarking alert-plane evaluation...\n")
 	tickNs := benchAlertTick()
+	refreshNs := benchRefreshRead()
 	refEvents := float64(ref.Platform.Eng.Processed())
 
 	fmt.Fprintf(os.Stderr, "jadebench: benchmarking engine hot loop and latency attribution...\n")
@@ -180,6 +190,8 @@ func runBenchCore(outPath string, parallel int) error {
 		FluidVsDiscreteCPURMS: fluidRMS,
 
 		AttribNsPerEvent: attribNs / refEvents,
+
+		RefreshReadNsPerEvent: refreshNs,
 	}
 	if res.Failure != nil {
 		rec.SweepViolations = 1
@@ -202,6 +214,8 @@ func runBenchCore(outPath string, parallel int) error {
 		rec.FluidClientsPerSec, rec.FluidVsDiscreteCPURMS)
 	fmt.Printf("bench-core: latency attribution %.2f ns/event amortized (%.2f%% of engine cost)\n",
 		rec.AttribNsPerEvent, 100*rec.AttribNsPerEvent/rec.NsPerEvent)
+	fmt.Printf("bench-core: refresh-view read %.2f ns/event (%.2f%% of engine cost)\n",
+		rec.RefreshReadNsPerEvent, 100*rec.RefreshReadNsPerEvent/rec.NsPerEvent)
 	fmt.Printf("bench-core: wrote %s\n", outPath)
 	return nil
 }
@@ -209,6 +223,23 @@ func runBenchCore(outPath string, parallel int) error {
 // benchNop is the scheduled callback; package-level so the benchmark
 // measures the engine, not closure allocation.
 func benchNop() {}
+
+// benchSizingSink keeps the refresh-read benchmark's Get() results live
+// so the compiler cannot elide the loop body.
+var benchSizingSink jade.SizingConfig
+
+// benchRefreshRead measures one refresh.View.Get() (ns) of a sizing
+// sub-config — the read a manager performs on each loop tick when its
+// configuration is live-refreshable rather than a plain struct field.
+func benchRefreshRead() float64 {
+	v := refresh.NewView("bench:sizing.app", jade.AppSizingDefaults())
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSizingSink = v.Get()
+		}
+	})
+	return float64(res.NsPerOp())
+}
 
 // benchAlertTick measures one alerting-plane evaluation tick (ns) with
 // the scenario's representative rule set: four burn rules fed every
@@ -316,6 +347,13 @@ func validateBenchCore(path string) error {
 	if limit := 0.02 * rec.NsPerEvent; rec.AttribNsPerEvent > limit {
 		return fmt.Errorf("%s: latency attribution costs %.2f ns/event, over the 2%% budget (%.2f ns/event)",
 			path, rec.AttribNsPerEvent, limit)
+	}
+	if rec.RefreshReadNsPerEvent <= 0 {
+		return fmt.Errorf("%s: zero refresh_read_ns_per_event", path)
+	}
+	if limit := 0.01 * rec.NsPerEvent; rec.RefreshReadNsPerEvent > limit {
+		return fmt.Errorf("%s: refresh-view reads cost %.2f ns/event, over the 1%% budget (%.2f ns/event)",
+			path, rec.RefreshReadNsPerEvent, limit)
 	}
 	histPath, err := appendBenchHistory(path, data)
 	if err != nil {

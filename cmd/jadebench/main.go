@@ -17,16 +17,25 @@
 // managed/unmanaged pair) over a worker pool; 0 uses GOMAXPROCS. Results
 // are byte-identical whatever the worker count.
 //
+// Scenario-override flags (-route.*, -net.*, -alert.*, -fault.mtbf,
+// -workload.*, -sessions, -recovery) register from the same cliutil
+// table as jadectl scenario and apply to the paper runs (fig5-9,
+// summary) and churn; self-contained experiments (grayfail, liveretune,
+// netfault, ...) fix their own configurations and ignore them.
+//
 // -bench-core benchmarks the simulation core (events/sec, ns/event,
 // allocs/event, sweep seeds/minute) and writes BENCH_core.json;
 // -bench-validate sanity-checks such a record.
 //
 // Experiments: fig4, fig5, fig6, fig7, fig8, fig9, table1, churn,
-// netfault, grayfail, alertlat, latbudget, ablations, summary, all
-// (default). netfault compares the φ-accrual failure detector and
-// self-recovery under message loss, heartbeat partitions and real
-// crashes on the simulated network. grayfail compares routing policies
-// while one replica per tier is degraded but never dead. alertlat
+// netfault, grayfail, liveretune, alertlat, latbudget, ablations,
+// summary, all (default). netfault compares the φ-accrual failure
+// detector and self-recovery under message loss, heartbeat partitions
+// and real crashes on the simulated network. grayfail compares routing
+// policies while one replica per tier is degraded but never dead.
+// liveretune swaps the routing policy mid-run through the live-config
+// plane (zero restarts) and proves the swap pays off, replays
+// byte-identically, and reaches the managed sizing loop. alertlat
 // measures the alerting plane's virtual-time-to-first-page against the
 // φ detector on gray and crash faults. latbudget decomposes traced
 // request latency into per-tier queue/service/network/retry budgets on
@@ -55,8 +64,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	speedup := flag.Float64("speedup", 1, "time compression of the ramp (1 = the paper's ~50-minute run)")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into")
-	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|alertlat|latbudget|millionclient|ablations|summary|all")
-	quick := flag.Bool("quick", false, "shrink the grayfail/alertlat/latbudget runs for smoke tests")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig4|fig5|fig6|fig7|fig8|fig9|table1|churn|netfault|grayfail|liveretune|alertlat|latbudget|millionclient|ablations|summary|all")
+	quick := flag.Bool("quick", false, "shrink the grayfail/liveretune/alertlat/latbudget runs for smoke tests")
 	sweep := flag.Int("sweep", 0, "run the invariant chaos sweep over this many seeds instead of an experiment")
 	artifact := flag.String("artifact", "sweep-failure.json", "where -sweep writes the replayable artifact on failure")
 	replay := flag.String("replay", "", "replay a failure artifact written by -sweep")
@@ -67,6 +76,8 @@ func main() {
 	benchValidate := flag.String("bench-validate", "", "sanity-check a BENCH_core.json written by -bench-core")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	specFlags := cliutil.RegisterSpecGroups(flag.CommandLine,
+		"sessions", "recovery", "workload", "fault", "route", "net", "alert")
 	cliutil.Warnings = os.Stderr
 	cliutil.Alias(flag.CommandLine, "trace.chrome", "trace")
 	flag.Usage = func() {
@@ -77,6 +88,11 @@ func main() {
 
 	if *parallel > 0 {
 		jade.SetParallelism(*parallel)
+	}
+	override, oerr := specFlags.ScenarioOverride()
+	if oerr != nil {
+		fmt.Fprintf(os.Stderr, "jadebench: %v\n", oerr)
+		os.Exit(1)
 	}
 	err := withProfiles(*cpuprofile, *memprofile, func() error {
 		switch {
@@ -89,7 +105,7 @@ func main() {
 		case *sweep > 0:
 			return runSweep(*sweep, *speedup, *parallel, *artifact)
 		default:
-			return run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut, *quick)
+			return run(*seed, *speedup, *csvDir, strings.ToLower(*experiment), *traceOut, *quick, override)
 		}
 	})
 	if err != nil {
@@ -186,7 +202,7 @@ func runReplay(path string, speedup float64) error {
 	return fmt.Errorf("replay did not reproduce the violation (%d checks passed)", out.Checks)
 }
 
-func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick bool) error {
+func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick bool, override func(*jade.ScenarioConfig)) error {
 	want := func(names ...string) bool {
 		if experiment == "all" {
 			return true
@@ -212,7 +228,7 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick
 	if needRuns {
 		fmt.Fprintf(os.Stderr, "jadebench: running the paper scenario (managed + unmanaged, speedup %.0fx)...\n", speedup)
 		var err error
-		pr, err = jade.RunPaperScenario(seed, speedup)
+		pr, err = jade.RunPaperScenario(seed, speedup, override)
 		if err != nil {
 			return err
 		}
@@ -271,6 +287,9 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick
 		cfg.Recovery = true
 		cfg.MTBFSeconds = 300
 		cfg.Profile = jade.ConstantProfile{Clients: 120, Length: 1800}
+		if override != nil {
+			override(&cfg)
+		}
 		r, err := jade.RunScenario(cfg)
 		if err != nil {
 			return err
@@ -299,6 +318,15 @@ func run(seed int64, speedup float64, csvDir, experiment, traceOut string, quick
 			return err
 		}
 		section("Routing policies under gray failure — slow-but-alive replicas", table)
+	}
+
+	if want("liveretune") {
+		fmt.Fprintf(os.Stderr, "jadebench: running the live-retune experiment (quick=%v)...\n", quick)
+		_, table, err := jade.RunLiveRetune(seed, quick)
+		if err != nil {
+			return err
+		}
+		section("Live retune — runtime policy swap over the admin plane, zero restarts", table)
 	}
 
 	if want("alertlat") {

@@ -7,7 +7,7 @@
 //
 //	jadectl validate [-adl FILE]
 //	jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
-//	jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS]
+//	jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS] [-pace X]
 //	                 [-managed] [-sessions] [-recovery] [-fault.mtbf SECONDS]
 //	                 [-route.policy NAME] [-route.l4 NAME] [-route.app NAME]
 //	                 [-route.db NAME] [-route.probe-after S] [-route.half-life S]
@@ -19,10 +19,24 @@
 //	                 [-alert.slow S] [-alert.page-burn X] [-alert.warn-burn X]
 //	                 [-alert.z X] [-alert.skew X] [-alert.hysteresis S]
 //	                 [-alert.monitor]
+//	jadectl config get [-addr HOST:PORT]
+//	jadectl config set [-addr HOST:PORT] PATCH|@FILE|-
 //	jadectl trace-validate FILE
 //	jadectl diff [-tol X] [-slo-tol X] [-bench-tol X] RUN_DIR_A RUN_DIR_B
 //
 // Without -adl, the built-in three-tier RUBiS architecture is used.
+//
+// config get/set talk to a live run's admin plane (a scenario started
+// with -metrics.http, usually with -metrics.serve and -pace so the run
+// is still going): get prints the refreshable-configuration document
+// (/config), set posts a patch — a JSON literal, @FILE, or - for stdin
+// — that the simulation validates and applies at its next drain tick.
+// Rejections come back as structured field errors (the same paths
+// Spec.Validate reports). See docs/CONFIG.md for the patch grammar.
+//
+// -pace slows the simulation to the given number of simulated seconds
+// per wall-clock second so live reconfiguration can be exercised
+// interactively; 0 (the default) runs as fast as possible.
 //
 // -route.policy picks the backend-selection policy every tier uses
 // (round-robin, weighted-round-robin, least-pending, balanced,
@@ -74,6 +88,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -101,6 +116,8 @@ func main() {
 		err = cmdDeploy(args)
 	case "scenario":
 		err = cmdScenario(args)
+	case "config":
+		err = cmdConfig(args)
 	case "trace-validate":
 		err = cmdTraceValidate(args)
 	case "diff":
@@ -122,7 +139,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jadectl validate [-adl FILE]
   jadectl deploy   [-adl FILE] [-seed N] [-nodes N] [-show-config] [-export]
-  jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS]
+  jadectl scenario [-config FILE] [-seed N] [-clients N] [-duration SECONDS] [-pace X]
                    [-managed] [-sessions] [-recovery] [-fault.mtbf SECONDS]
                    [-route.policy NAME] [-route.l4 NAME] [-route.app NAME]
                    [-route.db NAME] [-route.probe-after S] [-route.half-life S]
@@ -134,6 +151,8 @@ func usage() {
                    [-alert.slow S] [-alert.page-burn X] [-alert.warn-burn X]
                    [-alert.z X] [-alert.skew X] [-alert.hysteresis S]
                    [-alert.monitor]
+  jadectl config get [-addr HOST:PORT]
+  jadectl config set [-addr HOST:PORT] PATCH|@FILE|-
   jadectl trace-validate FILE
   jadectl diff [-tol X] [-slo-tol X] [-bench-tol X] RUN_DIR_A RUN_DIR_B`)
 }
@@ -262,48 +281,15 @@ func cmdScenario(args []string) error {
 	clients := fs.Int("clients", 200, "constant client population")
 	duration := fs.Float64("duration", 600, "workload duration (simulated seconds)")
 	managed := fs.Bool("managed", true, "arm the self-optimization managers")
-	sessions := fs.Bool("sessions", false, "use Markov sessions instead of i.i.d. interaction sampling")
-	recovery := fs.Bool("recovery", false, "arm the self-recovery manager")
-	workloadMode := fs.String("workload.mode", "", "workload engine: discrete|fluid|auto (empty = discrete)")
-	workloadTick := fs.Float64("workload.tick", 0, "fluid model tick in simulated seconds (0 = default 1)")
-	workloadSample := fs.Float64("workload.sample-rate", 0, "fraction of clients kept as real discrete chains in fluid mode (0 = default 0.02)")
-	mtbf := fs.Float64("fault.mtbf", 0, "inject node crashes with this mean time between failures (seconds; 0 = none)")
-	routePolicy := fs.String("route.policy", "", "routing policy for every tier: round-robin|weighted-round-robin|least-pending|balanced|rendezvous (empty = per-tier defaults)")
-	routeL4 := fs.String("route.l4", "", "routing policy for the L4 switch (overrides -route.policy)")
-	routeApp := fs.String("route.app", "", "routing policy for the PLB application tier (overrides -route.policy)")
-	routeDB := fs.String("route.db", "", "read policy for the C-JDBC database tier (overrides -route.policy)")
-	routeProbe := fs.Float64("route.probe-after", 0, "seconds before a suspected-down backend is probed back in (0 = default)")
-	routeHalfLife := fs.Float64("route.half-life", 0, "half-life of the balanced policy's failure/latency reservoirs (seconds; 0 = default)")
-	netEnable := fs.Bool("net.enable", false, "route inter-tier calls and heartbeats over the simulated network")
-	netLatency := fs.Float64("net.latency", 0.3, "default link latency (milliseconds)")
-	netJitter := fs.Float64("net.jitter", 0, "default link jitter (milliseconds)")
-	netLoss := fs.Float64("net.loss", 0, "default link loss probability, in [0,1)")
+	pace := fs.Float64("pace", 0, "pace the run to this many simulated seconds per wall second (0 = as fast as possible; useful with -metrics.http)")
 	traceOut := fs.String("trace.chrome", "", "write the telemetry bus as a Chrome trace-event file (Perfetto-loadable)")
 	traceJSONL := fs.String("trace.jsonl", "", "write the telemetry bus as JSONL (one event/span per line)")
-	traceReqs := fs.Int("trace.requests", 0, "open a causal span for every N-th client request (0 = default 25 when tracing)")
-	metricsDir := fs.String("metrics.dir", "", "write periodic metrics snapshots (Prometheus text + JSON) into this directory")
-	metricsInterval := fs.Float64("metrics.interval", 60, "snapshot period in simulated seconds")
-	httpAddr := fs.String("metrics.http", "", "serve the live admin endpoint on this address (e.g. :8080 or 127.0.0.1:0)")
 	scrapeCheck := fs.Bool("metrics.scrape-check", false, "after the run, scrape the admin endpoint and validate the exposition (requires -metrics.http)")
 	serve := fs.Bool("metrics.serve", false, "keep the admin endpoint serving the final pages after the run (requires -metrics.http; ctrl-C to exit)")
 	showAlerts := fs.Bool("alerts", false, "print the run's alert and incident report after the SLO table")
-	alertOff := fs.Bool("alert.off", false, "disable alerting-rule evaluation")
-	alertInterval := fs.Float64("alert.interval", 0, "alert evaluation period in simulated seconds (0 = default 5)")
-	alertFast := fs.Float64("alert.fast", 0, "fast burn-rate window in simulated seconds (0 = default 60)")
-	alertSlow := fs.Float64("alert.slow", 0, "slow burn-rate window in simulated seconds (0 = default 600)")
-	alertPageBurn := fs.Float64("alert.page-burn", 0, "error-budget burn rate that pages (0 = default 14.4)")
-	alertWarnBurn := fs.Float64("alert.warn-burn", 0, "error-budget burn rate that warns (0 = default 3)")
-	alertZ := fs.Float64("alert.z", 0, "anomaly z-score threshold (0 = default 4)")
-	alertSkew := fs.Float64("alert.skew", 0, "pool-skew multiplier vs the pool median (0 = default 3)")
-	alertHysteresis := fs.Float64("alert.hysteresis", 0, "seconds an alert's condition must stay clear before it resolves (0 = default 30)")
-	alertMonitor := fs.Bool("alert.monitor", false, "arm the φ-accrual heartbeat detector as a signal source without recovery (requires -net.enable)")
-	cliutil.Alias(fs, "fault.mtbf", "mtbf")
+	specFlags := cliutil.RegisterSpecFlags(fs)
 	cliutil.Alias(fs, "trace.chrome", "trace")
 	cliutil.Alias(fs, "trace.jsonl", "trace-jsonl")
-	cliutil.Alias(fs, "trace.requests", "trace-requests")
-	cliutil.Alias(fs, "metrics.dir", "metrics-dir")
-	cliutil.Alias(fs, "metrics.interval", "metrics-interval")
-	cliutil.Alias(fs, "metrics.http", "http")
 	cliutil.Alias(fs, "metrics.scrape-check", "scrape-check")
 	cliutil.Alias(fs, "metrics.serve", "serve")
 	fs.Usage = func() {
@@ -313,13 +299,17 @@ func cmdScenario(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*scrapeCheck || *serve) && *httpAddr == "" {
+	httpAddr := fs.Lookup("metrics.http").Value.String()
+	if (*scrapeCheck || *serve) && httpAddr == "" {
 		return fmt.Errorf("-metrics.scrape-check and -metrics.serve require -metrics.http")
 	}
 
 	spec := jade.DefaultSpec(*seed, *managed)
 	spec.Workload.Profile = jade.ProfileSpec{Kind: "constant", Clients: *clients, DurationSeconds: *duration}
 	apply := func(name string) {
+		if specFlags.Apply(&spec, name) {
+			return
+		}
 		switch name {
 		case "seed":
 			spec.Seed = *seed
@@ -327,66 +317,6 @@ func cmdScenario(args []string) error {
 			spec.Managed = *managed
 		case "clients", "duration":
 			spec.Workload.Profile = jade.ProfileSpec{Kind: "constant", Clients: *clients, DurationSeconds: *duration}
-		case "sessions":
-			spec.Workload.Sessions = *sessions
-		case "recovery":
-			spec.Recovery = *recovery
-		case "workload.mode":
-			spec.Workload.Mode = *workloadMode
-		case "workload.tick":
-			spec.Workload.FluidTickSeconds = *workloadTick
-		case "workload.sample-rate":
-			spec.Workload.FluidSampleRate = *workloadSample
-		case "fault.mtbf":
-			spec.Faults.MTBFSeconds = *mtbf
-		case "route.policy":
-			spec.Routing.Policy = *routePolicy
-		case "route.l4":
-			spec.Routing.L4 = *routeL4
-		case "route.app":
-			spec.Routing.App = *routeApp
-		case "route.db":
-			spec.Routing.DB = *routeDB
-		case "route.probe-after":
-			spec.Routing.ProbeAfterSeconds = *routeProbe
-		case "route.half-life":
-			spec.Routing.HalfLifeSeconds = *routeHalfLife
-		case "net.enable":
-			spec.Faults.Network.Enabled = *netEnable
-		case "net.latency":
-			spec.Faults.Network.Default.LatencyMS = *netLatency
-		case "net.jitter":
-			spec.Faults.Network.Default.JitterMS = *netJitter
-		case "net.loss":
-			spec.Faults.Network.Default.Loss = *netLoss
-		case "trace.requests":
-			spec.Telemetry.TraceRequests = *traceReqs
-		case "metrics.dir":
-			spec.Telemetry.MetricsDir = *metricsDir
-		case "metrics.interval":
-			spec.Telemetry.MetricsIntervalSeconds = *metricsInterval
-		case "metrics.http":
-			spec.Telemetry.HTTPAddr = *httpAddr
-		case "alert.off":
-			spec.Alerting.Off = *alertOff
-		case "alert.interval":
-			spec.Alerting.EvalIntervalSeconds = *alertInterval
-		case "alert.fast":
-			spec.Alerting.FastWindowSeconds = *alertFast
-		case "alert.slow":
-			spec.Alerting.SlowWindowSeconds = *alertSlow
-		case "alert.page-burn":
-			spec.Alerting.PageBurn = *alertPageBurn
-		case "alert.warn-burn":
-			spec.Alerting.WarnBurn = *alertWarnBurn
-		case "alert.z":
-			spec.Alerting.ZThreshold = *alertZ
-		case "alert.skew":
-			spec.Alerting.SkewFactor = *alertSkew
-		case "alert.hysteresis":
-			spec.Alerting.HysteresisSeconds = *alertHysteresis
-		case "alert.monitor":
-			spec.Alerting.MonitorReplicas = *alertMonitor
 		}
 	}
 	if *configPath != "" {
@@ -397,17 +327,7 @@ func cmdScenario(args []string) error {
 		spec = loaded
 		cliutil.SetVisited(fs, apply)
 	} else {
-		for _, name := range []string{"sessions", "recovery",
-			"workload.mode", "workload.tick", "workload.sample-rate", "fault.mtbf",
-			"route.policy", "route.l4", "route.app", "route.db",
-			"route.probe-after", "route.half-life",
-			"net.enable", "net.latency", "net.jitter", "net.loss", "trace.requests",
-			"metrics.dir", "metrics.interval", "metrics.http",
-			"alert.off", "alert.interval", "alert.fast", "alert.slow",
-			"alert.page-burn", "alert.warn-burn", "alert.z", "alert.skew",
-			"alert.hysteresis", "alert.monitor"} {
-			apply(name)
-		}
+		specFlags.ApplyAll(&spec)
 	}
 	if spec.Telemetry.TraceRequests == 0 && (*traceOut != "" || *traceJSONL != "") {
 		spec.Telemetry.TraceRequests = 25
@@ -416,6 +336,7 @@ func cmdScenario(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg.Pace = *pace
 	if cfg.HTTPAddr != "" {
 		cfg.AdminReady = func(addr string) {
 			fmt.Fprintf(os.Stderr, "admin endpoint: http://%s/metrics\n", addr)
@@ -616,6 +537,89 @@ func writeTraces(r *jade.ScenarioResult, chromePath, jsonlPath string) error {
 		fmt.Printf("trace: %s (JSONL)\n", jsonlPath)
 	}
 	return nil
+}
+
+// cmdConfig talks to a live run's admin /config endpoint: get fetches
+// the refreshable-configuration document, set posts a patch that the
+// simulation applies at its next drain tick.
+func cmdConfig(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: jadectl config get|set [-addr HOST:PORT] [PATCH]")
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("config "+sub, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "admin endpoint address (the -metrics.http address of the running scenario)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jadectl config %s [flags]", sub)
+		if sub == "set" {
+			fmt.Fprint(os.Stderr, " PATCH|@FILE|-")
+		}
+		fmt.Fprintln(os.Stderr)
+		cliutil.PrintDefaults(fs, os.Stderr)
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch sub {
+	case "get":
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: jadectl config get [-addr HOST:PORT]")
+		}
+		resp, err := http.Get("http://" + *addr + "/config")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /config: %s\n%s", resp.Status, body)
+		}
+		if _, err := jade.ParseConfigSnapshot(body); err != nil {
+			return fmt.Errorf("GET /config: %w", err)
+		}
+		os.Stdout.Write(body)
+		return nil
+	case "set":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: jadectl config set [-addr HOST:PORT] PATCH|@FILE|-")
+		}
+		patch, err := readPatchArg(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post("http://"+*addr+"/config", "application/json", bytes.NewReader(patch))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("POST /config: %s", resp.Status)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown config subcommand %q (want get or set)", sub)
+	}
+}
+
+// readPatchArg resolves a config patch argument: a literal JSON object,
+// @FILE, or - for stdin.
+func readPatchArg(arg string) ([]byte, error) {
+	switch {
+	case arg == "-":
+		return io.ReadAll(os.Stdin)
+	case len(arg) > 1 && arg[0] == '@':
+		return os.ReadFile(arg[1:])
+	default:
+		return []byte(arg), nil
+	}
 }
 
 func cmdTraceValidate(args []string) error {

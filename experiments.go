@@ -25,8 +25,10 @@ type PaperRuns struct {
 // RunPaperScenario executes the managed and unmanaged runs. speedup
 // compresses the ramp's time axis (1 reproduces the paper's ~3000 s run;
 // the client trajectory, and therefore the saturation points, are
-// unchanged).
-func RunPaperScenario(seed int64, speedup float64) (*PaperRuns, error) {
+// unchanged). Optional mutate hooks adjust each run's config after
+// assembly (CLI overrides); they run on both the managed and unmanaged
+// variants.
+func RunPaperScenario(seed int64, speedup float64, mutate ...func(*ScenarioConfig)) (*PaperRuns, error) {
 	if speedup <= 0 {
 		speedup = 1
 	}
@@ -42,6 +44,11 @@ func RunPaperScenario(seed int64, speedup float64) (*PaperRuns, error) {
 	err := forEachPar(2, func(i int) error {
 		cfg := DefaultScenario(seed, i == 0)
 		cfg.Profile = profile
+		for _, m := range mutate {
+			if m != nil {
+				m(&cfg)
+			}
+		}
 		r, err := mustScenario(cfg)
 		runs[i] = r
 		return err

@@ -10,6 +10,7 @@ import (
 	"jade/internal/fractal"
 	"jade/internal/metrics"
 	"jade/internal/obs"
+	"jade/internal/refresh"
 	"jade/internal/trace"
 )
 
@@ -753,6 +754,17 @@ func NewSizingManager(p *Platform, name string, tier TierActuator, cfg SizingCon
 		m.Replicas.Add(now, float64(replicas))
 	}
 	return m, nil
+}
+
+// Watch subscribes the manager to a refreshable sizing view: threshold
+// and hysteresis changes land on the reactor at the view's Set tick (on
+// the simulation goroutine), so the very next React tick judges the CPU
+// band against the new values — a live retune, no restart.
+func (m *SizingManager) Watch(v *refresh.View[SizingConfig]) {
+	v.Subscribe(func(now float64, old, cur SizingConfig) {
+		m.Reactor.Min, m.Reactor.Max = cur.Min, cur.Max
+		m.Reactor.InhibitSeconds = cur.InhibitSeconds
+	})
 }
 
 // Status captures the manager's live state for the admin endpoint's

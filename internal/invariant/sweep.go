@@ -30,6 +30,11 @@ const (
 	// (all of them; per-partition healing uses Duration on the Partition
 	// event itself).
 	Heal Kind = "heal"
+	// Config applies the event's Patch as a live configuration change
+	// through the scenario's refresh hub — the sweep hunts for
+	// pathological mid-run retunes the same way it hunts for crash
+	// timings, and the shrinker minimizes them like any other event.
+	Config Kind = "config"
 )
 
 // Event is one declarative chaos action at a virtual time (relative to
@@ -52,12 +57,18 @@ type Event struct {
 	// from everyone else.
 	A []string `json:"a,omitempty"`
 	B []string `json:"b,omitempty"`
+	// Patch is a Config event's refreshable-configuration patch, in the
+	// same JSON grammar the admin /config endpoint accepts.
+	Patch json.RawMessage `json:"patch,omitempty"`
 }
 
 func (e Event) String() string {
 	target := e.Target
 	if e.Kind == Partition {
 		target = fmt.Sprintf("%v|%v", e.A, e.B)
+	}
+	if e.Kind == Config {
+		return fmt.Sprintf("config %s at t=%.0f", string(e.Patch), e.At)
 	}
 	if e.Duration > 0 {
 		return fmt.Sprintf("%s %s at t=%.0f for %.0f s", e.Kind, target, e.At, e.Duration)

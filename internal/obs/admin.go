@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -12,15 +13,46 @@ import (
 // Publisher is the bridge between the simulation goroutine and HTTP
 // readers: the sim thread renders immutable byte pages at snapshot ticks
 // and Sets them; handlers only Get. Readers therefore never touch live
-// sim structures and cannot perturb the trajectory.
+// sim structures and cannot perturb the trajectory. The one write path
+// — POST /config — goes through an explicit handler that only enqueues
+// a validated submission for the sim goroutine to drain at a tick
+// boundary, preserving the same non-perturbation guarantee.
 type Publisher struct {
 	mu    sync.RWMutex
 	pages map[string][]byte
+	posts map[string]PostHandler
 }
+
+// PostHandler handles one POST body and returns the HTTP status code
+// and response body. It must not touch live simulation state — the
+// config handler validates and enqueues only.
+type PostHandler func(body []byte) (status int, response []byte)
 
 // NewPublisher returns an empty publisher.
 func NewPublisher() *Publisher {
-	return &Publisher{pages: make(map[string][]byte)}
+	return &Publisher{pages: make(map[string][]byte), posts: make(map[string]PostHandler)}
+}
+
+// SetPostHandler installs the POST handler for path. Pages registered in
+// pageContentTypes still serve GETs on the same path.
+func (p *Publisher) SetPostHandler(path string, fn PostHandler) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.posts[path] = fn
+	p.mu.Unlock()
+}
+
+// postHandler returns the POST handler for path.
+func (p *Publisher) postHandler(path string) (PostHandler, bool) {
+	if p == nil {
+		return nil, false
+	}
+	p.mu.RLock()
+	fn, ok := p.posts[path]
+	p.mu.RUnlock()
+	return fn, ok && fn != nil
 }
 
 // Set stores the current page for path. The caller must not mutate page
@@ -55,6 +87,8 @@ func (p *Publisher) Get(path string) ([]byte, bool) {
 //	/alerts        active + resolved alerts (jade-alerts/v1)
 //	/incidents     correlated incident timelines (jade-incidents/v1)
 //	/fluid         fluid workload-engine station internals (jade-fluid/v1)
+//	/config        refreshable configuration (GET: jade-config/v1 snapshot;
+//	               POST: enqueue a validated patch for the next drain tick)
 type AdminServer struct {
 	pub  *Publisher
 	ln   net.Listener
@@ -71,7 +105,11 @@ var pageContentTypes = map[string]string{
 	"/alerts":       "application/json",
 	"/incidents":    "application/json",
 	"/fluid":        "application/json",
+	"/config":       "application/json",
 }
+
+// maxPostBody bounds POST request bodies (config patches are small).
+const maxPostBody = 1 << 20
 
 // StartAdmin listens on addr (e.g. ":8080" or "127.0.0.1:0" for an
 // ephemeral port) and serves pub's pages. It returns once the listener
@@ -86,6 +124,23 @@ func StartAdmin(addr string, pub *Publisher) (*AdminServer, error) {
 	for path, ctype := range pageContentTypes {
 		path, ctype := path, ctype
 		mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+			if req.Method == http.MethodPost {
+				fn, ok := a.pub.postHandler(path)
+				if !ok {
+					http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+					return
+				}
+				body, err := io.ReadAll(io.LimitReader(req.Body, maxPostBody))
+				if err != nil {
+					http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				status, resp := fn(body)
+				w.Header().Set("Content-Type", ctype)
+				w.WriteHeader(status)
+				w.Write(resp)
+				return
+			}
 			page, ok := a.pub.Get(path)
 			if !ok {
 				http.Error(w, "snapshot not yet published", http.StatusServiceUnavailable)

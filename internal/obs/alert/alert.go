@@ -248,6 +248,31 @@ func NewEngine(cfg Config, tr *trace.Tracer) *Engine {
 // Config returns the effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Retunable is implemented by rules that can adopt a new configuration
+// mid-run (the live-refresh plane retunes burn windows, z-thresholds and
+// skew factors without rebuilding rule state).
+type Retunable interface {
+	Retune(cfg Config)
+}
+
+// Retune adopts cfg (defaulted) for the engine's own hysteresis and
+// correlation windows and forwards it to every retunable rule.
+// Simulation goroutine only. The evaluation ticker period is fixed at
+// construction, so EvalIntervalSeconds changes are ignored by design.
+func (e *Engine) Retune(cfg Config) {
+	if e == nil {
+		return
+	}
+	cfg.EvalIntervalSeconds = e.cfg.EvalIntervalSeconds
+	cfg.Disabled = e.cfg.Disabled
+	e.cfg = cfg.withDefaults()
+	for _, r := range e.rules {
+		if rt, ok := r.(Retunable); ok {
+			rt.Retune(e.cfg)
+		}
+	}
+}
+
 // Enabled reports whether rule evaluation is on.
 func (e *Engine) Enabled() bool { return e != nil && !e.cfg.Disabled }
 

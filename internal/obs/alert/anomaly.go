@@ -62,6 +62,11 @@ func NewRateRule(cfg Config, name, component, tier string, serviceLevel bool, fl
 // Name implements Rule.
 func (r *AnomalyRule) Name() string { return r.name }
 
+// Retune implements Retunable: the EWMA baseline survives, only the
+// trip thresholds change. The ticker-derived decay alpha keeps the
+// construction-time EvalIntervalSeconds (the ticker itself is fixed).
+func (r *AnomalyRule) Retune(cfg Config) { r.cfg = cfg.withDefaults() }
+
 // Evaluate implements Rule.
 func (r *AnomalyRule) Evaluate(now float64) []Finding {
 	x, ok := r.probe(now)
@@ -171,6 +176,10 @@ func NewSkewRule(cfg Config, name, tier string, floor float64, stats func() []Ba
 
 // Name implements Rule.
 func (r *SkewRule) Name() string { return r.name }
+
+// Retune implements Retunable: persistence counters survive, only the
+// skew thresholds change.
+func (r *SkewRule) Retune(cfg Config) { r.cfg = cfg.withDefaults() }
 
 func median(vals []float64) float64 {
 	s := append([]float64(nil), vals...)

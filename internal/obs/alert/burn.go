@@ -33,6 +33,10 @@ func NewBurnRule(cfg Config, objective, tier string) *BurnRule {
 // Name implements Rule.
 func (r *BurnRule) Name() string { return "burn:" + r.objective }
 
+// Retune implements Retunable: future windows use the new burn
+// thresholds; retained samples are re-windowed on the next Evaluate.
+func (r *BurnRule) Retune(cfg Config) { r.cfg = cfg.withDefaults() }
+
 // Observe records one objective evaluation outcome (sim goroutine only).
 func (r *BurnRule) Observe(now float64, value float64, met bool) {
 	r.lastValue, r.hasValue = value, true

@@ -93,7 +93,52 @@ func New(opts Options) *Pool {
 }
 
 // Policy returns the pool's configured policy.
-func (p *Pool) Policy() Policy { return p.opts.Policy }
+func (p *Pool) Policy() Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opts.Policy
+}
+
+// SetPolicy swaps the selection strategy live, rebuilding the selector
+// over the unchanged backend bookkeeping: in-flight counts, decay
+// reservoirs and down marks all survive the swap, so a mid-run policy
+// change takes effect on the very next Pick. Simulation goroutine only
+// (the runtime-configuration plane's routing view drives it).
+func (p *Pool) SetPolicy(policy Policy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if policy == p.opts.Policy {
+		return
+	}
+	p.opts.Policy = policy
+	p.sel = newSelector(p.opts)
+}
+
+// Retune adjusts the reservoir and probe tuning live. Non-positive
+// arguments keep the current value. Existing backends' reservoirs pick
+// up the new half-life immediately; the probe interval applies to the
+// next eligibility check. Simulation goroutine only.
+func (p *Pool) Retune(halfLifeSeconds, probeAfterSeconds float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if halfLifeSeconds > 0 {
+		p.opts.HalfLifeSeconds = halfLifeSeconds
+		for _, b := range p.entries {
+			if b.fail.halfLife > 0 {
+				b.fail.halfLife = halfLifeSeconds
+			}
+			if b.lat.halfLife > 0 {
+				b.lat.halfLife = halfLifeSeconds
+			}
+			if b.latN.halfLife > 0 {
+				b.latN.halfLife = halfLifeSeconds
+			}
+		}
+	}
+	if probeAfterSeconds > 0 {
+		p.opts.ProbeAfterSeconds = probeAfterSeconds
+	}
+}
 
 func (p *Pool) now() float64 {
 	if p.opts.Now != nil {

@@ -1,0 +1,333 @@
+package jade
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"jade/internal/refresh"
+)
+
+func testConfigRuntime() *configRuntime {
+	alerting := AlertConfig{
+		FastWindowSeconds: 300, SlowWindowSeconds: 3600, BudgetFraction: 0.1,
+		PageBurn: 14, WarnBurn: 6, ZThreshold: 3, SkewFactor: 2, HysteresisSeconds: 120,
+	}
+	return newConfigRuntime(refresh.NewHub(nil),
+		AppSizingDefaults(), DBSizingDefaults(),
+		RoutingConfig{App: "round-robin", DB: "least-pending"},
+		map[string]RPCBudget{"app": {TimeoutSeconds: 2, Attempts: 3, BackoffSeconds: 0.1}},
+		map[string]float64{"client-latency-p95": 2.0},
+		alerting)
+}
+
+// TestConfigPatchValidationErrors: rejected patches carry structured
+// field paths, the same ones the /config endpoint returns as JSON.
+func TestConfigPatchValidationErrors(t *testing.T) {
+	rt := testConfigRuntime()
+	cases := []struct {
+		name  string
+		patch string
+		paths []string // every path must appear among the field errors
+	}{
+		{"unknown top-level field", `{"wibble": 1}`, []string{"wibble"}},
+		{"unknown nested field", `{"sizing":{"app":{"inhibit": 5}}}`, []string{"inhibit"}},
+		{"bad policy name", `{"routing":{"app":"fastest"}}`, []string{"routing.app"}},
+		{"max below min", `{"sizing":{"app":{"max":0.2}}}`, []string{"sizing.app.max"}},
+		{"negative inhibit", `{"sizing":{"db":{"inhibit_seconds":-1}}}`, []string{"sizing.db.inhibit_seconds"}},
+		{"windows out of order", `{"alerting":{"fast_window_seconds":7200}}`, []string{"alerting.fast_window_seconds"}},
+		{"bad slo target", `{"checks":{"slo_targets":{"client-latency-p95":-1}}}`, []string{"checks.slo_targets[client-latency-p95]"}},
+		{"negative rpc budget", `{"faults":{"network":{"rpc":{"app":{"timeout_seconds":-2}}}}}`, []string{"faults.network.rpc[app].timeout_seconds"}},
+		{"empty patch", `{}`, []string{""}},
+		{"malformed json", `{"sizing":`, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := rt.check("test", []byte(tc.patch))
+			if err == nil {
+				t.Fatalf("patch %s validated, want rejection", tc.patch)
+			}
+			fields := AsValidationError(err)
+			if len(fields) == 0 {
+				t.Fatalf("no structured fields in %v", err)
+			}
+			for _, want := range tc.paths {
+				found := false
+				for _, f := range fields {
+					if f.Path == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("no field error with path %q in %v", want, fields)
+				}
+			}
+		})
+	}
+	// Valid patches resolve clean against the same runtime.
+	for _, patch := range []string{
+		`{"routing":{"policy":"balanced"}}`,
+		`{"sizing":{"app":{"min":0.3,"max":0.7}}}`,
+		`{"alerting":{"page_burn":20}}`,
+		`{"checks":{"slo_targets":{"client-latency-p95":1.5}}}`,
+	} {
+		if err := rt.check("test", []byte(patch)); err != nil {
+			t.Fatalf("valid patch %s rejected: %v", patch, err)
+		}
+	}
+}
+
+// liveConfigSweepScenario is a short managed run whose operator schedule
+// exercises every refreshable group mid-run.
+func liveConfigSweepScenario(seed int64) ScenarioConfig {
+	cfg := DefaultScenario(seed, true)
+	cfg.Profile = ConstantProfile{Clients: 40, Length: 90}
+	cfg.Operator = OperatorSchedule{
+		{At: 20, Patch: json.RawMessage(`{"sizing":{"app":{"min":0.30,"max":0.70}},"checks":{"slo_targets":{"client-latency-p95":1.5}}}`)},
+		{At: 35, Patch: json.RawMessage(`{"routing":{"policy":"balanced","half_life_seconds":20}}`)},
+		{At: 50, Patch: json.RawMessage(`{"alerting":{"page_burn":20,"warn_burn":8},"faults":{"network":{"rpc":{"app":{"timeout_seconds":2,"attempts":2,"backoff_seconds":0.2}}}}}`)},
+	}
+	return cfg
+}
+
+// TestConfigDeterminismSweep: 20 seeds, each run twice with mid-run
+// config changes touching every refreshable group; the full telemetry
+// bus and config-change log must be byte-identical between same-seed
+// runs.
+func TestConfigDeterminismSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-seed sweep in -short mode")
+	}
+	const seeds = 20
+	errs := make([]error, seeds)
+	_ = forEachPar(seeds, func(i int) error {
+		seed := int64(100 + i)
+		run := func() ([]byte, error) {
+			r, err := RunScenario(liveConfigSweepScenario(seed))
+			if err != nil {
+				return nil, err
+			}
+			if got := appliedOperatorChanges(r); got != 3 {
+				return nil, fmt.Errorf("%d/3 operator changes applied: %+v", got, r.ConfigChanges)
+			}
+			return traceFingerprint(r)
+		}
+		a, err := run()
+		if err != nil {
+			errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+			return errs[i]
+		}
+		b, err := run()
+		if err != nil {
+			errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+			return errs[i]
+		}
+		if !bytes.Equal(a, b) {
+			errs[i] = fmt.Errorf("seed %d: same-seed runs with mid-run config changes diverge (%d vs %d fingerprint bytes)", seed, len(a), len(b))
+			return errs[i]
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNoopRefreshTrajectoryNeutral: applying a patch that rewrites
+// refreshable values to what they already are must not perturb the
+// workload trajectory — same request counts, same latency series, same
+// SLO report as a run with no patch at all. (Routing is excluded: a
+// policy write rebuilds the selector, which is a real change.)
+func TestNoopRefreshTrajectoryNeutral(t *testing.T) {
+	base := func(seed int64) ScenarioConfig {
+		cfg := DefaultScenario(seed, true)
+		cfg.Profile = ConstantProfile{Clients: 40, Length: 90}
+		return cfg
+	}
+	plain, err := RunScenario(base(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := base(7)
+	app, db := AppSizingDefaults(), DBSizingDefaults()
+	noop.Operator = OperatorSchedule{{At: 30, Patch: json.RawMessage(fmt.Sprintf(
+		`{"sizing":{"app":{"min":%g,"max":%g,"inhibit_seconds":%g},"db":{"min":%g,"max":%g,"inhibit_seconds":%g}}}`,
+		app.Min, app.Max, app.InhibitSeconds, db.Min, db.Max, db.InhibitSeconds))}}
+	patched, err := RunScenario(noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := appliedOperatorChanges(patched); got != 1 {
+		t.Fatalf("no-op patch not applied: %+v", patched.ConfigChanges)
+	}
+	if plain.Stats.Completed != patched.Stats.Completed || plain.Stats.Failed != patched.Stats.Failed {
+		t.Fatalf("request counts differ: (%d, %d) vs (%d, %d)",
+			plain.Stats.Completed, plain.Stats.Failed, patched.Stats.Completed, patched.Stats.Failed)
+	}
+	if plain.Reconfigurations != patched.Reconfigurations {
+		t.Fatalf("reconfigurations differ: %d vs %d", plain.Reconfigurations, patched.Reconfigurations)
+	}
+	a, b := plain.Stats.Latency.Points, patched.Stats.Latency.Points
+	if len(a) != len(b) {
+		t.Fatalf("latency series lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if r1, r2 := plain.SLOReport.Render(), patched.SLOReport.Render(); r1 != r2 {
+		t.Fatalf("SLO reports differ:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+// TestConfigPostRoundTrip: a live patch POSTed to /config before the
+// run starts is accepted (202), applied at the first drain tick with
+// source "admin", and visible in the GET /config document; an invalid
+// patch is rejected (400) with field paths; once the run completes the
+// endpoint freezes (409).
+func TestConfigPostRoundTrip(t *testing.T) {
+	cfg := DefaultScenario(21, true)
+	cfg.Profile = ConstantProfile{Clients: 30, Length: 60}
+	cfg.HTTPAddr = "127.0.0.1:0"
+	var adminAddr string
+	post := func(body string) (int, configPostResponse) {
+		resp, err := http.Post("http://"+adminAddr+"/config", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr configPostResponse
+		if err := json.Unmarshal(data, &pr); err != nil {
+			t.Fatalf("response %q: %v", data, err)
+		}
+		return resp.StatusCode, pr
+	}
+	cfg.AdminReady = func(addr string) {
+		adminAddr = addr
+		// Valid patch: accepted for the next drain tick.
+		if code, pr := post(`{"routing":{"policy":"balanced"}}`); code != 202 || pr.Status != "accepted" {
+			t.Errorf("valid POST: status %d %+v, want 202 accepted", code, pr)
+		}
+		// Invalid patch: structured 400 with the offending field path.
+		code, pr := post(`{"routing":{"app":"fastest"}}`)
+		if code != 400 || pr.Status != "rejected" {
+			t.Errorf("invalid POST: status %d %+v, want 400 rejected", code, pr)
+		}
+		if len(pr.Fields) == 0 || pr.Fields[0].Path != "routing.app" {
+			t.Errorf("invalid POST fields = %+v, want path routing.app", pr.Fields)
+		}
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Admin.Close()
+
+	applied := 0
+	for _, c := range res.ConfigChanges {
+		if c.Source == "admin" && c.Error == "" {
+			applied++
+		}
+	}
+	if applied != 1 {
+		t.Fatalf("admin changes applied = %d, want 1 (log: %+v)", applied, res.ConfigChanges)
+	}
+
+	// The published /config document reflects the committed change.
+	resp, err := http.Get("http://" + adminAddr + "/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseConfigSnapshot(data)
+	if err != nil {
+		t.Fatalf("GET /config: %v\n%s", err, data)
+	}
+	if snap.Refreshable.Routing.App != "balanced" || snap.Refreshable.Routing.DB != "balanced" {
+		t.Fatalf("GET /config routing = %+v, want balanced", snap.Refreshable.Routing)
+	}
+	if len(snap.Applied) != 1 || snap.Applied[0].Source != "admin" {
+		t.Fatalf("GET /config applied = %+v, want one admin change", snap.Applied)
+	}
+
+	// The run is over: the hub is closed and the endpoint frozen.
+	if code, pr := post(`{"routing":{"policy":"round-robin"}}`); code != 409 || pr.Status != "rejected" {
+		t.Fatalf("post-run POST: status %d %+v, want 409 rejected", code, pr)
+	}
+}
+
+// TestChaosConfigEvent: the chaos schedule's "config" kind injects a
+// live patch through the same hub, logged with source "chaos", and the
+// sweep grammar round-trips the patch.
+func TestChaosConfigEvent(t *testing.T) {
+	cfg := DefaultScenario(31, true)
+	cfg.Profile = ConstantProfile{Clients: 30, Length: 60}
+	cfg.Chaos = ChaosSchedule{
+		{At: 20, Kind: ChaosConfig, Patch: json.RawMessage(`{"sizing":{"app":{"max":0.65}}}`)},
+		{At: 30, Kind: ChaosConfig, Patch: json.RawMessage(`{"routing":{"app":"fastest"}}`)}, // invalid: rejected, run continues
+	}
+	res, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied, rejected int
+	for _, c := range res.ConfigChanges {
+		if c.Source != "chaos" {
+			t.Fatalf("unexpected change source %q", c.Source)
+		}
+		if c.Error == "" {
+			applied++
+		} else {
+			rejected++
+		}
+	}
+	if applied != 1 || rejected != 1 {
+		t.Fatalf("chaos changes applied=%d rejected=%d, want 1/1 (log: %+v)", applied, rejected, res.ConfigChanges)
+	}
+	if got := res.AppManager.Reactor.Max; got != 0.65 {
+		t.Fatalf("app reactor max = %g after chaos config event, want 0.65", got)
+	}
+	// The chaos event round-trips through the sweep artifact grammar.
+	data, err := json.Marshal(cfg.Chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChaosSchedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Kind != ChaosConfig || string(back[0].Patch) != `{"sizing":{"app":{"max":0.65}}}` {
+		t.Fatalf("chaos config event did not round-trip: %+v", back[0])
+	}
+}
+
+// TestLiveRetuneQuick runs the full self-checking experiment once in
+// quick mode.
+func TestLiveRetuneQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("liveretune in -short mode")
+	}
+	res, out, err := RunLiveRetune(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improvement < liveRetuneMinImprovement || !res.ReplayIdentical {
+		t.Fatalf("liveretune self-checks regressed:\n%s", out)
+	}
+}

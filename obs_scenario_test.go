@@ -99,6 +99,10 @@ func TestMetricsSnapshotDeterminism(t *testing.T) {
 			if err := ValidateFluidPage(data); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
+		case name == "config.json":
+			if _, err := ParseConfigSnapshot(data); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
 		case strings.HasSuffix(name, ".prom"):
 			if _, err := ValidatePrometheusText(data); err != nil {
 				t.Fatalf("%s: %v", name, err)

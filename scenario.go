@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"jade/internal/cjdbc"
 	"jade/internal/cluster"
@@ -20,6 +21,7 @@ import (
 	"jade/internal/obs"
 	"jade/internal/obs/alert"
 	"jade/internal/obs/attrib"
+	"jade/internal/refresh"
 	"jade/internal/rubis"
 	"jade/internal/selector"
 	"jade/internal/sim"
@@ -178,6 +180,22 @@ type ScenarioConfig struct {
 	// rules only read existing measurement streams, so the simulation
 	// trajectory is identical with alerting on or off.
 	Alerting alert.Config
+	// Operator is the scripted live-configuration schedule: each event
+	// applies a refreshable-config patch through the run's refresh hub at
+	// an exact virtual time after workload start. Headless runs use it to
+	// replay live retunes byte-identically.
+	Operator OperatorSchedule
+	// SLOTargets overrides objective bounds by name at scenario start and
+	// seeds the refreshable checks.slo_targets view, so /config patches
+	// and operator events can retarget objectives mid-run.
+	SLOTargets map[string]float64
+	// Pace, when positive, slows the simulation to Pace virtual seconds
+	// per wall-clock second (serve-mode only: it gives a human a real
+	// window to curl the admin endpoint mid-run). The pacing callback
+	// only sleeps — it never touches simulation state — but it does add
+	// a once-per-virtual-second event, so paced runs are only
+	// trajectory-comparable to other paced runs.
+	Pace float64
 	// Monitor arms the φ-accrual heartbeat detector purely as a signal
 	// source even without Recovery: the initial app/db replicas are
 	// watched, suspicions feed routing and the incident timelines, but
@@ -260,6 +278,17 @@ func windowValues(s *metrics.Series, t0, t1 float64) []float64 {
 		}
 		out = append(out, p.V)
 	}
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order, so map-driven
+// application loops stay deterministic.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -365,6 +394,10 @@ type ScenarioResult struct {
 	// so million-client runs render the same report shape (nil when
 	// neither source is available).
 	LatencyBudget *attrib.Report
+	// ConfigChanges logs every live configuration change that reached the
+	// refresh hub (operator schedule, chaos config events, admin POSTs),
+	// in application order; rejected patches carry their error.
+	ConfigChanges []ConfigChange
 	// Admin is the live admin endpoint, still serving the final published
 	// pages (nil without HTTPAddr). Callers own closing it.
 	Admin *obs.AdminServer
@@ -861,6 +894,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	slo := obs.NewSLOEngine(reg, sloInterval, objs)
 	p.Eng.Every(sloInterval, "slo-eval", slo.Evaluate)
+	for _, name := range sortedKeys(cfg.SLOTargets) {
+		slo.Retarget(name, cfg.SLOTargets[name])
+	}
 
 	// Alerting plane: burn-rate rules over the SLO evaluation stream,
 	// streaming anomaly detectors over the client series, pool-skew rules
@@ -975,12 +1011,88 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	p.Eng.Every(aeng.Config().EvalIntervalSeconds, "alert-eval", aeng.Tick)
 
+	// Live refreshable configuration: typed views over the refreshable
+	// sub-configs, a hub every change funnels through (operator schedule,
+	// chaos config events, admin POSTs), and subscriptions wiring each
+	// view to the live managers. Changes land at exact virtual ticks on
+	// the simulation goroutine and emit "config" trace spans, so retunes
+	// replay byte-identically with the same seed and schedule.
+	hub := refresh.NewHub(p.Trace())
+	crt := newConfigRuntime(hub,
+		cfg.AppSizing, cfg.DBSizing, cfg.Routing,
+		fabric.RPCBudgets(), slo.Targets(), aeng.Config())
+	if cfg.Managed {
+		res.AppManager.Watch(crt.appSizing)
+		res.DBManager.Watch(crt.dbSizing)
+	}
+	crt.routing.Subscribe(func(now float64, old, cur RoutingConfig) {
+		// Future (re)starts build pools with the new policies; live pools
+		// are swapped and retuned in place, keeping backend bookkeeping.
+		p.UpdateRouting(cur)
+		retune := func(pl *selector.Pool, name string, def selector.Policy) {
+			if pl == nil {
+				return
+			}
+			pol := def
+			if name != "" {
+				if parsed, err := selector.ParsePolicy(name); err == nil {
+					pol = parsed
+				}
+			}
+			pl.SetPolicy(pol)
+			pl.Retune(cur.HalfLifeSeconds, cur.ProbeAfterSeconds)
+		}
+		if w, ok := dep.MustComponent("plb1").Content().(*core.PLBWrapper); ok {
+			if b := w.Balancer(); b != nil {
+				retune(b.Pool(), cur.App, selector.RoundRobin)
+			}
+		}
+		if w, ok := dep.MustComponent("cjdbc1").Content().(*core.CJDBCWrapper); ok {
+			if ctl := w.Controller(); ctl != nil {
+				retune(ctl.Pool(), cur.DB, selector.LeastPending)
+			}
+		}
+		if c, err := dep.Component("l4"); err == nil {
+			if w, ok := c.Content().(*core.L4Wrapper); ok {
+				if sw := w.Switch(); sw != nil {
+					retune(sw.Pool(), cur.L4, selector.WeightedRoundRobin)
+				}
+			}
+		}
+	})
+	crt.rpc.Subscribe(func(now float64, old, cur map[string]RPCBudget) {
+		fabric.SetRPCBudgets(cur)
+	})
+	crt.sloTargets.Subscribe(func(now float64, old, cur map[string]float64) {
+		for _, name := range sortedKeys(cur) {
+			slo.Retarget(name, cur[name])
+		}
+	})
+	crt.alerting.Subscribe(func(now float64, old, cur AlertConfig) {
+		aeng.Retune(cur)
+	})
+
 	if cfg.MetricsDir != "" {
 		if err := os.MkdirAll(cfg.MetricsDir, 0o755); err != nil {
 			return nil, err
 		}
 	}
 	pub := obs.NewPublisher()
+	pub.SetPostHandler("/config", crt.handleConfigPost)
+	// The drain ticker runs unconditionally (like every other plane's
+	// ticker) so the event schedule never depends on HTTPAddr; without an
+	// admin endpoint no submission can ever be pending, so headless runs
+	// drain nothing. Live POSTs are wall-clock-timed — headless replays
+	// script the same changes via cfg.Operator instead.
+	p.Eng.Every(1, "config-drain", func(now float64) {
+		if hub.Drain(now) > 0 {
+			// Refresh the /config page right away so a live `jadectl
+			// config get` sees its own set without waiting for the next
+			// metrics snapshot. Only live submissions reach this branch,
+			// so headless trajectories are untouched.
+			pub.Set("/config", crt.renderPage(now))
+		}
+	})
 	if cfg.HTTPAddr != "" {
 		admin, aerr := obs.StartAdmin(cfg.HTTPAddr, pub)
 		if aerr != nil {
@@ -1049,6 +1161,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		pub.Set("/alerts", aeng.AlertsPage(now))
 		pub.Set("/incidents", aeng.IncidentsJSON(now))
 		pub.Set("/fluid", fluidPage(now, fnet))
+		pub.Set("/config", crt.renderPage(now))
 		if cfg.MetricsDir != "" {
 			base := filepath.Join(cfg.MetricsDir, fmt.Sprintf("metrics-t%08d", int64(math.Round(now))))
 			if err := os.WriteFile(base+".prom", prom, 0o644); err != nil && snapErr == nil {
@@ -1139,6 +1252,12 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 						p.Logf("chaos: healing all partitions")
 						fabric.HealAll()
 					}
+				case invariant.Config:
+					if err := hub.Apply(p.Eng.Now(), refresh.SourceChaos, ev.Patch); err != nil {
+						p.Logf("chaos: config patch rejected: %v", err)
+					} else {
+						p.Logf("chaos: applied config patch %s", ev.Patch)
+					}
 				default:
 					if cfg.ChaosHandler == nil || !cfg.ChaosHandler(res, ev) {
 						p.Logf("chaos: unhandled event kind %q on %s", ev.Kind, ev.Target)
@@ -1146,6 +1265,26 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 				}
 			})
 		}
+	}
+	for _, ev := range cfg.Operator.Sorted() {
+		ev := ev
+		p.Eng.At(res.WorkloadStart+ev.At, "config:operator", func() {
+			if err := hub.Apply(p.Eng.Now(), refresh.SourceOperator, ev.Patch); err != nil {
+				p.Logf("operator: config patch rejected: %v", err)
+			} else {
+				p.Logf("operator: applied config patch %s", ev.Patch)
+			}
+		})
+	}
+	if cfg.Pace > 0 {
+		wallStart := time.Now()
+		virtStart := p.Eng.Now()
+		p.Eng.Every(1, "pace", func(now float64) {
+			target := time.Duration(float64(time.Second) * (now - virtStart) / cfg.Pace)
+			if ahead := target - time.Since(wallStart); ahead > 0 {
+				time.Sleep(ahead)
+			}
+		})
 	}
 	if cfg.MTBFSeconds > 0 {
 		var scheduleCrash func()
@@ -1183,6 +1322,8 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 
 	p.Eng.RunUntil(res.WorkloadStart + cfg.Profile.Duration() + cfg.DrainSeconds)
+	hub.Close() // freeze the configuration: late POSTs get ErrClosed
+	res.ConfigChanges = crt.changes()
 	em.Stop()
 	res.WorkloadEnd = res.WorkloadStart + cfg.Profile.Duration()
 	if harness != nil {
@@ -1254,6 +1395,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "fluid.json"), fluidPage(p.Eng.Now(), fnet), 0o644); err != nil && snapErr == nil {
 				snapErr = err
 			}
+		}
+		if err := os.WriteFile(filepath.Join(cfg.MetricsDir, "config.json"), crt.renderPage(p.Eng.Now()), 0o644); err != nil && snapErr == nil {
+			snapErr = err
 		}
 	}
 	if snapErr != nil {

@@ -30,6 +30,12 @@ type Spec struct {
 	Checks    ChecksSpec    `json:"checks"`
 	Telemetry TelemetrySpec `json:"telemetry"`
 	Alerting  AlertingSpec  `json:"alerting"`
+
+	// Operator is the scripted live-configuration schedule: each event
+	// applies a refreshable-config patch (the same JSON grammar the admin
+	// /config endpoint accepts) at an exact virtual time, so headless
+	// runs replay live retunes byte-identically. See docs/CONFIG.md.
+	Operator OperatorSchedule `json:"operator,omitempty"`
 }
 
 // AlertingSpec groups the alerting plane's knobs. Everything defaults to
@@ -242,6 +248,11 @@ type ChecksSpec struct {
 	InvariantPeriodSeconds float64 `json:"invariant_period_seconds,omitempty"`
 	// SLOIntervalSeconds is the SLO evaluation window (10 default).
 	SLOIntervalSeconds float64 `json:"slo_interval_seconds,omitempty"`
+	// SLOTargets overrides objective bounds by name (e.g.
+	// "client-latency-p95": 1.5) and is refreshable at runtime: a /config
+	// patch or operator event replaces an objective's finite bound
+	// mid-run.
+	SLOTargets map[string]float64 `json:"slo_targets,omitempty"`
 }
 
 // TelemetrySpec groups observability outputs.
@@ -284,54 +295,73 @@ func DefaultSpec(seed int64, managed bool) Spec {
 
 // Validate checks the spec for contradictions before a run. Zero values
 // are fine everywhere (they take defaults); Validate flags what defaults
-// cannot repair.
+// cannot repair. Failures come back as a *ValidationError carrying one
+// FieldError per offending knob, each located by its JSON field path
+// ("sizing.app.max: must be > sizing.app.min") — the same structured
+// errors the admin /config POST returns as its 400 body and jadectl
+// renders for -config files.
 func (s Spec) Validate() error {
+	var ve ValidationError
 	if _, err := s.Workload.Profile.Profile(); err != nil {
-		return err
+		ve.addf("workload.profile.kind", "unknown profile kind %q (want paper-ramp, constant or ramp)", s.Workload.Profile.Kind)
 	}
 	switch s.Workload.Mix {
 	case "", "bidding", "browsing":
 	default:
-		return fmt.Errorf("jade: unknown mix %q (want bidding or browsing)", s.Workload.Mix)
+		ve.addf("workload.mix", "unknown mix %q (want bidding or browsing)", s.Workload.Mix)
 	}
 	if s.Workload.ThinkTimeSeconds < 0 {
-		return fmt.Errorf("jade: negative think time %g", s.Workload.ThinkTimeSeconds)
+		ve.addf("workload.think_time_seconds", "must be >= 0, got %g", s.Workload.ThinkTimeSeconds)
 	}
 	switch s.Workload.Mode {
 	case "", WorkloadDiscrete, WorkloadFluid, WorkloadAuto:
 	default:
-		return fmt.Errorf("jade: unknown workload mode %q (want discrete, fluid or auto)", s.Workload.Mode)
+		ve.addf("workload.mode", "unknown workload mode %q (want discrete, fluid or auto)", s.Workload.Mode)
 	}
 	if s.Workload.FluidTickSeconds < 0 {
-		return fmt.Errorf("jade: negative fluid tick %g", s.Workload.FluidTickSeconds)
+		ve.addf("workload.fluid_tick_seconds", "must be >= 0, got %g", s.Workload.FluidTickSeconds)
 	}
 	if s.Workload.FluidSampleRate < 0 || s.Workload.FluidSampleRate > 1 {
-		return fmt.Errorf("jade: fluid sample rate %g outside [0,1]", s.Workload.FluidSampleRate)
+		ve.addf("workload.fluid_sample_rate", "must be within [0,1], got %g", s.Workload.FluidSampleRate)
 	}
 	if s.Sizing.NodeCPU < 0 {
-		return fmt.Errorf("jade: negative node cpu %g", s.Sizing.NodeCPU)
+		ve.addf("sizing.node_cpu", "must be >= 0, got %g", s.Sizing.NodeCPU)
 	}
 	if s.Sizing.Nodes < 0 {
-		return fmt.Errorf("jade: negative node count %d", s.Sizing.Nodes)
+		ve.addf("sizing.nodes", "must be >= 0, got %d", s.Sizing.Nodes)
+	}
+	for _, tier := range []struct {
+		path string
+		cfg  SizingConfig
+	}{{"sizing.app", s.Sizing.App}, {"sizing.db", s.Sizing.DB}} {
+		if tier.cfg.Min < 0 {
+			ve.addf(tier.path+".min", "must be >= 0, got %g", tier.cfg.Min)
+		}
+		if tier.cfg.Max != 0 && tier.cfg.Max <= tier.cfg.Min {
+			ve.addf(tier.path+".max", "must be > %s.min (%g), got %g", tier.path, tier.cfg.Min, tier.cfg.Max)
+		}
+		if tier.cfg.InhibitSeconds < 0 {
+			ve.addf(tier.path+".inhibit_seconds", "must be >= 0, got %g", tier.cfg.InhibitSeconds)
+		}
 	}
 	n := s.Faults.Network
 	if n.Default.Loss < 0 || n.Default.Loss >= 1 {
-		return fmt.Errorf("jade: network loss %g outside [0,1)", n.Default.Loss)
+		ve.addf("faults.network.default.loss", "must be within [0,1), got %g", n.Default.Loss)
 	}
 	for key, l := range n.Links {
 		if l.Loss < 0 || l.Loss >= 1 {
-			return fmt.Errorf("jade: network loss %g on link %q outside [0,1)", l.Loss, key)
+			ve.addf("faults.network.links["+key+"].loss", "must be within [0,1), got %g", l.Loss)
 		}
 	}
 	if len(s.Faults.Partition) > 0 && !n.Enabled {
-		return fmt.Errorf("jade: faults.partition requires faults.network.enabled")
+		ve.addf("faults.partition", "requires faults.network.enabled")
 	}
 	for i, ps := range s.Faults.Partition {
 		if len(ps.A) == 0 {
-			return fmt.Errorf("jade: faults.partition[%d] has an empty A group", i)
+			ve.addf(fmt.Sprintf("faults.partition[%d].a", i), "must name at least one endpoint")
 		}
 		if ps.At < 0 || ps.DurationSeconds < 0 {
-			return fmt.Errorf("jade: faults.partition[%d] has negative timing", i)
+			ve.addf(fmt.Sprintf("faults.partition[%d]", i), "timing must be >= 0")
 		}
 	}
 	for i, ev := range s.Faults.Chaos {
@@ -339,23 +369,47 @@ func (s Spec) Validate() error {
 		case ChaosCrash, ChaosReboot, ChaosSlow, ChaosHeal:
 		case ChaosPartition:
 			if !n.Enabled {
-				return fmt.Errorf("jade: chaos[%d] partition requires faults.network.enabled", i)
+				ve.addf(fmt.Sprintf("faults.chaos[%d]", i), "partition requires faults.network.enabled")
 			}
 			if len(ev.A) == 0 {
-				return fmt.Errorf("jade: chaos[%d] partition has an empty A group", i)
+				ve.addf(fmt.Sprintf("faults.chaos[%d].a", i), "must name at least one endpoint")
+			}
+		case ChaosConfig:
+			if err := CheckPatch(ev.Patch); err != nil {
+				for _, fe := range AsValidationError(err) {
+					ve.addf(joinPath(fmt.Sprintf("faults.chaos[%d].patch", i), fe.Path), "%s", fe.Msg)
+				}
 			}
 		default:
-			return fmt.Errorf("jade: chaos[%d] has unknown kind %q", i, ev.Kind)
+			ve.addf(fmt.Sprintf("faults.chaos[%d].kind", i), "unknown kind %q", ev.Kind)
 		}
 	}
 	if s.Recovery && !s.Managed {
-		return fmt.Errorf("jade: recovery requires managed")
+		ve.addf("recovery", "requires managed")
 	}
-	if err := s.Routing.Config().Validate(); err != nil {
-		return err
+	for _, tier := range []struct{ path, policy string }{
+		{"routing.policy", s.Routing.Policy},
+		{"routing.l4", s.Routing.L4},
+		{"routing.app", s.Routing.App},
+		{"routing.db", s.Routing.DB},
+	} {
+		if tier.policy == "" {
+			continue
+		}
+		if _, err := ParseRoutingPolicy(tier.policy); err != nil {
+			ve.addf(tier.path, "unknown policy %q (want one of %v)", tier.policy, RoutingPolicies())
+		}
 	}
-	if s.Routing.ProbeAfterSeconds < 0 || s.Routing.HalfLifeSeconds < 0 {
-		return fmt.Errorf("jade: negative routing timing")
+	if s.Routing.ProbeAfterSeconds < 0 {
+		ve.addf("routing.probe_after_seconds", "must be >= 0, got %g", s.Routing.ProbeAfterSeconds)
+	}
+	if s.Routing.HalfLifeSeconds < 0 {
+		ve.addf("routing.half_life_seconds", "must be >= 0, got %g", s.Routing.HalfLifeSeconds)
+	}
+	for name, target := range s.Checks.SLOTargets {
+		if target <= 0 {
+			ve.addf("checks.slo_targets["+name+"]", "must be > 0, got %g", target)
+		}
 	}
 	a := s.Alerting
 	for _, f := range []struct {
@@ -373,22 +427,40 @@ func (s Spec) Validate() error {
 		{"alerting.hysteresis_seconds", a.HysteresisSeconds},
 	} {
 		if f.v < 0 {
-			return fmt.Errorf("jade: negative %s %g", f.name, f.v)
+			ve.addf(f.name, "must be >= 0, got %g", f.v)
 		}
 	}
 	if a.FastWindowSeconds > 0 && a.SlowWindowSeconds > 0 && a.FastWindowSeconds > a.SlowWindowSeconds {
-		return fmt.Errorf("jade: alerting fast window %g exceeds slow window %g", a.FastWindowSeconds, a.SlowWindowSeconds)
+		ve.addf("alerting.fast_window_seconds", "must be <= slow window (%g), got %g", a.SlowWindowSeconds, a.FastWindowSeconds)
 	}
 	if a.PageBurn > 0 && a.WarnBurn > 0 && a.WarnBurn > a.PageBurn {
-		return fmt.Errorf("jade: alerting warn burn %g exceeds page burn %g", a.WarnBurn, a.PageBurn)
+		ve.addf("alerting.warn_burn", "must be <= page burn (%g), got %g", a.PageBurn, a.WarnBurn)
 	}
 	if a.BudgetFraction > 1 {
-		return fmt.Errorf("jade: alerting budget fraction %g exceeds 1", a.BudgetFraction)
+		ve.addf("alerting.budget_fraction", "must be <= 1, got %g", a.BudgetFraction)
 	}
 	if a.MonitorReplicas && !s.Faults.Network.Enabled {
-		return fmt.Errorf("jade: alerting.monitor_replicas requires faults.network.enabled")
+		ve.addf("alerting.monitor_replicas", "requires faults.network.enabled")
 	}
-	return nil
+	for i, ev := range s.Operator {
+		if ev.At < 0 {
+			ve.addf(fmt.Sprintf("operator[%d].at", i), "must be >= 0, got %g", ev.At)
+		}
+		if err := CheckPatch(ev.Patch); err != nil {
+			for _, fe := range AsValidationError(err) {
+				ve.addf(joinPath(fmt.Sprintf("operator[%d].patch", i), fe.Path), "%s", fe.Msg)
+			}
+		}
+	}
+	return ve.or()
+}
+
+// joinPath nests an inner field path under an outer one.
+func joinPath(outer, inner string) string {
+	if inner == "" {
+		return outer
+	}
+	return outer + "." + inner
 }
 
 // Flatten compiles the grouped spec down to the flat ScenarioConfig the
@@ -448,6 +520,8 @@ func (s Spec) Flatten() (ScenarioConfig, error) {
 		Invariants:      s.Checks.Invariants,
 		InvariantPeriod: s.Checks.InvariantPeriodSeconds,
 		SLOInterval:     s.Checks.SLOIntervalSeconds,
+		SLOTargets:      s.Checks.SLOTargets,
+		Operator:        s.Operator,
 		TraceRequests:   s.Telemetry.TraceRequests,
 		TraceOff:        s.Telemetry.TraceOff,
 		MetricsDir:      s.Telemetry.MetricsDir,

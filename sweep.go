@@ -37,6 +37,10 @@ const (
 	ChaosPartition = invariant.Partition
 	// ChaosHeal removes every active partition.
 	ChaosHeal = invariant.Heal
+	// ChaosConfig applies the event's Patch as a live configuration
+	// change through the run's refresh hub, so the sweep can hunt for
+	// pathological mid-run retunes and the shrinker can minimize them.
+	ChaosConfig = invariant.Config
 )
 
 // ParseSweepArtifact decodes an artifact written by `jadebench -sweep`.
